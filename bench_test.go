@@ -1,0 +1,151 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5) at bench scale, one testing.B target per experiment.
+// `go test -bench=. -benchmem` reproduces the full grid;
+// `cmd/vaqbench` prints the paper-scale rows.
+package vaq
+
+import (
+	"testing"
+
+	"vaq/internal/experiments"
+)
+
+// benchCtx shrinks the workloads so a full -bench=. pass stays in the
+// minutes range; the shapes (who wins, by what factor) are preserved.
+func benchCtx() *experiments.Context {
+	c := experiments.NewContext(nil)
+	c.Scale = 0.15
+	return c
+}
+
+// BenchmarkFig2 regenerates Figure 2: F1 of SVAQ vs SVAQD across the
+// initial-background-probability grid.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: SVAQ vs SVAQD on q1..q12.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: predicate-variation F1.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: detection-model F1.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: detector FPR with/without SVAQD.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4And5 regenerates Figures 4–5: the clip-size sweep.
+func BenchmarkFig4And5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Fig4And5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineRuntime regenerates the §5.2 runtime decomposition.
+func BenchmarkOnlineRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().OnlineRuntime(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: offline methods on Coffee and
+// Cigarettes across K (file-backed tables; accesses are disk reads).
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: offline methods on q1, q2 at K=5.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Table 8: RVAQ speedup over Pq-Traverse on
+// the three movies across K.
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Table8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationShortCircuit measures the model-invocation savings of
+// Algorithm 2's predicate short-circuiting (DESIGN.md §4).
+func BenchmarkAblationShortCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().AblationShortCircuit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationKernelU sweeps SVAQD's estimator kernel scale.
+func BenchmarkAblationKernelU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().AblationKernelU(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCritValue compares the Naus closed form against the
+// Monte-Carlo critical-value search.
+func BenchmarkAblationCritValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().AblationCritValue(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDrift measures the SVAQ/SVAQD gap under a sudden background
+// change (the §3.3 motivation; companion to Figure 2).
+func BenchmarkDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCtx().Drift(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"vaq/internal/experiments"
+)
+
+// csvSink writes each experiment's rows as <dir>/<experiment>.csv so the
+// series can be re-plotted outside Go.
+type csvSink struct {
+	dir string
+}
+
+func newCSVSink(dir string) (*csvSink, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("csv dir: %w", err)
+	}
+	return &csvSink{dir: dir}, nil
+}
+
+func (s *csvSink) write(name string, header []string, rows [][]string) error {
+	if s == nil {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(s.dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ffloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func fint(v int) string       { return strconv.Itoa(v) }
+func fint64(v int64) string   { return strconv.FormatInt(v, 10) }
+
+func (s *csvSink) fig2(rows []experiments.Fig2Result) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Query, ffloat(r.P0), ffloat(r.SVAQ), ffloat(r.SVAQD)}
+	}
+	return s.write("fig2", []string{"query", "p0", "svaq_f1", "svaqd_f1"}, out)
+}
+
+func (s *csvSink) fig3(rows []experiments.Fig3Result) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Set, r.Query, ffloat(r.SVAQ), ffloat(r.SVAQD)}
+	}
+	return s.write("fig3", []string{"set", "query", "svaq_f1", "svaqd_f1"}, out)
+}
+
+func (s *csvSink) table3(rows []experiments.Table3Result) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Query, ffloat(r.SVAQ), ffloat(r.SVAQD)}
+	}
+	return s.write("table3", []string{"query", "svaq_f1", "svaqd_f1"}, out)
+}
+
+func (s *csvSink) table4(rows []experiments.Table4Result) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Models, ffloat(r.SVAQ), ffloat(r.SVAQD)}
+	}
+	return s.write("table4", []string{"models", "svaq_f1", "svaqd_f1"}, out)
+}
+
+func (s *csvSink) table5(rows []experiments.Table5Result) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Query,
+			ffloat(r.ActionFPRRaw), ffloat(r.ActionFPRWithSVAQD),
+			ffloat(r.ObjectFPRRaw), ffloat(r.ObjectFPRWithSVAQD),
+			ffloat(r.ActionNoiseEliminated), ffloat(r.ObjectNoiseEliminated),
+		}
+	}
+	return s.write("table5", []string{
+		"query", "action_fpr_raw", "action_fpr_svaqd",
+		"object_fpr_raw", "object_fpr_svaqd",
+		"action_noise_eliminated", "object_noise_eliminated",
+	}, out)
+}
+
+func (s *csvSink) fig45(rows []experiments.ClipSizeResult) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Query, fint(r.ClipFrames), fint(r.Sequences), ffloat(r.FrameF1), fint(r.FramesFound)}
+	}
+	return s.write("fig4_5", []string{"query", "clip_frames", "sequences", "frame_f1", "frames_found"}, out)
+}
+
+func (s *csvSink) table6(rows []experiments.Table6Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Method, fint(r.K), fint64(r.Runtime.Microseconds()), fint64(r.RandomAccesses), fint64(r.SortedAccesses)}
+	}
+	return s.write("table6", []string{"method", "k", "runtime_us", "random_accesses", "sorted_accesses"}, out)
+}
+
+func (s *csvSink) table7(rows []experiments.Table7Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Set, r.Method, fint64(r.Runtime.Microseconds()), fint64(r.RandomAccesses)}
+	}
+	return s.write("table7", []string{"set", "method", "runtime_us", "random_accesses"}, out)
+}
+
+func (s *csvSink) table8(rows []experiments.Table8Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		k := fint(r.K)
+		if r.MaxK {
+			k = "max"
+		}
+		out[i] = []string{r.Movie, k, ffloat(r.Speedup)}
+	}
+	return s.write("table8", []string{"movie", "k", "speedup"}, out)
+}

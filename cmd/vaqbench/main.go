@@ -1,0 +1,156 @@
+// Command vaqbench regenerates the tables and figures of the paper's
+// evaluation (§5). Run with no flags for the full suite at paper scale,
+// or select individual experiments:
+//
+//	vaqbench -exp fig2,table6 -scale 0.2
+//
+// Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
+// fig45), runtime, drift, table6, table7, table8, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vaq/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
+		scaleFlag = flag.Float64("scale", 1.0, "workload scale (1 = paper-sized datasets)")
+		csvFlag   = flag.String("csv", "", "directory for per-experiment CSV output (optional)")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext(os.Stdout)
+	ctx.Scale = *scaleFlag
+	sink, err := newCSVSink(*csvFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaqbench:", err)
+		os.Exit(1)
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := wanted["all"]
+	want := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if wanted[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type experiment struct {
+		ids []string
+		run func() error
+	}
+	exps := []experiment{
+		{[]string{"fig2"}, func() error {
+			rows, err := ctx.Fig2()
+			if err != nil {
+				return err
+			}
+			return sink.fig2(rows)
+		}},
+		{[]string{"fig3"}, func() error {
+			rows, err := ctx.Fig3()
+			if err != nil {
+				return err
+			}
+			return sink.fig3(rows)
+		}},
+		{[]string{"table3"}, func() error {
+			rows, err := ctx.Table3()
+			if err != nil {
+				return err
+			}
+			return sink.table3(rows)
+		}},
+		{[]string{"table4"}, func() error {
+			rows, err := ctx.Table4()
+			if err != nil {
+				return err
+			}
+			return sink.table4(rows)
+		}},
+		{[]string{"table5"}, func() error {
+			rows, err := ctx.Table5()
+			if err != nil {
+				return err
+			}
+			return sink.table5(rows)
+		}},
+		{[]string{"fig4", "fig5", "fig45"}, func() error {
+			rows, err := ctx.Fig4And5()
+			if err != nil {
+				return err
+			}
+			return sink.fig45(rows)
+		}},
+		{[]string{"runtime"}, func() error { _, err := ctx.OnlineRuntime(); return err }},
+		{[]string{"drift"}, func() error { _, err := ctx.Drift(); return err }},
+		{[]string{"table6"}, func() error {
+			rows, err := ctx.Table6()
+			if err != nil {
+				return err
+			}
+			return sink.table6(rows)
+		}},
+		{[]string{"table7"}, func() error {
+			rows, err := ctx.Table7()
+			if err != nil {
+				return err
+			}
+			return sink.table7(rows)
+		}},
+		{[]string{"table8"}, func() error {
+			rows, err := ctx.Table8()
+			if err != nil {
+				return err
+			}
+			return sink.table8(rows)
+		}},
+		{[]string{"ablation"}, func() error {
+			if _, err := ctx.AblationShortCircuit(); err != nil {
+				return err
+			}
+			if _, err := ctx.AblationKernelU(); err != nil {
+				return err
+			}
+			if _, err := ctx.AblationAlpha(); err != nil {
+				return err
+			}
+			_, err := ctx.AblationCritValue()
+			return err
+		}},
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if !want(e.ids...) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "vaqbench: %s: %v\n", e.ids[0], err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s done in %v]\n\n", e.ids[0], time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "vaqbench: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

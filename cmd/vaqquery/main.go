@@ -1,0 +1,118 @@
+// Command vaqquery runs a VQL query online over a synthetic video
+// stream, printing the result sequences as they are found.
+//
+//	vaqquery -set q2 -q "SELECT MERGE(clipID) AS Sequence FROM (PROCESS cam
+//	  PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+//	  WHERE act = 'blowing_leaves' AND obj.include('car')"
+//
+// The -set flag picks the synthetic workload (one of the paper's
+// Table 1 YouTube sets q1..q12 or a Table 2 movie name).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vaq"
+	"vaq/internal/detect"
+	"vaq/internal/metrics"
+	"vaq/internal/synth"
+)
+
+func main() {
+	var (
+		setFlag   = flag.String("set", "q2", "synthetic workload (q1..q12 or a movie name)")
+		queryFlag = flag.String("q", "", "VQL query (defaults to the workload's own query)")
+		dynFlag   = flag.Bool("dynamic", true, "use SVAQD (dynamic background estimation)")
+		scaleFlag = flag.Float64("scale", 1.0, "workload scale")
+		modelFlag = flag.String("model", "maskrcnn", "object detector profile: maskrcnn, yolov3, ideal")
+	)
+	flag.Parse()
+
+	qs, err := loadSet(*setFlag, *scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	scene := qs.World.Scene()
+	objP, actP := profiles(*modelFlag)
+	det := detect.NewSimObjectDetector(scene, objP, nil)
+	rec := detect.NewSimActionRecognizer(scene, actP, nil)
+	meta := qs.World.Truth.Meta
+
+	var stream *vaq.Stream
+	query := qs.Query
+	if *queryFlag != "" {
+		plan, err := vaq.ParseQuery(*queryFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compiled: %v\n", plan)
+		if q, ok := plan.SimpleQuery(); ok {
+			query = q
+		}
+		stream, err = vaq.NewStream(plan, det, rec, meta.Geom, vaq.StreamConfig{
+			Dynamic: *dynFlag, HorizonClips: meta.Clips(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		stream, err = vaq.NewStreamQuery(query, det, rec, meta.Geom, vaq.StreamConfig{
+			Dynamic: *dynFlag, HorizonClips: meta.Clips(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("streaming %s (%d clips), query %v\n", meta.Name, meta.Clips(), query)
+	inSeq := false
+	for c := 0; c < meta.Clips(); c++ {
+		pos, err := stream.ProcessClip(c)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case pos && !inSeq:
+			fmt.Printf("  sequence opens at clip %d\n", c)
+			inSeq = true
+		case !pos && inSeq:
+			fmt.Printf("  sequence closes at clip %d\n", c-1)
+			inSeq = false
+		}
+	}
+	seqs := stream.Results()
+	fmt.Printf("%d result sequences: %v\n", len(seqs), seqs)
+
+	if truth, err := qs.World.Truth.GroundTruthClips(query); err == nil {
+		prf := metrics.SequenceF1(seqs, truth, metrics.DefaultIOUThreshold)
+		fmt.Printf("vs ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
+			prf.Precision, prf.Recall, prf.F1)
+	}
+}
+
+func loadSet(name string, scale float64) (*synth.QuerySet, error) {
+	for _, id := range synth.YouTubeIDs() {
+		if id == name {
+			return synth.YouTubeScaled(id, vaq.DefaultGeometry(), scale)
+		}
+	}
+	return synth.MovieScaled(name, scale)
+}
+
+func profiles(model string) (detect.Profile, detect.Profile) {
+	switch model {
+	case "yolov3":
+		return detect.YOLOv3, detect.I3D
+	case "ideal":
+		return detect.IdealObject, detect.IdealAction
+	default:
+		return detect.MaskRCNN, detect.I3D
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaqquery:", err)
+	os.Exit(1)
+}

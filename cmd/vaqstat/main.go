@@ -1,0 +1,99 @@
+// Command vaqstat inspects a repository built by vaqingest: per-video
+// label coverage, table sizes, and the individual sequences a given
+// label contributes (the raw material of Equation 12).
+//
+//	vaqstat -dir vaq-repo
+//	vaqstat -dir vaq-repo -video coffee_and_cigarettes -label smoking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vaq"
+	"vaq/internal/annot"
+	"vaq/internal/ingest"
+	"vaq/internal/interval"
+	"vaq/internal/tables"
+)
+
+func main() {
+	var (
+		dirFlag   = flag.String("dir", "vaq-repo", "repository directory")
+		videoFlag = flag.String("video", "", "restrict to one video")
+		labelFlag = flag.String("label", "", "show one label's sequences and score range")
+	)
+	flag.Parse()
+
+	repo, err := vaq.OpenRepository(*dirFlag)
+	if err != nil {
+		fatal(err)
+	}
+	names := repo.Videos()
+	if len(names) == 0 {
+		fmt.Printf("repository %s is empty\n", *dirFlag)
+		return
+	}
+	for _, name := range names {
+		if *videoFlag != "" && name != *videoFlag {
+			continue
+		}
+		vd, err := ingest.Load(filepath.Join(*dirFlag, name))
+		if err != nil {
+			fatal(err)
+		}
+		printVideo(name, vd, annot.Label(*labelFlag))
+	}
+}
+
+func printVideo(name string, vd *ingest.VideoData, label annot.Label) {
+	meta := vd.Meta
+	fmt.Printf("%s: %d frames, %d clips (%d-frame clips of %d shots), %d tracks\n",
+		name, meta.Frames, meta.Clips(), meta.Geom.ClipLen(), meta.Geom.ShotsPerClip, vd.TracksOpened)
+	if label != "" {
+		printLabel(vd, label)
+		fmt.Println()
+		return
+	}
+	fmt.Printf("  %-18s %-7s %8s %10s %12s\n", "label", "kind", "rows", "sequences", "clip cover")
+	printGroup := func(kind string, tabs map[annot.Label]tables.Table, seqs map[annot.Label]interval.Set) {
+		labels := make([]string, 0, len(tabs))
+		for l := range tabs {
+			labels = append(labels, string(l))
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			s := seqs[annot.Label(l)]
+			fmt.Printf("  %-18s %-7s %8d %10d %12d\n",
+				l, kind, tabs[annot.Label(l)].Len(), len(s), s.Len())
+		}
+	}
+	printGroup("object", vd.ObjTables, vd.ObjSeqs)
+	printGroup("action", vd.ActTables, vd.ActSeqs)
+	fmt.Println()
+}
+
+func printLabel(vd *ingest.VideoData, label annot.Label) {
+	show := func(kind string, tab tables.Table, seqs interval.Set) {
+		if tab == nil {
+			return
+		}
+		fmt.Printf("  %s %q: %d rows", kind, label, tab.Len())
+		if tab.Len() > 0 {
+			top, _ := tab.SortedRow(0, nil)
+			btm, _ := tab.ReverseRow(0, nil)
+			fmt.Printf(", scores [%.2f, %.2f]", btm.Score, top.Score)
+		}
+		fmt.Printf("\n  sequences (%d): %v\n", len(seqs), seqs)
+	}
+	show("object", vd.ObjTables[label], vd.ObjSeqs[label])
+	show("action", vd.ActTables[label], vd.ActSeqs[label])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaqstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command vaqtopk answers an offline top-k query against a repository
+// built by vaqingest, comparing RVAQ against the paper's baselines on
+// request.
+//
+//	vaqtopk -dir vaq-repo -video coffee_and_cigarettes \
+//	        -action smoking -objects wine_glass,cup -k 5 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vaq"
+	"vaq/internal/ingest"
+	"vaq/internal/rvaq"
+)
+
+func main() {
+	var (
+		dirFlag     = flag.String("dir", "vaq-repo", "repository directory")
+		videoFlag   = flag.String("video", "", "video name (empty = all videos)")
+		actionFlag  = flag.String("action", "", "queried action label")
+		objectsFlag = flag.String("objects", "", "comma-separated object labels")
+		kFlag       = flag.Int("k", 5, "number of results")
+		compareFlag = flag.Bool("compare", false, "also run FA, RVAQ-noSkip and Pq-Traverse")
+	)
+	flag.Parse()
+
+	q := vaq.Query{Action: vaq.Label(*actionFlag)}
+	for _, o := range strings.Split(*objectsFlag, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			q.Objects = append(q.Objects, vaq.Label(o))
+		}
+	}
+	if err := q.Validate(); err != nil {
+		fatal(err)
+	}
+	repo, err := vaq.OpenRepository(*dirFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *videoFlag == "" {
+		results, stats, err := repo.TopKAll(q, *kFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("top-%d for %v across %v (%v, %d random accesses):\n",
+			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
+		for i, r := range results {
+			fmt.Printf("  %2d. %-24s clips %v  score %.2f\n", i+1, r.Video, r.Seq, r.Score)
+		}
+		return
+	}
+
+	results, stats, err := repo.TopK(*videoFlag, q, *kFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d):\n",
+		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates)
+	for i, r := range results {
+		fmt.Printf("  %2d. clips %v  score %.2f\n", i+1, r.Seq, r.Score)
+	}
+	if !*compareFlag {
+		return
+	}
+
+	// The comparison needs the raw video metadata.
+	vd, err := ingest.Load(*dirFlag + "/" + *videoFlag)
+	if err != nil {
+		fatal(err)
+	}
+	baselines := []struct {
+		name string
+		run  func() (rvaq.Stats, error)
+	}{
+		{"FA", func() (rvaq.Stats, error) { _, s, err := rvaq.FA(vd, q, *kFlag, rvaq.DefaultOptions()); return s, err }},
+		{"RVAQ-noSkip", func() (rvaq.Stats, error) {
+			_, s, err := rvaq.NoSkip(vd, q, *kFlag, rvaq.DefaultOptions())
+			return s, err
+		}},
+		{"Pq-Traverse", func() (rvaq.Stats, error) {
+			_, s, err := rvaq.PqTraverse(vd, q, *kFlag, rvaq.DefaultOptions())
+			return s, err
+		}},
+	}
+	fmt.Println("baselines:")
+	for _, b := range baselines {
+		stats, err := b.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", b.name, err))
+		}
+		fmt.Printf("  %-12s %10v  %6d random accesses\n",
+			b.name, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaqtopk:", err)
+	os.Exit(1)
+}

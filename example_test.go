@@ -1,0 +1,92 @@
+package vaq_test
+
+import (
+	"fmt"
+	"log"
+
+	"vaq"
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// exampleScene builds a tiny deterministic world: a "loading" action on
+// clips 10..19 with a truck present throughout.
+func exampleScene() (*detect.Scene, vaq.Geometry, int) {
+	geom := vaq.DefaultGeometry()
+	const nclips = 60
+	meta := video.Meta{Name: "example", Frames: nclips * geom.ClipLen(), Geom: geom}
+	truth := annot.NewVideo(meta)
+	truth.AddAction("loading", interval.Set{{Lo: 50, Hi: 99}})  // shots → clips 10..19
+	truth.AddObject("truck", interval.Set{{Lo: 450, Hi: 1049}}) // frames → clips 9..20
+	return &detect.Scene{Truth: truth, Seed: 1}, geom, nclips
+}
+
+// ExampleParseQuery compiles one of the paper's SQL-like statements.
+func ExampleParseQuery() {
+	plan, err := vaq.ParseQuery(`
+		SELECT MERGE(clipID) AS Sequence
+		FROM (PROCESS cam PRODUCE clipID, obj USING ObjectDetector,
+		      act USING ActionRecognizer)
+		WHERE act = 'loading' AND obj.include('truck')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// plan(cam [act=loading] [obj:truck])
+}
+
+// ExampleNewStream runs an online SVAQD query end to end over a
+// simulated stream with ideal models.
+func ExampleNewStream() {
+	scene, geom, nclips := exampleScene()
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+
+	plan, _ := vaq.ParseQuery(`
+		SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID, obj, act)
+		WHERE act = 'loading' AND obj.include('truck')`)
+	stream, err := vaq.NewStream(plan, det, rec, geom, vaq.StreamConfig{
+		Dynamic: true, HorizonClips: nclips,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqs, err := stream.Run(nclips)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(seqs)
+	// Output:
+	// {[10,19]}
+}
+
+// ExampleRepository_TopK ingests a video and answers an offline top-k
+// query with RVAQ.
+func ExampleRepository_TopK() {
+	scene, _, _ := exampleScene()
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	vd, err := vaq.IngestVideo(det, rec, scene.Truth.Meta,
+		scene.Truth.ObjectLabels(), scene.Truth.ActionLabels(), vaq.IngestConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := (&inMemoryRepo{vd: vd}).topK(
+		vaq.Query{Action: "loading", Objects: []vaq.Label{"truck"}}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best sequence: clips %d..%d\n", results[0].Seq.Lo, results[0].Seq.Hi)
+	// Output:
+	// best sequence: clips 10..19
+}
+
+// inMemoryRepo keeps the example free of filesystem side effects.
+type inMemoryRepo struct{ vd *vaq.VideoData }
+
+func (r *inMemoryRepo) topK(q vaq.Query, k int) ([]vaq.TopKResult, vaq.TopKStats, error) {
+	return vaq.TopKVideo(r.vd, q, k)
+}

@@ -1,0 +1,87 @@
+// Composite: temporal composition of two action queries — the §7
+// future-work direction. A dock camera answers "unloading, then the
+// truck driving off within a minute": each sub-query runs through the
+// standard SVAQD engine, and the temporal operator pairs their result
+// sequences.
+//
+//	go run ./examples/composite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vaq"
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/synth"
+)
+
+func main() {
+	// A world with two actions: "unloading" episodes, each usually
+	// followed by a "driving" episode shortly after.
+	geom := vaq.DefaultGeometry()
+	spec := synth.Spec{
+		Name:           "dock-cam",
+		Frames:         90000, // 50 minutes
+		Geom:           geom,
+		Action:         "unloading",
+		ActionEpisodes: synth.EpisodeSpec{MeanOn: 60, MeanOff: 900},
+		Objects: []synth.ObjectSpec{{
+			Label:          "truck",
+			CorrWithAction: 0.95,
+			BoundaryJitter: 40,
+			Background:     synth.EpisodeSpec{MeanOn: 300, MeanOff: 5000},
+		}},
+		Seed: 99,
+	}
+	world, err := synth.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hand-place "driving" episodes right after each unloading episode
+	// (the composition target), plus one unrelated drive.
+	var driving []interval.Interval
+	for _, ep := range world.Truth.Actions["unloading"] {
+		driving = append(driving, interval.Interval{Lo: ep.Hi + 10, Hi: ep.Hi + 40})
+	}
+	driving = append(driving, interval.Interval{Lo: 8000, Hi: 8050})
+	world.Truth.AddAction("driving", interval.Normalize(driving))
+
+	scene := world.Scene()
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	meta := world.Truth.Meta
+
+	run := func(q vaq.Query) vaq.Sequences {
+		stream, err := vaq.NewStreamQuery(q, det, rec, meta.Geom, vaq.StreamConfig{
+			Dynamic: true, HorizonClips: meta.Clips(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs, err := stream.Run(meta.Clips())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return seqs
+	}
+
+	unloading := run(vaq.Query{Action: "unloading", Objects: []vaq.Label{"truck"}})
+	drivingSeqs := run(vaq.Query{Action: annot.Label("driving")})
+
+	fmt.Printf("unloading+truck: %d sequences %v\n", len(unloading), unloading)
+	fmt.Printf("driving:         %d sequences %v\n\n", len(drivingSeqs), drivingSeqs)
+
+	// Compose: driving must start within 12 clips (~20s) of unloading
+	// ending.
+	pairs := vaq.Then(unloading, drivingSeqs, 12)
+	fmt.Printf("\"unloading, then driving off\" matches: %d\n", len(pairs))
+	clipSeconds := float64(meta.Geom.ClipLen()) / float64(meta.Geom.FPS)
+	for _, p := range pairs {
+		fmt.Printf("  unload %v -> drive %v (gap %d clips, event spans %.0fs..%.0fs)\n",
+			p.A, p.B, p.Gap, float64(p.A.Lo)*clipSeconds, float64(p.B.Hi+1)*clipSeconds)
+	}
+	fmt.Printf("\ncomposite event spans: %v\n", vaq.SpanOf(pairs))
+}

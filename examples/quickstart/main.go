@@ -1,0 +1,62 @@
+// Quickstart: parse a VQL query, run it online over a synthetic video
+// stream with the SVAQD engine, and print the matching sequences.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vaq"
+	"vaq/internal/detect"
+	"vaq/internal/synth"
+)
+
+func main() {
+	// 1. A query in the paper's SQL-like language: find the stream
+	//    segments where leaves are being blown while a car is visible.
+	plan, err := vaq.ParseQuery(`
+		SELECT MERGE(clipID) AS Sequence
+		FROM (PROCESS camera PRODUCE clipID,
+		      obj USING ObjectDetector, act USING ActionRecognizer)
+		WHERE act = 'blowing_leaves' AND obj.include('car')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled:", plan)
+
+	// 2. A video source. Real deployments plug in their own detectors;
+	//    here a synthetic world stands in for the camera, with
+	//    simulated Mask R-CNN / I3D models observing it.
+	world, err := synth.YouTubeScaled("q2", vaq.DefaultGeometry(), 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scene := world.World.Scene()
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	meta := world.World.Truth.Meta
+
+	// 3. The online engine. Dynamic=true selects SVAQD: no background
+	//    probabilities to hand-tune.
+	stream, err := vaq.NewStream(plan, det, rec, meta.Geom, vaq.StreamConfig{
+		Dynamic:      true,
+		HorizonClips: meta.Clips(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Feed the stream clip by clip (here: the whole video at once).
+	seqs, err := stream.Run(meta.Clips())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d sequences over %d clips:\n", len(seqs), meta.Clips())
+	clipSeconds := float64(meta.Geom.ClipLen()) / float64(meta.Geom.FPS)
+	for _, s := range seqs {
+		fmt.Printf("  clips %4d..%-4d  (%.0fs..%.0fs)\n",
+			s.Lo, s.Hi, float64(s.Lo)*clipSeconds, float64(s.Hi+1)*clipSeconds)
+	}
+}

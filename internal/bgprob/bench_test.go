@@ -1,0 +1,36 @@
+package bgprob
+
+import "testing"
+
+// BenchmarkObserve measures the per-occurrence-unit estimator update —
+// SVAQD pays this once per frame per predicate.
+func BenchmarkObserve(b *testing.B) {
+	e, err := New(4000, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e.Observe(i%97 == 0)
+	}
+}
+
+func BenchmarkObserveRun(b *testing.B) {
+	e, err := New(4000, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e.ObserveRun(50, 2)
+	}
+}
+
+func BenchmarkP(b *testing.B) {
+	e, _ := New(4000, 1e-4)
+	for i := 0; i < 1000; i++ {
+		e.Observe(i%31 == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.P()
+	}
+}

@@ -1,0 +1,59 @@
+package detect
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/video"
+)
+
+// BenchmarkDetect measures one simulated object-detector invocation —
+// the unit the paper's runtime analysis counts (§5.2).
+func BenchmarkDetect(b *testing.B) {
+	sc := testScene(100)
+	det := NewSimObjectDetector(sc, MaskRCNN, nil)
+	labels := []annot.Label{"car"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(video.FrameIdx(i%20000), labels)
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	sc := testScene(101)
+	rec := NewSimActionRecognizer(sc, I3D, nil)
+	labels := []annot.Label{"run"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Recognize(video.ShotIdx(i%2000), labels)
+	}
+}
+
+// BenchmarkTrackerUpdate measures the per-frame data-association cost
+// with two live instances.
+func BenchmarkTrackerUpdate(b *testing.B) {
+	trk := NewTracker(0.3, 15)
+	dets := []Detection{
+		{Label: "car", Score: 0.9, Box: Box{0.1, 0.1, 0.2, 0.2}},
+		{Label: "car", Score: 0.8, Box: Box{0.6, 0.6, 0.2, 0.2}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := make([]Detection, len(dets))
+		copy(d, dets)
+		trk.Update(video.FrameIdx(i), d)
+	}
+}
+
+func BenchmarkEvalRelation(b *testing.B) {
+	dets := []Detection{
+		{Label: "person", Score: 0.9, Box: Box{0.1, 0.4, 0.1, 0.1}},
+		{Label: "car", Score: 0.9, Box: Box{0.7, 0.4, 0.2, 0.15}},
+		{Label: "car", Score: 0.8, Box: Box{0.2, 0.1, 0.2, 0.15}},
+	}
+	r := Relation{A: "person", B: "car", Kind: LeftOf}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalRelation(dets, r, 0.5)
+	}
+}

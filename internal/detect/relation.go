@@ -1,0 +1,147 @@
+package detect
+
+import (
+	"fmt"
+
+	"vaq/internal/annot"
+	"vaq/internal/video"
+)
+
+// Footnote 2 of the paper sketches predicates over spatial relationships
+// between objects ("human left of the car"): the system derives a binary
+// per-frame output from the object detection outcomes and feeds it into
+// the same scan-statistics machinery as plain object predicates. This
+// file implements that derivation from bounding boxes.
+
+// RelationKind is a spatial relationship between two boxes.
+type RelationKind int
+
+const (
+	// LeftOf holds when a's center is left of b's center.
+	LeftOf RelationKind = iota
+	// RightOf holds when a's center is right of b's center.
+	RightOf
+	// Above holds when a's center is above b's center (smaller y).
+	Above
+	// Below holds when a's center is below b's center.
+	Below
+	// Overlaps holds when the boxes overlap with IoU ≥ 0.1.
+	Overlaps
+	// Near holds when the centers are within 0.25 of the frame diagonal.
+	Near
+)
+
+func (k RelationKind) String() string {
+	switch k {
+	case LeftOf:
+		return "left_of"
+	case RightOf:
+		return "right_of"
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	case Overlaps:
+		return "overlaps"
+	case Near:
+		return "near"
+	}
+	return "unknown"
+}
+
+// ParseRelationKind maps the VQL spelling to a kind.
+func ParseRelationKind(s string) (RelationKind, error) {
+	switch s {
+	case "left_of":
+		return LeftOf, nil
+	case "right_of":
+		return RightOf, nil
+	case "above":
+		return Above, nil
+	case "below":
+		return Below, nil
+	case "overlaps":
+		return Overlaps, nil
+	case "near":
+		return Near, nil
+	}
+	return 0, fmt.Errorf("detect: unknown relation %q", s)
+}
+
+// Relation is a spatial predicate over two object labels.
+type Relation struct {
+	A, B annot.Label
+	Kind RelationKind
+}
+
+func (r Relation) String() string {
+	return fmt.Sprintf("%s %s %s", r.A, r.Kind, r.B)
+}
+
+// holds evaluates the relation on a concrete pair of boxes.
+func (r Relation) holds(a, b Box) bool {
+	ax, ay := a.X+a.W/2, a.Y+a.H/2
+	bx, by := b.X+b.W/2, b.Y+b.H/2
+	switch r.Kind {
+	case LeftOf:
+		return ax < bx
+	case RightOf:
+		return ax > bx
+	case Above:
+		return ay < by
+	case Below:
+		return ay > by
+	case Overlaps:
+		return a.IoU(b) >= 0.1
+	case Near:
+		dx, dy := ax-bx, ay-by
+		return dx*dx+dy*dy <= 0.25*0.25*2 // 0.25 of the unit diagonal
+	}
+	return false
+}
+
+// EvalRelation returns the per-frame relation indicator derived from a
+// frame's detections: true iff some above-threshold detection pair
+// (one of label A, one of label B) satisfies the relation. This is the
+// binary output footnote 2 describes; it then behaves exactly like an
+// object prediction indicator in the scan-statistics machinery.
+func EvalRelation(dets []Detection, r Relation, threshold float64) bool {
+	for _, da := range dets {
+		if da.Label != r.A || da.Score < threshold {
+			continue
+		}
+		for _, db := range dets {
+			if db.Label != r.B || db.Score < threshold {
+				continue
+			}
+			if r.holds(da.Box, db.Box) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RelationDetector adapts an ObjectDetector into a per-frame relation
+// indicator source.
+type RelationDetector struct {
+	det       ObjectDetector
+	rel       Relation
+	threshold float64
+}
+
+// NewRelationDetector wraps det to evaluate rel at the given score
+// threshold.
+func NewRelationDetector(det ObjectDetector, rel Relation, threshold float64) *RelationDetector {
+	return &RelationDetector{det: det, rel: rel, threshold: threshold}
+}
+
+// Relation returns the wrapped relation.
+func (rd *RelationDetector) Relation() Relation { return rd.rel }
+
+// Holds evaluates the relation on frame v (one detector invocation for
+// both labels).
+func (rd *RelationDetector) Holds(v video.FrameIdx) bool {
+	dets := rd.det.Detect(v, []annot.Label{rd.rel.A, rd.rel.B})
+	return EvalRelation(dets, rd.rel, rd.threshold)
+}

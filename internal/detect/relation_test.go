@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+func TestParseRelationKind(t *testing.T) {
+	for _, s := range []string{"left_of", "right_of", "above", "below", "overlaps", "near"} {
+		k, err := ParseRelationKind(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if k.String() != s {
+			t.Errorf("round trip %s -> %s", s, k)
+		}
+	}
+	if _, err := ParseRelationKind("inside"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if RelationKind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestRelationHolds(t *testing.T) {
+	left := Box{X: 0.1, Y: 0.4, W: 0.1, H: 0.1}  // center (0.15, 0.45)
+	right := Box{X: 0.7, Y: 0.1, W: 0.1, H: 0.1} // center (0.75, 0.15)
+	cases := []struct {
+		kind RelationKind
+		a, b Box
+		want bool
+	}{
+		{LeftOf, left, right, true},
+		{LeftOf, right, left, false},
+		{RightOf, right, left, true},
+		{Above, right, left, true}, // right box is higher (smaller y)
+		{Below, left, right, true},
+		{Overlaps, left, left, true},
+		{Overlaps, left, right, false},
+		{Near, left, Box{X: 0.12, Y: 0.42, W: 0.1, H: 0.1}, true},
+		{Near, left, right, false},
+	}
+	for _, c := range cases {
+		r := Relation{A: "a", B: "b", Kind: c.kind}
+		if got := r.holds(c.a, c.b); got != c.want {
+			t.Errorf("%s(%+v, %+v) = %v, want %v", c.kind, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalRelation(t *testing.T) {
+	dets := []Detection{
+		{Label: "person", Score: 0.9, Box: Box{X: 0.1, Y: 0.4, W: 0.1, H: 0.1}},
+		{Label: "car", Score: 0.9, Box: Box{X: 0.7, Y: 0.4, W: 0.2, H: 0.15}},
+		{Label: "car", Score: 0.3, Box: Box{X: 0.0, Y: 0.4, W: 0.2, H: 0.15}}, // below threshold
+	}
+	r := Relation{A: "person", B: "car", Kind: LeftOf}
+	if !EvalRelation(dets, r, 0.5) {
+		t.Fatal("person left of car should hold")
+	}
+	// The sub-threshold car to the person's left must not flip RightOf.
+	r2 := Relation{A: "person", B: "car", Kind: RightOf}
+	if EvalRelation(dets, r2, 0.5) {
+		t.Fatal("sub-threshold detection should be ignored")
+	}
+	// Missing labels.
+	r3 := Relation{A: "person", B: "dog", Kind: Near}
+	if EvalRelation(dets, r3, 0.5) {
+		t.Fatal("relation with absent label should not hold")
+	}
+	if EvalRelation(nil, r, 0.5) {
+		t.Fatal("no detections should not hold")
+	}
+}
+
+func TestRelationDetectorAgainstIdealScene(t *testing.T) {
+	meta := video.Meta{Name: "rel", Frames: 5000, Geom: video.DefaultGeometry()}
+	truth := annot.NewVideo(meta)
+	truth.AddObject("person", interval.Set{{Lo: 0, Hi: 4999}})
+	truth.AddObject("car", interval.Set{{Lo: 0, Hi: 4999}})
+	scene := &Scene{Truth: truth, Seed: 99}
+	det := NewSimObjectDetector(scene, IdealObject, nil)
+	rd := NewRelationDetector(det, Relation{A: "person", B: "car", Kind: LeftOf}, 0.5)
+	if rd.Relation().Kind != LeftOf {
+		t.Fatal("Relation accessor wrong")
+	}
+	// With both labels always present and moving independently, LeftOf
+	// should hold on a substantial fraction of frames but not all.
+	holds := 0
+	for v := 0; v < 5000; v++ {
+		if rd.Holds(video.FrameIdx(v)) {
+			holds++
+		}
+	}
+	frac := float64(holds) / 5000
+	if frac < 0.2 || frac > 0.95 {
+		t.Fatalf("LeftOf fraction %v implausible for independent trajectories", frac)
+	}
+	// Consistency: Holds equals EvalRelation over the detector output.
+	for v := 0; v < 100; v++ {
+		dets := det.Detect(video.FrameIdx(v), []annot.Label{"person", "car"})
+		want := EvalRelation(dets, rd.rel, 0.5)
+		if rd.Holds(video.FrameIdx(v)) != want {
+			t.Fatalf("Holds inconsistent at frame %d", v)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package detect
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/video"
+)
+
+func det(label annot.Label, b Box) Detection { return Detection{Label: label, Score: 0.9, Box: b} }
+
+func TestTrackerKeepsIDAcrossFrames(t *testing.T) {
+	trk := NewTracker(0.3, 5)
+	d1 := trk.Update(0, []Detection{det("car", Box{0.1, 0.1, 0.2, 0.2})})
+	if d1[0].Track != 1 {
+		t.Fatalf("first track id = %d, want 1", d1[0].Track)
+	}
+	// Slightly moved box: same track.
+	d2 := trk.Update(1, []Detection{det("car", Box{0.11, 0.1, 0.2, 0.2})})
+	if d2[0].Track != 1 {
+		t.Fatalf("moved box got track %d, want 1", d2[0].Track)
+	}
+}
+
+func TestTrackerSeparatesLabels(t *testing.T) {
+	trk := NewTracker(0.3, 5)
+	trk.Update(0, []Detection{det("car", Box{0.1, 0.1, 0.2, 0.2})})
+	d := trk.Update(1, []Detection{det("dog", Box{0.1, 0.1, 0.2, 0.2})})
+	if d[0].Track == 1 {
+		t.Fatal("different label matched an existing track")
+	}
+}
+
+func TestTrackerSeparatesDistantBoxes(t *testing.T) {
+	trk := NewTracker(0.3, 5)
+	trk.Update(0, []Detection{det("car", Box{0.0, 0.0, 0.1, 0.1})})
+	d := trk.Update(1, []Detection{det("car", Box{0.8, 0.8, 0.1, 0.1})})
+	if d[0].Track == 1 {
+		t.Fatal("distant box matched an existing track")
+	}
+	if trk.ActiveTracks() != 2 {
+		t.Fatalf("active tracks = %d, want 2", trk.ActiveTracks())
+	}
+}
+
+func TestTrackerExpiry(t *testing.T) {
+	trk := NewTracker(0.3, 3)
+	trk.Update(0, []Detection{det("car", Box{0.1, 0.1, 0.2, 0.2})})
+	// No detections for longer than maxAge.
+	trk.Update(10, nil)
+	d := trk.Update(11, []Detection{det("car", Box{0.1, 0.1, 0.2, 0.2})})
+	if d[0].Track == 1 {
+		t.Fatal("expired track was reused")
+	}
+	if trk.TracksOpened() != 2 {
+		t.Fatalf("opened = %d, want 2", trk.TracksOpened())
+	}
+}
+
+func TestTrackerGreedyPicksBestIoU(t *testing.T) {
+	trk := NewTracker(0.1, 5)
+	trk.Update(0, []Detection{det("car", Box{0.1, 0.1, 0.2, 0.2})})
+	// Two candidates overlap the track; the closer one must win.
+	d := trk.Update(1, []Detection{
+		det("car", Box{0.15, 0.1, 0.2, 0.2}), // lower IoU
+		det("car", Box{0.10, 0.1, 0.2, 0.2}), // exact match
+	})
+	if d[1].Track != 1 {
+		t.Fatalf("exact match got track %d, want 1", d[1].Track)
+	}
+	if d[0].Track == 1 {
+		t.Fatal("both detections matched the same track")
+	}
+}
+
+func TestTrackerTwoInstancesStayStable(t *testing.T) {
+	trk := NewTracker(0.3, 10)
+	boxA := Box{0.1, 0.1, 0.2, 0.2}
+	boxB := Box{0.6, 0.6, 0.2, 0.2}
+	var idA, idB int
+	for v := 0; v < 50; v++ {
+		boxA.X += 0.002
+		boxB.Y -= 0.002
+		d := trk.Update(video.FrameIdx(v), []Detection{det("car", boxA), det("car", boxB)})
+		if v == 0 {
+			idA, idB = d[0].Track, d[1].Track
+			continue
+		}
+		if d[0].Track != idA || d[1].Track != idB {
+			t.Fatalf("frame %d: tracks drifted: %d/%d vs %d/%d", v, d[0].Track, d[1].Track, idA, idB)
+		}
+	}
+	if trk.TracksOpened() != 2 {
+		t.Fatalf("opened = %d, want 2", trk.TracksOpened())
+	}
+}
+
+func TestTrackerDefaults(t *testing.T) {
+	trk := NewTracker(0, 0)
+	if trk.iouThresh != 0.3 || trk.maxAge != 15 {
+		t.Fatalf("defaults = %v/%v", trk.iouThresh, trk.maxAge)
+	}
+}
+
+func TestHashKeyStable(t *testing.T) {
+	a := hashKey(1, "car", 42)
+	b := hashKey(1, "car", 42)
+	if a != b {
+		t.Fatal("hashKey not deterministic")
+	}
+	if hashKey(2, "car", 42) == a || hashKey(1, "dog", 42) == a || hashKey(1, "car", 43) == a {
+		t.Fatal("hashKey collisions across distinct keys (unexpectedly)")
+	}
+}
+
+func TestUnitRandUniformish(t *testing.T) {
+	key := hashKey(9, "x", 0)
+	sum := 0.0
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		u := unitRand(key, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("unitRand out of [0,1): %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("unitRand mean %v far from 0.5", mean)
+	}
+}

@@ -1,0 +1,311 @@
+// Package ingest implements the ingestion phase of the offline case
+// (§4.2). Each video is processed once, in a query-independent manner:
+// for every object and action label the deployed models support, the
+// phase materializes
+//
+//   - a clip score table table_l = {cid, score} ordered by score, with
+//     the clip score computed by the scoring function h over all raw
+//     detection scores of the label in the clip (Equations 7–8), and
+//   - the label's individual sequences P_l — maximal runs of clips with
+//     positive indicators, decided by the same scan-statistics machinery
+//     the online case uses (SVAQD per label).
+//
+// The resulting metadata answers any ad-hoc query at query time (package
+// rvaq) without touching the video again.
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/score"
+	"vaq/internal/svaq"
+	"vaq/internal/tables"
+	"vaq/internal/video"
+)
+
+// Config tunes the ingestion phase.
+type Config struct {
+	// Thresholds are T_obj / T_act used for the prediction indicators;
+	// zero value uses detect.DefaultThresholds.
+	Thresholds detect.Thresholds
+	// Alpha is the scan-statistics significance level (default 0.05).
+	Alpha float64
+	// KernelU is the SVAQD kernel scale in frames (default 4000).
+	KernelU float64
+	// Score is the scoring scheme; the zero value uses score.Default().
+	Score score.Functions
+	// TrackerIoU and TrackerMaxAge parameterize the object tracker used
+	// to assign track identifiers during ingestion (defaults 0.3 / 15).
+	TrackerIoU    float64
+	TrackerMaxAge int
+	// Workers parallelizes the model-invocation stage of ingestion
+	// across clips (the dominant cost, §5.2). The statistics and
+	// tracking stages stay sequential, so results are identical to a
+	// serial run. 0 or 1 means serial.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thresholds == (detect.Thresholds{}) {
+		c.Thresholds = detect.DefaultThresholds()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.KernelU == 0 {
+		c.KernelU = 4000
+	}
+	if c.Score.H == nil {
+		c.Score = score.Default()
+	}
+	return c
+}
+
+// clipWork carries one clip's raw model outputs from the (possibly
+// parallel) inference stage to the sequential statistics stage.
+type clipWork struct {
+	frameDets  [][]detect.Detection
+	shotScores [][]detect.ActionScore
+}
+
+// VideoData is the materialized metadata of one ingested video.
+type VideoData struct {
+	Meta video.Meta
+	// ObjTables / ActTables map each supported label to its clip score
+	// table. Clips whose label score is zero are omitted (sparse
+	// tables); a random access for a missing clip yields score 0.
+	ObjTables map[annot.Label]tables.Table
+	ActTables map[annot.Label]tables.Table
+	// ObjSeqs / ActSeqs are the individual sequences P_l per label,
+	// as clip-id interval sets.
+	ObjSeqs map[annot.Label]interval.Set
+	ActSeqs map[annot.Label]interval.Set
+	// TracksOpened is the number of track identifiers the tracker
+	// issued over the whole video.
+	TracksOpened int
+}
+
+// Video ingests one video: it runs the object detector on every frame
+// (for all objLabels), the tracker over the detections, and the action
+// recognizer on every shot (for all actLabels), and materializes the
+// per-label tables and individual sequences.
+func Video(det detect.ObjectDetector, rec detect.ActionRecognizer, meta video.Meta, objLabels, actLabels []annot.Label, cfg Config) (*VideoData, error) {
+	if err := meta.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if len(objLabels) > 0 && det == nil {
+		return nil, fmt.Errorf("ingest: object labels given but no detector")
+	}
+	if len(actLabels) > 0 && rec == nil {
+		return nil, fmt.Errorf("ingest: action labels given but no recognizer")
+	}
+	cfg = cfg.withDefaults()
+	geom := meta.Geom
+	nclips := meta.Clips()
+	if nclips == 0 {
+		return nil, fmt.Errorf("ingest: video %q has no whole clip", meta.Name)
+	}
+
+	// Per-label scan-statistics trackers (dynamic, as §4.2 prescribes:
+	// "utilizing algorithm SVAQD ... determine the positive clips").
+	objTrk := map[annot.Label]*svaq.LabelTracker{}
+	actTrk := map[annot.Label]*svaq.LabelTracker{}
+	for _, l := range objLabels {
+		lt, err := svaq.NewLabelTracker(svaq.TrackerConfig{
+			UnitsPerClip: geom.ClipLen(), HorizonClips: nclips,
+			Alpha: cfg.Alpha, P0: 1e-4, Dynamic: true, KernelU: cfg.KernelU,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ingest: object %q: %w", l, err)
+		}
+		objTrk[l] = lt
+	}
+	actKernel := cfg.KernelU / float64(geom.ShotLen)
+	if actKernel < 1 {
+		actKernel = 1
+	}
+	for _, l := range actLabels {
+		lt, err := svaq.NewLabelTracker(svaq.TrackerConfig{
+			UnitsPerClip: geom.ShotsPerClip, HorizonClips: nclips,
+			Alpha: cfg.Alpha, P0: 1e-4, Dynamic: true, KernelU: actKernel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ingest: action %q: %w", l, err)
+		}
+		actTrk[l] = lt
+	}
+
+	// Stage 1 — model inference per clip, the dominant cost (§5.2):
+	// parallel when cfg.Workers > 1. The simulated models are
+	// deterministic per (seed, label, unit), so parallel and serial
+	// runs produce identical detections.
+	work := make([]clipWork, nclips)
+	inferClip := func(c int) {
+		w := &work[c]
+		frameLo, frameHi := geom.FrameRangeOfClip(video.ClipIdx(c))
+		w.frameDets = make([][]detect.Detection, 0, int(frameHi-frameLo))
+		for v := frameLo; v < frameHi; v++ {
+			w.frameDets = append(w.frameDets, det.Detect(v, objLabels))
+		}
+		shotLo, shotHi := geom.ShotRangeOfClip(video.ClipIdx(c))
+		for s := shotLo; s < shotHi; s++ {
+			w.shotScores = append(w.shotScores, rec.Recognize(s, actLabels))
+		}
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range next {
+					inferClip(c)
+				}
+			}()
+		}
+		for c := 0; c < nclips; c++ {
+			next <- c
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for c := 0; c < nclips; c++ {
+			inferClip(c)
+		}
+	}
+
+	// Stage 2 — sequential: the tracker (stateful across frames) and
+	// the per-label statistics (stateful across clips).
+	tracker := detect.NewTracker(cfg.TrackerIoU, cfg.TrackerMaxAge)
+	objRows := map[annot.Label][]tables.Row{}
+	actRows := map[annot.Label][]tables.Row{}
+	objInd := map[annot.Label][]bool{}
+	actInd := map[annot.Label][]bool{}
+
+	rawScores := map[annot.Label][]float64{}
+	counts := map[annot.Label]int{}
+	for c := 0; c < nclips; c++ {
+		w := &work[c]
+		for _, l := range objLabels {
+			rawScores[l] = rawScores[l][:0]
+			counts[l] = 0
+		}
+		frameLo, _ := geom.FrameRangeOfClip(video.ClipIdx(c))
+		for off, dets := range w.frameDets {
+			dets = tracker.Update(frameLo+video.FrameIdx(off), dets)
+			seen := map[annot.Label]bool{}
+			for _, d := range dets {
+				rawScores[d.Label] = append(rawScores[d.Label], d.Score)
+				if d.Score >= cfg.Thresholds.Object {
+					seen[d.Label] = true
+				}
+			}
+			for l := range seen {
+				counts[l]++
+			}
+		}
+		for _, l := range objLabels {
+			if s := cfg.Score.H.CombineLabel(rawScores[l]); s > 0 {
+				objRows[l] = append(objRows[l], tables.Row{CID: int32(c), Score: s})
+			}
+			pos, err := objTrk[l].ObserveClip(counts[l])
+			if err != nil {
+				return nil, fmt.Errorf("ingest: object %q: %w", l, err)
+			}
+			objInd[l] = append(objInd[l], pos)
+		}
+
+		for _, l := range actLabels {
+			rawScores[l] = rawScores[l][:0]
+			counts[l] = 0
+		}
+		for _, scores := range w.shotScores {
+			for _, a := range scores {
+				rawScores[a.Label] = append(rawScores[a.Label], a.Score)
+				if a.Score >= cfg.Thresholds.Action {
+					counts[a.Label]++
+				}
+			}
+		}
+		for _, l := range actLabels {
+			if s := cfg.Score.H.CombineLabel(rawScores[l]); s > 0 {
+				actRows[l] = append(actRows[l], tables.Row{CID: int32(c), Score: s})
+			}
+			pos, err := actTrk[l].ObserveClip(counts[l])
+			if err != nil {
+				return nil, fmt.Errorf("ingest: action %q: %w", l, err)
+			}
+			actInd[l] = append(actInd[l], pos)
+		}
+		work[c] = clipWork{} // release the clip's detections
+	}
+
+	vd := &VideoData{
+		Meta:         meta,
+		ObjTables:    map[annot.Label]tables.Table{},
+		ActTables:    map[annot.Label]tables.Table{},
+		ObjSeqs:      map[annot.Label]interval.Set{},
+		ActSeqs:      map[annot.Label]interval.Set{},
+		TracksOpened: tracker.TracksOpened(),
+	}
+	for _, l := range objLabels {
+		vd.ObjTables[l] = tables.NewMemTable(string(l), objRows[l])
+		vd.ObjSeqs[l] = interval.FromIndicators(objInd[l])
+	}
+	for _, l := range actLabels {
+		vd.ActTables[l] = tables.NewMemTable(string(l), actRows[l])
+		vd.ActSeqs[l] = interval.FromIndicators(actInd[l])
+	}
+	return vd, nil
+}
+
+// CandidateSequences computes P_q = P_a ⊗ P_o1 ⊗ ... ⊗ P_oI
+// (Equation 12) for a query against this video's materialized individual
+// sequences.
+func (vd *VideoData) CandidateSequences(q annot.Query) (interval.Set, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var sets []interval.Set
+	if q.Action != "" {
+		s, ok := vd.ActSeqs[q.Action]
+		if !ok {
+			return nil, fmt.Errorf("ingest: action %q not ingested for video %q", q.Action, vd.Meta.Name)
+		}
+		sets = append(sets, s)
+	}
+	for _, o := range q.Objects {
+		s, ok := vd.ObjSeqs[o]
+		if !ok {
+			return nil, fmt.Errorf("ingest: object %q not ingested for video %q", o, vd.Meta.Name)
+		}
+		sets = append(sets, s)
+	}
+	return interval.IntersectAll(sets...), nil
+}
+
+// QueryTables returns the clip score tables of the query's predicates:
+// the action table (nil if the query has no action) and the object
+// tables in query order.
+func (vd *VideoData) QueryTables(q annot.Query) (act tables.Table, objs []tables.Table, err error) {
+	if q.Action != "" {
+		t, ok := vd.ActTables[q.Action]
+		if !ok {
+			return nil, nil, fmt.Errorf("ingest: action %q not ingested for video %q", q.Action, vd.Meta.Name)
+		}
+		act = t
+	}
+	for _, o := range q.Objects {
+		t, ok := vd.ObjTables[o]
+		if !ok {
+			return nil, nil, fmt.Errorf("ingest: object %q not ingested for video %q", o, vd.Meta.Name)
+		}
+		objs = append(objs, t)
+	}
+	return act, objs, nil
+}

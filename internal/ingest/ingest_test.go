@@ -1,0 +1,291 @@
+package ingest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/tables"
+	"vaq/internal/video"
+)
+
+// ingestScene is a small deterministic world with two objects and two
+// actions.
+func ingestScene(t *testing.T) *detect.Scene {
+	t.Helper()
+	geom := video.DefaultGeometry()
+	meta := video.Meta{Name: "vid", Frames: 25000, Geom: geom} // 500 clips
+	truth := annot.NewVideo(meta)
+	truth.AddAction("run", interval.Set{{Lo: 200, Hi: 349}})    // clips 40..69
+	truth.AddAction("jump", interval.Set{{Lo: 1500, Hi: 1599}}) // clips 300..319
+	truth.AddObject("car", interval.Set{{Lo: 2000, Hi: 3999}})  // clips 40..79
+	truth.AddObject("dog", interval.Set{{Lo: 15000, Hi: 15999}})
+	return &detect.Scene{Truth: truth, Seed: 404}
+}
+
+func ingestIt(t *testing.T, scene *detect.Scene, objP, actP detect.Profile) *VideoData {
+	t.Helper()
+	det := detect.NewSimObjectDetector(scene, objP, nil)
+	rec := detect.NewSimActionRecognizer(scene, actP, nil)
+	vd, err := Video(det, rec, scene.Truth.Meta,
+		scene.Truth.ObjectLabels(), scene.Truth.ActionLabels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vd
+}
+
+func TestIngestIdealSequencesMatchTruth(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	wantRun := interval.Set{{Lo: 40, Hi: 69}}
+	if !vd.ActSeqs["run"].Equal(wantRun) {
+		t.Fatalf("P_run = %v, want %v", vd.ActSeqs["run"], wantRun)
+	}
+	wantCar := interval.Set{{Lo: 40, Hi: 79}}
+	if !vd.ObjSeqs["car"].Equal(wantCar) {
+		t.Fatalf("P_car = %v, want %v", vd.ObjSeqs["car"], wantCar)
+	}
+}
+
+func TestIngestTablesCoverPositiveClips(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.MaskRCNN, detect.I3D)
+	// Invariant the RVAQ bounds rely on: every clip of a label's
+	// individual sequences appears in that label's score table.
+	check := func(label annot.Label, seqs interval.Set, tab tables.Table) {
+		for _, c := range seqs.Points() {
+			if _, ok, err := tab.RandomGet(int32(c), nil); err != nil || !ok {
+				t.Fatalf("label %s: positive clip %d missing from table (ok=%v err=%v)", label, c, ok, err)
+			}
+		}
+	}
+	for l, s := range vd.ObjSeqs {
+		check(l, s, vd.ObjTables[l])
+	}
+	for l, s := range vd.ActSeqs {
+		check(l, s, vd.ActTables[l])
+	}
+}
+
+func TestIngestScoresConcentrateOnTruth(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.MaskRCNN, detect.I3D)
+	// The highest-scoring car clip must lie inside the car's truth.
+	top, err := vd.ObjTables["car"].SortedRow(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.CID < 40 || top.CID > 79 {
+		t.Fatalf("top car clip %d outside truth range", top.CID)
+	}
+}
+
+func TestCandidateSequences(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	pq, err := vd.CandidateSequences(annot.Query{Action: "run", Objects: []annot.Label{"car"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.Set{{Lo: 40, Hi: 69}}
+	if !pq.Equal(want) {
+		t.Fatalf("Pq = %v, want %v", pq, want)
+	}
+	// Unknown labels error out.
+	if _, err := vd.CandidateSequences(annot.Query{Action: "ghost"}); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if _, err := vd.CandidateSequences(annot.Query{Action: "run", Objects: []annot.Label{"ghost"}}); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if _, err := vd.CandidateSequences(annot.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestQueryTables(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	act, objs, err := vd.QueryTables(annot.Query{Action: "run", Objects: []annot.Label{"car", "dog"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Label() != "run" || len(objs) != 2 || objs[0].Label() != "car" {
+		t.Fatalf("tables = %v %v", act.Label(), objs)
+	}
+	if _, _, err := vd.QueryTables(annot.Query{Action: "ghost"}); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	scene := ingestScene(t)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	if _, err := Video(nil, rec, scene.Truth.Meta, []annot.Label{"car"}, nil, Config{}); err == nil {
+		t.Error("missing detector accepted")
+	}
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	if _, err := Video(det, nil, scene.Truth.Meta, nil, []annot.Label{"run"}, Config{}); err == nil {
+		t.Error("missing recognizer accepted")
+	}
+	short := scene.Truth.Meta
+	short.Frames = 10
+	if _, err := Video(det, rec, short, []annot.Label{"car"}, nil, Config{}); err == nil {
+		t.Error("sub-clip video accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.MaskRCNN, detect.I3D)
+	dir := filepath.Join(t.TempDir(), "vid")
+	if err := vd.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Name != vd.Meta.Name || got.Meta.Frames != vd.Meta.Frames || got.Meta.Geom != vd.Meta.Geom {
+		t.Fatalf("meta lost: %+v vs %+v", got.Meta, vd.Meta)
+	}
+	if got.TracksOpened != vd.TracksOpened {
+		t.Fatalf("tracks lost: %d vs %d", got.TracksOpened, vd.TracksOpened)
+	}
+	for l, s := range vd.ObjSeqs {
+		if !got.ObjSeqs[l].Equal(s) {
+			t.Fatalf("ObjSeqs[%s] = %v, want %v", l, got.ObjSeqs[l], s)
+		}
+	}
+	for l, s := range vd.ActSeqs {
+		if !got.ActSeqs[l].Equal(s) {
+			t.Fatalf("ActSeqs[%s] lost", l)
+		}
+	}
+	// Table contents agree (spot check via sorted and random access).
+	for l, mem := range vd.ObjTables {
+		file := got.ObjTables[l]
+		if file == nil || file.Len() != mem.Len() {
+			t.Fatalf("table %s length mismatch", l)
+		}
+		for i := 0; i < mem.Len(); i += 7 {
+			a, _ := mem.SortedRow(i, nil)
+			b, err := file.SortedRow(i, nil)
+			if err != nil || a != b {
+				t.Fatalf("table %s row %d: %v vs %v (%v)", l, i, a, b, err)
+			}
+		}
+	}
+}
+
+func TestRepositoryLifecycle(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("vid1", vd); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("vid1", vd); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if got := repo.Names(); len(got) != 1 || got[0] != "vid1" {
+		t.Fatalf("Names = %v", got)
+	}
+	if _, ok := repo.Video("vid1"); !ok {
+		t.Fatal("video not found after add")
+	}
+	// Reopen from disk.
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := repo2.Video("vid1")
+	if !ok {
+		t.Fatal("video lost after reopen")
+	}
+	if got.Meta.Name != vd.Meta.Name {
+		t.Fatalf("reloaded meta = %+v", got.Meta)
+	}
+	if err := repo2.Remove("vid1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo2.Remove("vid1"); err == nil {
+		t.Error("double remove accepted")
+	}
+	repo3, _ := OpenRepository(dir)
+	if len(repo3.Names()) != 0 {
+		t.Fatal("remove did not persist")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("wine glass/??"); got != "wine_glass___" {
+		t.Fatalf("sanitize = %q", got)
+	}
+	if got := sanitize("ok_name-9"); got != "ok_name-9" {
+		t.Fatalf("sanitize mangled safe name: %q", got)
+	}
+}
+
+func TestIngestDeterministic(t *testing.T) {
+	scene := ingestScene(t)
+	a := ingestIt(t, scene, detect.MaskRCNN, detect.I3D)
+	b := ingestIt(t, scene, detect.MaskRCNN, detect.I3D)
+	for l := range a.ObjSeqs {
+		if !a.ObjSeqs[l].Equal(b.ObjSeqs[l]) {
+			t.Fatalf("ingestion not deterministic for %s", l)
+		}
+	}
+	if a.TracksOpened != b.TracksOpened {
+		t.Fatal("tracker nondeterministic")
+	}
+}
+
+func TestParallelIngestMatchesSerial(t *testing.T) {
+	scene := ingestScene(t)
+	mk := func(workers int) *VideoData {
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		vd, err := Video(det, rec, scene.Truth.Meta,
+			scene.Truth.ObjectLabels(), scene.Truth.ActionLabels(), Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vd
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	if serial.TracksOpened != parallel.TracksOpened {
+		t.Fatalf("tracker diverged: %d vs %d", serial.TracksOpened, parallel.TracksOpened)
+	}
+	for l, s := range serial.ObjSeqs {
+		if !parallel.ObjSeqs[l].Equal(s) {
+			t.Fatalf("ObjSeqs[%s] diverged", l)
+		}
+	}
+	for l, s := range serial.ActSeqs {
+		if !parallel.ActSeqs[l].Equal(s) {
+			t.Fatalf("ActSeqs[%s] diverged", l)
+		}
+	}
+	for l, st := range serial.ObjTables {
+		pt := parallel.ObjTables[l]
+		if st.Len() != pt.Len() {
+			t.Fatalf("table %s length diverged", l)
+		}
+		for i := 0; i < st.Len(); i++ {
+			a, _ := st.SortedRow(i, nil)
+			b, _ := pt.SortedRow(i, nil)
+			if a != b {
+				t.Fatalf("table %s row %d diverged: %v vs %v", l, i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// mergeScenes builds two small videos with the same labels in different
+// places.
+func mergeScenes(t *testing.T) (a, b *VideoData) {
+	t.Helper()
+	mk := func(seed int64, actShots, objFrames interval.Set) *VideoData {
+		meta := video.Meta{Name: "v", Frames: 10000, Geom: video.DefaultGeometry()} // 200 clips
+		truth := annot.NewVideo(meta)
+		truth.AddAction("run", actShots)
+		truth.AddObject("car", objFrames)
+		scene := &detect.Scene{Truth: truth, Seed: seed}
+		det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+		vd, err := Video(det, rec, meta, truth.ObjectLabels(), truth.ActionLabels(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vd
+	}
+	a = mk(1, interval.Set{{Lo: 100, Hi: 199}}, interval.Set{{Lo: 1000, Hi: 1999}}) // clips 20..39
+	b = mk(2, interval.Set{{Lo: 500, Hi: 599}}, interval.Set{{Lo: 5000, Hi: 5999}}) // clips 100..119
+	return a, b
+}
+
+func TestMergeNamespacesClips(t *testing.T) {
+	a, b := mergeScenes(t)
+	m, err := Merge([]*VideoData{a, b}, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Spans) != 2 || m.Spans[0].Base != 0 || m.Spans[1].Base != 201 {
+		t.Fatalf("spans = %+v", m.Spans)
+	}
+	q := annot.Query{Action: "run", Objects: []annot.Label{"car"}}
+	pq, err := m.CandidateSequences(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A's match at clips 20..39, B's at 100..119 offset by 201.
+	want := interval.Set{{Lo: 20, Hi: 39}, {Lo: 301, Hi: 320}}
+	if !pq.Equal(want) {
+		t.Fatalf("merged Pq = %v, want %v", pq, want)
+	}
+	// Locate maps back.
+	name, local, ok := m.Locate(305)
+	if !ok || name != "B" || local != 104 {
+		t.Fatalf("Locate(305) = %s,%d,%v", name, local, ok)
+	}
+	vidName, localSeq, ok := m.LocateSeq(interval.Interval{Lo: 301, Hi: 320})
+	if !ok || vidName != "B" || localSeq != (interval.Interval{Lo: 100, Hi: 119}) {
+		t.Fatalf("LocateSeq = %s %v %v", vidName, localSeq, ok)
+	}
+	if _, _, ok := m.LocateSeq(interval.Interval{Lo: 150, Hi: 250}); ok {
+		t.Fatal("cross-video sequence located")
+	}
+	if _, _, ok := m.Locate(200); ok {
+		t.Fatal("gap clip located")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a, b := mergeScenes(t)
+	if _, err := Merge(nil, nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := Merge([]*VideoData{a}, []string{"x", "y"}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	b.Meta.Geom.ShotLen = 20
+	if _, err := Merge([]*VideoData{a, b}, []string{"A", "B"}); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestMergeScoresPreserved(t *testing.T) {
+	a, b := mergeScenes(t)
+	m, err := Merge([]*VideoData{a, b}, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random access in B's span must return B's local score.
+	local, okLocal, _ := b.ObjTables["car"].RandomGet(105, nil)
+	merged, okMerged, _ := m.ObjTables["car"].RandomGet(105+201, nil)
+	if okLocal != okMerged || local != merged {
+		t.Fatalf("merged score %v/%v vs local %v/%v", merged, okMerged, local, okLocal)
+	}
+}

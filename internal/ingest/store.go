@@ -1,0 +1,229 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vaq/internal/annot"
+	"vaq/internal/interval"
+	"vaq/internal/tables"
+	"vaq/internal/video"
+)
+
+// Repository directory layout, one directory per video:
+//
+//	<dir>/<video>/manifest.json          meta + individual sequences
+//	<dir>/<video>/obj_<label>.tbl        object clip score tables
+//	<dir>/<video>/act_<label>.tbl        action clip score tables
+//
+// Adding a video is writing its directory; removing it is deleting the
+// directory — the per-video isolation the paper's table design enables.
+
+// manifest is the JSON-serialized part of VideoData.
+type manifest struct {
+	Name    string                    `json:"name"`
+	Frames  int                       `json:"frames"`
+	Geom    video.Geometry            `json:"geometry"`
+	ObjSeqs map[string][]intervalJSON `json:"object_sequences"`
+	ActSeqs map[string][]intervalJSON `json:"action_sequences"`
+	Tracks  int                       `json:"tracks_opened"`
+}
+
+type intervalJSON struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+func seqsToJSON(m map[annot.Label]interval.Set) map[string][]intervalJSON {
+	out := make(map[string][]intervalJSON, len(m))
+	for l, s := range m {
+		ivs := make([]intervalJSON, len(s))
+		for i, iv := range s {
+			ivs[i] = intervalJSON{Lo: iv.Lo, Hi: iv.Hi}
+		}
+		out[string(l)] = ivs
+	}
+	return out
+}
+
+func seqsFromJSON(m map[string][]intervalJSON) map[annot.Label]interval.Set {
+	out := make(map[annot.Label]interval.Set, len(m))
+	for l, ivs := range m {
+		s := make([]interval.Interval, len(ivs))
+		for i, iv := range ivs {
+			s[i] = interval.Interval{Lo: iv.Lo, Hi: iv.Hi}
+		}
+		out[annot.Label(l)] = interval.Normalize(s)
+	}
+	return out
+}
+
+// Save persists the video's metadata under dir (created if needed).
+// Tables must be MemTables (fresh from Video); loading them back yields
+// FileTables that read rows from disk.
+func (vd *VideoData) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ingest: mkdir %s: %w", dir, err)
+	}
+	man := manifest{
+		Name:    vd.Meta.Name,
+		Frames:  vd.Meta.Frames,
+		Geom:    vd.Meta.Geom,
+		ObjSeqs: seqsToJSON(vd.ObjSeqs),
+		ActSeqs: seqsToJSON(vd.ActSeqs),
+		Tracks:  vd.TracksOpened,
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ingest: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
+		return fmt.Errorf("ingest: write manifest: %w", err)
+	}
+	write := func(prefix string, m map[annot.Label]tables.Table) error {
+		for l, t := range m {
+			mt, ok := t.(*tables.MemTable)
+			if !ok {
+				return fmt.Errorf("ingest: table %q is not in memory; re-ingest before saving", l)
+			}
+			path := filepath.Join(dir, prefix+sanitize(string(l))+".tbl")
+			if err := tables.WriteFile(path, string(l), mt.Rows()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("obj_", vd.ObjTables); err != nil {
+		return err
+	}
+	return write("act_", vd.ActTables)
+}
+
+// sanitize keeps labels filesystem-safe.
+func sanitize(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+// Load reads a video's metadata back from dir. Tables come back
+// file-backed: every row accessed at query time is a disk read.
+func Load(dir string) (*VideoData, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, fmt.Errorf("ingest: parse manifest: %w", err)
+	}
+	vd := &VideoData{
+		Meta:         video.Meta{Name: man.Name, Frames: man.Frames, Geom: man.Geom},
+		ObjTables:    map[annot.Label]tables.Table{},
+		ActTables:    map[annot.Label]tables.Table{},
+		ObjSeqs:      seqsFromJSON(man.ObjSeqs),
+		ActSeqs:      seqsFromJSON(man.ActSeqs),
+		TracksOpened: man.Tracks,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".tbl") {
+			continue
+		}
+		t, err := tables.OpenFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(name, "obj_"):
+			vd.ObjTables[annot.Label(t.Label())] = t
+		case strings.HasPrefix(name, "act_"):
+			vd.ActTables[annot.Label(t.Label())] = t
+		default:
+			t.Close()
+		}
+	}
+	return vd, nil
+}
+
+// Repository manages a directory of ingested videos.
+type Repository struct {
+	dir    string
+	videos map[string]*VideoData
+}
+
+// OpenRepository loads every video directory under dir (creating dir if
+// absent).
+func OpenRepository(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: mkdir %s: %w", dir, err)
+	}
+	r := &Repository{dir: dir, videos: map[string]*VideoData{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read repository: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		vd, err := Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: load video %s: %w", e.Name(), err)
+		}
+		r.videos[e.Name()] = vd
+	}
+	return r, nil
+}
+
+// Add ingest-saves a video into the repository and registers it.
+func (r *Repository) Add(name string, vd *VideoData) error {
+	if _, exists := r.videos[name]; exists {
+		return fmt.Errorf("ingest: video %q already in repository", name)
+	}
+	if err := vd.Save(filepath.Join(r.dir, sanitize(name))); err != nil {
+		return err
+	}
+	r.videos[name] = vd
+	return nil
+}
+
+// Remove deletes a video's metadata from the repository.
+func (r *Repository) Remove(name string) error {
+	if _, exists := r.videos[name]; !exists {
+		return fmt.Errorf("ingest: video %q not in repository", name)
+	}
+	if err := os.RemoveAll(filepath.Join(r.dir, sanitize(name))); err != nil {
+		return err
+	}
+	delete(r.videos, name)
+	return nil
+}
+
+// Video returns one video's metadata.
+func (r *Repository) Video(name string) (*VideoData, bool) {
+	vd, ok := r.videos[name]
+	return vd, ok
+}
+
+// Names lists the repository's videos in sorted order.
+func (r *Repository) Names() []string {
+	out := make([]string, 0, len(r.videos))
+	for n := range r.videos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

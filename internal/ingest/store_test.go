@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vaq/internal/detect"
+)
+
+func TestLoadMissingManifest(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestLoadIgnoresForeignFiles(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	dir := filepath.Join(t.TempDir(), "v")
+	if err := vd.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated files must not break loading.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("foreign file broke load: %v", err)
+	}
+}
+
+func TestLoadCorruptTable(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	dir := filepath.Join(t.TempDir(), "v")
+	if err := vd.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "obj_car.tbl"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt table accepted")
+	}
+}
+
+func TestSaveRejectsFileBackedTables(t *testing.T) {
+	scene := ingestScene(t)
+	vd := ingestIt(t, scene, detect.IdealObject, detect.IdealAction)
+	dir := filepath.Join(t.TempDir(), "v")
+	if err := vd.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-saving a file-backed VideoData is an error, not silent data loss.
+	if err := loaded.Save(filepath.Join(t.TempDir(), "w")); err == nil {
+		t.Fatal("file-backed save accepted")
+	}
+}
+
+func TestOpenRepositorySkipsFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Names()) != 0 {
+		t.Fatalf("stray file became a video: %v", repo.Names())
+	}
+}

@@ -1,0 +1,56 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n int) (Set, Set) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() Set {
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Intn(1 << 20)
+			ivs[i] = Interval{Lo: lo, Hi: lo + rng.Intn(100)}
+		}
+		return Normalize(ivs)
+	}
+	return mk(), mk()
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x, y := benchSets(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ivs := make([]Interval, 1000)
+	for i := range ivs {
+		lo := rng.Intn(1 << 20)
+		ivs[i] = Interval{Lo: lo, Hi: lo + rng.Intn(100)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(ivs)
+	}
+}
+
+func BenchmarkSubtract(b *testing.B) {
+	x, y := benchSets(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Subtract(y)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	x, _ := benchSets(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Contains(i % (1 << 20))
+	}
+}

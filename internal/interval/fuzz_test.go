@@ -1,0 +1,48 @@
+package interval
+
+import "testing"
+
+// FuzzSetOps checks the algebra's invariants on arbitrary inputs:
+// results normalized, intersection within both operands, subtraction
+// disjoint from the subtrahend.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 15}, []byte{3, 7})
+	f.Add([]byte{}, []byte{1, 1, 2, 2, 3, 3})
+	f.Add([]byte{255, 0}, []byte{0, 255})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		x := setFromBytes(a)
+		y := setFromBytes(b)
+		inter := x.Intersect(y)
+		if !inter.IsNormalized() {
+			t.Fatalf("Intersect not normalized: %v", inter)
+		}
+		if got := inter.Subtract(x); got.Len() != 0 {
+			t.Fatalf("Intersect escapes x: %v", got)
+		}
+		if got := inter.Subtract(y); got.Len() != 0 {
+			t.Fatalf("Intersect escapes y: %v", got)
+		}
+		diff := x.Subtract(y)
+		if !diff.IsNormalized() {
+			t.Fatalf("Subtract not normalized: %v", diff)
+		}
+		if got := diff.Intersect(y); got.Len() != 0 {
+			t.Fatalf("Subtract retains y positions: %v", got)
+		}
+		union := x.Union(y)
+		if union.Len() != x.Len()+y.Len()-inter.Len() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+	})
+}
+
+// setFromBytes interprets consecutive byte pairs as [lo, lo+span]
+// intervals.
+func setFromBytes(b []byte) Set {
+	var ivs []Interval
+	for i := 0; i+1 < len(b); i += 2 {
+		lo := int(b[i]) * 3
+		ivs = append(ivs, Interval{Lo: lo, Hi: lo + int(b[i+1])%32})
+	}
+	return Normalize(ivs)
+}

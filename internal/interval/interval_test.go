@@ -1,0 +1,244 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int
+	}{
+		{Interval{0, 0}, 1},
+		{Interval{3, 7}, 5},
+		{Interval{5, 4}, 0},
+		{Interval{-2, 2}, 5},
+	}
+	for _, c := range cases {
+		if got := c.iv.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIOU(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want float64
+	}{
+		{Interval{0, 9}, Interval{0, 9}, 1.0},
+		{Interval{0, 9}, Interval{10, 19}, 0.0},
+		{Interval{0, 9}, Interval{5, 14}, 5.0 / 15.0},
+		{Interval{0, 4}, Interval{0, 9}, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.a.IOU(c.b); got != c.want {
+			t.Errorf("IOU(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.IOU(c.a); got != c.want {
+			t.Errorf("IOU not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestNormalizeMergesAdjacent(t *testing.T) {
+	got := Normalize([]Interval{{5, 7}, {0, 2}, {3, 4}, {10, 12}, {11, 15}})
+	want := Set{{0, 7}, {10, 15}}
+	if !got.Equal(want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeDropsEmpty(t *testing.T) {
+	got := Normalize([]Interval{{5, 4}, {9, 2}})
+	if len(got) != 0 {
+		t.Fatalf("Normalize of empty intervals = %v, want empty", got)
+	}
+}
+
+func TestFromIndicators(t *testing.T) {
+	cases := []struct {
+		in   []bool
+		want Set
+	}{
+		{nil, nil},
+		{[]bool{false, false}, nil},
+		{[]bool{true}, Set{{0, 0}}},
+		{[]bool{true, true, false, true}, Set{{0, 1}, {3, 3}}},
+		{[]bool{false, true, true, true}, Set{{1, 3}}},
+	}
+	for _, c := range cases {
+		got := FromIndicators(c.in)
+		if !got.Equal(c.want) {
+			t.Errorf("FromIndicators(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := Set{{0, 10}, {20, 30}}
+	b := Set{{5, 25}}
+	got := a.Intersect(b)
+	want := Set{{5, 10}, {20, 25}}
+	if !got.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectAllMatchesPairwise(t *testing.T) {
+	a := Set{{0, 100}}
+	b := Set{{10, 40}, {60, 90}}
+	c := Set{{30, 70}}
+	got := IntersectAll(a, b, c)
+	want := Set{{30, 40}, {60, 70}}
+	if !got.Equal(want) {
+		t.Fatalf("IntersectAll = %v, want %v", got, want)
+	}
+	if out := IntersectAll(); out != nil {
+		t.Fatalf("IntersectAll() = %v, want nil", out)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := Set{{0, 10}}
+	b := Set{{3, 5}, {8, 20}}
+	got := a.Subtract(b)
+	want := Set{{0, 2}, {6, 7}}
+	if !got.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", got, want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	frames := Set{{0, 49}, {100, 149}} // two 50-frame clips worth
+	clips := frames.Scale(50)
+	want := Set{{0, 0}, {2, 2}}
+	if !clips.Equal(want) {
+		t.Fatalf("Scale = %v, want %v", clips, want)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Set{{2, 4}, {8, 9}}
+	for _, x := range []int{2, 3, 4, 8, 9} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []int{0, 1, 5, 7, 10} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+}
+
+// randomSet builds a normalized random set over [0, 200) for property
+// tests.
+func randomSet(rng *rand.Rand) Set {
+	n := rng.Intn(8)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := rng.Intn(200)
+		ivs[i] = Interval{Lo: lo, Hi: lo + rng.Intn(20)}
+	}
+	return Normalize(ivs)
+}
+
+// pointSet converts a Set into a membership map, the oracle representation.
+func pointSet(s Set) map[int]bool {
+	m := map[int]bool{}
+	for _, p := range s.Points() {
+		m[p] = true
+	}
+	return m
+}
+
+func TestPropIntersectMatchesPointwiseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomSet(rng), randomSet(rng)
+		got := pointSet(a.Intersect(b))
+		want := map[int]bool{}
+		pb := pointSet(b)
+		for p := range pointSet(a) {
+			if pb[p] {
+				want[p] = true
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Intersect mismatch\n a=%v\n b=%v", trial, a, b)
+		}
+		if !a.Intersect(b).IsNormalized() {
+			t.Fatalf("trial %d: Intersect result not normalized", trial)
+		}
+	}
+}
+
+func TestPropSubtractMatchesPointwiseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomSet(rng), randomSet(rng)
+		got := pointSet(a.Subtract(b))
+		want := map[int]bool{}
+		pb := pointSet(b)
+		for p := range pointSet(a) {
+			if !pb[p] {
+				want[p] = true
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Subtract mismatch\n a=%v\n b=%v\n got=%v", trial, a, b, a.Subtract(b))
+		}
+	}
+}
+
+func TestPropUnionIntersectDeMorganLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomSet(rng), randomSet(rng)
+		// |A ∪ B| = |A| + |B| − |A ∩ B|
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			t.Fatalf("trial %d: inclusion-exclusion violated for %v, %v", trial, a, b)
+		}
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(raw []int16) bool {
+		ivs := make([]Interval, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			ivs = append(ivs, Interval{Lo: int(raw[i]), Hi: int(raw[i+1])})
+		}
+		s := Normalize(ivs)
+		return s.IsNormalized() && s.Equal(Normalize(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomSet(rng), randomSet(rng)
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatalf("Intersect not commutative for %v, %v", a, b)
+		}
+	}
+}
+
+func TestQuickIntersectWithSelfIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		a := randomSet(rng)
+		if !a.Intersect(a).Equal(a) {
+			t.Fatalf("A ∩ A != A for %v", a)
+		}
+		if got := a.Subtract(a); len(got) != 0 {
+			t.Fatalf("A − A = %v, want empty", got)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package metrics implements the evaluation measures of §5.1: sequence-
+// level F1 with IOU matching at threshold η, frame-level F1, and
+// detector false-positive rates with and without the query algorithm's
+// filtering.
+package metrics
+
+import "vaq/internal/interval"
+
+// DefaultIOUThreshold is the η = 0.5 matching threshold used throughout
+// the paper's evaluation.
+const DefaultIOUThreshold = 0.5
+
+// PRF bundles precision, recall and F1.
+type PRF struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN            int
+}
+
+func prf(tp, fp, fn int) PRF {
+	out := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		out.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		out.Recall = float64(tp) / float64(tp+fn)
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// SequenceF1 matches predicted result sequences against ground-truth
+// sequences: a prediction is a true positive iff its IOU with some
+// ground-truth sequence is at least eta; a ground-truth sequence
+// matched by no prediction is a false negative (§5.1). Matching is
+// one-to-one greedy in decreasing IOU.
+func SequenceF1(pred, truth interval.Set, eta float64) PRF {
+	type cand struct {
+		p, t int
+		iou  float64
+	}
+	var cands []cand
+	for pi, p := range pred {
+		for ti, t := range truth {
+			if iou := p.IOU(t); iou >= eta {
+				cands = append(cands, cand{pi, ti, iou})
+			}
+		}
+	}
+	// Greedy one-to-one matching in decreasing IOU.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].iou > cands[j-1].iou; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	usedP := make([]bool, len(pred))
+	usedT := make([]bool, len(truth))
+	tp := 0
+	for _, c := range cands {
+		if usedP[c.p] || usedT[c.t] {
+			continue
+		}
+		usedP[c.p] = true
+		usedT[c.t] = true
+		tp++
+	}
+	return prf(tp, len(pred)-tp, len(truth)-tp)
+}
+
+// UnitF1 compares coverage position by position (frame-level F1 of
+// Figure 5 when both sets are expressed in frames). total is the
+// universe size (positions 0..total−1).
+func UnitF1(pred, truth interval.Set, total int) PRF {
+	window := interval.Set{{Lo: 0, Hi: total - 1}}
+	p := pred.Intersect(window)
+	t := truth.Intersect(window)
+	tp := p.Intersect(t).Len()
+	return prf(tp, p.Len()-tp, t.Len()-tp)
+}
+
+// FPR returns the false-positive rate of a per-unit indicator stream
+// against truth, evaluated over the units covered by region: of the
+// region's units where truth is absent, the fraction predicted positive.
+// Pass the full stream extent as region for the raw model FPR ("w/o
+// SVAQD", Table 5) and the algorithm's reported sequences for the
+// filtered rate ("w/ SVAQD").
+func FPR(pred []bool, truth interval.Set, region interval.Set) float64 {
+	fp, tn := 0, 0
+	for _, iv := range region {
+		for x := iv.Lo; x <= iv.Hi && x < len(pred); x++ {
+			if truth.Contains(x) {
+				continue
+			}
+			if pred[x] {
+				fp++
+			} else {
+				tn++
+			}
+		}
+	}
+	if fp+tn == 0 {
+		return 0
+	}
+	return float64(fp) / float64(fp+tn)
+}
+
+// RetainedFPFraction returns the fraction of the stream's false-positive
+// predictions that fall inside the reported result sequences — the
+// complement of the noise the algorithm eliminated (Table 5's
+// "effectiveness of eliminating detection noise" view).
+func RetainedFPFraction(pred []bool, truth interval.Set, reported interval.Set) float64 {
+	total, retained := 0, 0
+	for x, p := range pred {
+		if !p || truth.Contains(x) {
+			continue
+		}
+		total++
+		if reported.Contains(x) {
+			retained++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(retained) / float64(total)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"vaq/internal/interval"
+)
+
+func TestSequenceF1Perfect(t *testing.T) {
+	s := interval.Set{{Lo: 0, Hi: 9}, {Lo: 20, Hi: 29}}
+	got := SequenceF1(s, s, 0.5)
+	if got.F1 != 1 || got.Precision != 1 || got.Recall != 1 {
+		t.Fatalf("perfect match = %+v", got)
+	}
+}
+
+func TestSequenceF1Empty(t *testing.T) {
+	truth := interval.Set{{Lo: 0, Hi: 9}}
+	got := SequenceF1(nil, truth, 0.5)
+	if got.F1 != 0 || got.Recall != 0 || got.FN != 1 {
+		t.Fatalf("empty prediction = %+v", got)
+	}
+	got = SequenceF1(truth, nil, 0.5)
+	if got.F1 != 0 || got.Precision != 0 || got.FP != 1 {
+		t.Fatalf("empty truth = %+v", got)
+	}
+	got = SequenceF1(nil, nil, 0.5)
+	if got.F1 != 0 || got.TP != 0 {
+		t.Fatalf("both empty = %+v", got)
+	}
+}
+
+func TestSequenceF1IOUThreshold(t *testing.T) {
+	truth := interval.Set{{Lo: 0, Hi: 9}}
+	// IOU 5/15 = 0.33 < 0.5: no match.
+	pred := interval.Set{{Lo: 5, Hi: 14}}
+	if got := SequenceF1(pred, truth, 0.5); got.TP != 0 {
+		t.Fatalf("sub-threshold IOU matched: %+v", got)
+	}
+	// IOU 8/12 = 0.67 ≥ 0.5: match.
+	pred = interval.Set{{Lo: 2, Hi: 11}}
+	if got := SequenceF1(pred, truth, 0.5); got.TP != 1 {
+		t.Fatalf("above-threshold IOU not matched: %+v", got)
+	}
+}
+
+func TestSequenceF1OneToOne(t *testing.T) {
+	truth := interval.Set{{Lo: 0, Hi: 19}}
+	// Two predictions overlap the same truth: only one may match.
+	pred := interval.Set{{Lo: 0, Hi: 13}, {Lo: 15, Hi: 19}}
+	got := SequenceF1(pred, truth, 0.5)
+	if got.TP != 1 || got.FP != 1 || got.FN != 0 {
+		t.Fatalf("one-to-one violated: %+v", got)
+	}
+}
+
+func TestSequenceF1GreedyPrefersBestIOU(t *testing.T) {
+	truth := interval.Set{{Lo: 0, Hi: 9}, {Lo: 12, Hi: 21}}
+	pred := interval.Set{{Lo: 0, Hi: 9}, {Lo: 11, Hi: 21}}
+	got := SequenceF1(pred, truth, 0.5)
+	if got.TP != 2 {
+		t.Fatalf("both pairs should match: %+v", got)
+	}
+	if got.F1 != 1 {
+		t.Fatalf("F1 = %v", got.F1)
+	}
+}
+
+func TestUnitF1(t *testing.T) {
+	truth := interval.Set{{Lo: 0, Hi: 9}}
+	pred := interval.Set{{Lo: 5, Hi: 14}}
+	got := UnitF1(pred, truth, 100)
+	// TP=5, FP=5, FN=5 → P=R=0.5 → F1=0.5.
+	if math.Abs(got.F1-0.5) > 1e-12 {
+		t.Fatalf("UnitF1 = %+v", got)
+	}
+	// Window clamps predictions outside the universe.
+	got = UnitF1(interval.Set{{Lo: 90, Hi: 200}}, interval.Set{{Lo: 90, Hi: 99}}, 100)
+	if got.F1 != 1 {
+		t.Fatalf("clamped UnitF1 = %+v", got)
+	}
+}
+
+func TestFPR(t *testing.T) {
+	pred := []bool{true, false, true, true, false, false}
+	truth := interval.Set{{Lo: 2, Hi: 3}} // positions 2,3 truly positive
+	full := interval.Set{{Lo: 0, Hi: 5}}
+	// Truth-absent positions: 0,1,4,5; predicted positive among them: 0.
+	got := FPR(pred, truth, full)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("FPR = %v, want 0.25", got)
+	}
+	// Restricted region 2..4: truth-absent = {4}, predicted = false.
+	got = FPR(pred, truth, interval.Set{{Lo: 2, Hi: 4}})
+	if got != 0 {
+		t.Fatalf("region FPR = %v", got)
+	}
+	// Empty region.
+	if FPR(pred, truth, nil) != 0 {
+		t.Fatal("empty region should be 0")
+	}
+}
+
+func TestRetainedFPFraction(t *testing.T) {
+	pred := []bool{true, true, false, true}
+	truth := interval.Set{{Lo: 1, Hi: 1}}
+	// FPs at 0 and 3. Reported region covers 3 only.
+	got := RetainedFPFraction(pred, truth, interval.Set{{Lo: 2, Hi: 3}})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("retained = %v", got)
+	}
+	if RetainedFPFraction([]bool{false}, truth, nil) != 0 {
+		t.Fatal("no FPs should retain 0")
+	}
+}
+
+func TestPRFCounts(t *testing.T) {
+	got := prf(3, 1, 2)
+	if got.TP != 3 || got.FP != 1 || got.FN != 2 {
+		t.Fatalf("counts lost: %+v", got)
+	}
+	if math.Abs(got.Precision-0.75) > 1e-12 || math.Abs(got.Recall-0.6) > 1e-12 {
+		t.Fatalf("P/R = %v/%v", got.Precision, got.Recall)
+	}
+}

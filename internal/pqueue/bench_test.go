@@ -1,0 +1,39 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	const n = 1024
+	h := New(n, Min)
+	rng := rand.New(rand.NewSource(3))
+	prios := make([]float64, n)
+	for i := range prios {
+		prios[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % n
+		h.Push(id, prios[id])
+		if h.Len() == n {
+			for h.Len() > 0 {
+				h.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	const n = 1024
+	h := New(n, Min)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		h.Push(i, rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Update(i%n, float64(i%911))
+	}
+}

@@ -1,0 +1,41 @@
+package rvaq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTopK measures one full RVAQ execution over a 2000-clip
+// in-memory workload with 20 candidate sequences.
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vd, q := synthVideoData(rng, 2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TopK(vd, q, 5, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPqTraverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	vd, q := synthVideoData(rng, 2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PqTraverse(vd, q, 5, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	vd, q := synthVideoData(rng, 2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FA(vd, q, 5, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

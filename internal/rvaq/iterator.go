@@ -1,0 +1,185 @@
+package rvaq
+
+import (
+	"fmt"
+
+	"vaq/internal/score"
+	"vaq/internal/tables"
+)
+
+// tbClip is the TBClip iterator of §4.4 (Algorithm 5). Each Step
+// performs one round of sorted access in parallel over all query tables
+// from the top and (symmetrically) from the bottom, fully scores every
+// newly seen, non-skipped clip via random accesses, and maintains the
+// frontier bounds:
+//
+//   - τtop = g over the tables' current top-frontier scores: an upper
+//     bound on the score of every clip never yet seen/scored, and
+//   - τbtm = g over the bottom-frontier scores: the matching lower
+//     bound.
+//
+// (Every unseen clip sits, in each table, strictly between the two
+// frontiers, so g's monotonicity gives both bounds; clips of P_q appear
+// in every query table because a positive clip indicator implies a
+// positive clip score.)
+//
+// The iterator also reports c_top / c_btm — the highest- and lowest-
+// scoring clips among those scored and not yet consumed — matching
+// Algorithm 5's return values.
+type tbClip struct {
+	act     tables.Table   // nil when the query has no action predicate
+	objs    []tables.Table // object tables in query order
+	fns     score.Functions
+	counter *tables.AccessCounter
+	skip    func(cid int32) bool // shared skip predicate (C_skip, §4.3)
+
+	stampTop, stampBtm int
+	frontTop, frontBtm []float64 // per-table frontier scores (act first if present)
+
+	scores map[int32]float64 // exact clip scores, by random access
+	// onScored is invoked exactly once per clip when its exact score
+	// becomes known (RVAQ attributes it to the clip's sequence).
+	onScored func(cid int32, s float64)
+}
+
+func newTBClip(act tables.Table, objs []tables.Table, fns score.Functions, counter *tables.AccessCounter, skip func(int32) bool, onScored func(int32, float64)) *tbClip {
+	nt := len(objs)
+	if act != nil {
+		nt++
+	}
+	it := &tbClip{
+		act: act, objs: objs, fns: fns, counter: counter, skip: skip,
+		frontTop: make([]float64, nt),
+		frontBtm: make([]float64, nt),
+		scores:   map[int32]float64{},
+		onScored: onScored,
+	}
+	return it
+}
+
+// allTables yields the tables in canonical order: action first (if any),
+// then objects.
+func (it *tbClip) allTables() []tables.Table {
+	out := make([]tables.Table, 0, len(it.objs)+1)
+	if it.act != nil {
+		out = append(out, it.act)
+	}
+	return append(out, it.objs...)
+}
+
+// Exhausted reports whether both passes have consumed every row of every
+// table (all clips with any non-zero score are scored).
+func (it *tbClip) Exhausted() bool {
+	for _, t := range it.allTables() {
+		if it.stampTop+it.stampBtm < t.Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances both passes by one row per table and returns the current
+// frontier bounds. Newly seen clips that are not skipped are scored
+// exactly (random access to every query table).
+func (it *tbClip) Step() (tauTop, tauBtm float64, err error) {
+	ts := it.allTables()
+	// Top pass.
+	for i, t := range ts {
+		if it.stampTop < t.Len() && it.stampTop+it.stampBtm < t.Len() {
+			row, err := t.SortedRow(it.stampTop, it.counter)
+			if err != nil {
+				return 0, 0, err
+			}
+			it.frontTop[i] = row.Score
+			if err := it.observe(row.CID); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			it.frontTop[i] = 0 // table exhausted: every remaining clip is absent from it
+		}
+	}
+	// Bottom pass.
+	for i, t := range ts {
+		if it.stampBtm < t.Len() && it.stampTop+it.stampBtm < t.Len() {
+			row, err := t.ReverseRow(it.stampBtm, it.counter)
+			if err != nil {
+				return 0, 0, err
+			}
+			it.frontBtm[i] = row.Score
+			if err := it.observe(row.CID); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			it.frontBtm[i] = 0
+		}
+	}
+	it.stampTop++
+	it.stampBtm++
+	return it.tau(it.frontTop), it.tau(it.frontBtm), nil
+}
+
+// tau combines per-table frontier scores with g. Queries without an
+// action predicate evaluate g with a neutral action score of 1 (the
+// multiplicative identity of the default scheme), consistently with
+// ScoreClip.
+func (it *tbClip) tau(front []float64) float64 {
+	i := 0
+	actScore := 1.0
+	if it.act != nil {
+		actScore = front[0]
+		i = 1
+	}
+	return it.fns.G.CombineClip(actScore, front[i:])
+}
+
+// observe fully scores a newly seen clip unless it is skipped or already
+// known.
+func (it *tbClip) observe(cid int32) error {
+	if it.skip(cid) {
+		return nil
+	}
+	if _, known := it.scores[cid]; known {
+		return nil
+	}
+	s, err := it.ScoreClip(cid)
+	if err != nil {
+		return err
+	}
+	it.scores[cid] = s
+	if it.onScored != nil {
+		it.onScored(cid, s)
+	}
+	return nil
+}
+
+// ScoreClip computes the exact clip score S_q^(c) (Equation 9) with one
+// random access per query table.
+func (it *tbClip) ScoreClip(cid int32) (float64, error) {
+	actScore := 1.0 // neutral when the query has no action predicate
+	if it.act != nil {
+		s, _, err := it.act.RandomGet(cid, it.counter)
+		if err != nil {
+			return 0, err
+		}
+		actScore = s
+	}
+	objScores := make([]float64, len(it.objs))
+	for i, t := range it.objs {
+		s, _, err := t.RandomGet(cid, it.counter)
+		if err != nil {
+			return 0, err
+		}
+		objScores[i] = s
+	}
+	s := it.fns.G.CombineClip(actScore, objScores)
+	if s < 0 {
+		return 0, fmt.Errorf("rvaq: clip %d has negative score %v; the bound maintenance requires non-negative scores", cid, s)
+	}
+	return s, nil
+}
+
+// Known returns the exact score of cid if it has been computed.
+func (it *tbClip) Known(cid int32) (float64, bool) {
+	s, ok := it.scores[cid]
+	return s, ok
+}

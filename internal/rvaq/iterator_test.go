@@ -1,0 +1,129 @@
+package rvaq
+
+import (
+	"testing"
+
+	"vaq/internal/score"
+	"vaq/internal/tables"
+)
+
+func iterTables() (tables.Table, []tables.Table) {
+	act := tables.NewMemTable("a", []tables.Row{
+		{CID: 0, Score: 9}, {CID: 1, Score: 5}, {CID: 2, Score: 1},
+	})
+	obj := tables.NewMemTable("o", []tables.Row{
+		{CID: 0, Score: 4}, {CID: 1, Score: 8}, {CID: 2, Score: 2},
+	})
+	return act, []tables.Table{obj}
+}
+
+func TestTBClipFrontiersMonotone(t *testing.T) {
+	act, objs := iterTables()
+	var c tables.AccessCounter
+	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false }, nil)
+	prevTop, prevBtm := 1e18, -1.0
+	for !it.Exhausted() {
+		top, btm, err := it.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top > prevTop+1e-9 {
+			t.Fatalf("tauTop increased: %v -> %v", prevTop, top)
+		}
+		if btm < prevBtm-1e-9 && !it.Exhausted() {
+			t.Fatalf("tauBtm decreased: %v -> %v", prevBtm, btm)
+		}
+		prevTop, prevBtm = top, btm
+	}
+}
+
+func TestTBClipScoresAllClipsExactly(t *testing.T) {
+	act, objs := iterTables()
+	var c tables.AccessCounter
+	scored := map[int32]float64{}
+	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false },
+		func(cid int32, s float64) { scored[cid] = s })
+	for !it.Exhausted() {
+		if _, _, err := it.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// g = act * obj: clip 0 = 9*4 = 36, clip 1 = 5*8 = 40, clip 2 = 2.
+	want := map[int32]float64{0: 36, 1: 40, 2: 2}
+	for cid, w := range want {
+		if scored[cid] != w {
+			t.Fatalf("clip %d scored %v, want %v", cid, scored[cid], w)
+		}
+	}
+	if len(scored) != 3 {
+		t.Fatalf("scored %d clips, want 3", len(scored))
+	}
+}
+
+func TestTBClipOnScoredFiresOnce(t *testing.T) {
+	act, objs := iterTables()
+	var c tables.AccessCounter
+	calls := map[int32]int{}
+	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false },
+		func(cid int32, _ float64) { calls[cid]++ })
+	for i := 0; i < 10 && !it.Exhausted(); i++ {
+		if _, _, err := it.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cid, n := range calls {
+		if n != 1 {
+			t.Fatalf("clip %d scored %d times", cid, n)
+		}
+	}
+}
+
+func TestTBClipSkipAvoidsRandomAccess(t *testing.T) {
+	act, objs := iterTables()
+	var withSkip, without tables.AccessCounter
+	it1 := newTBClip(act, objs, score.Default(), &withSkip,
+		func(cid int32) bool { return cid == 1 }, nil)
+	for !it1.Exhausted() {
+		if _, _, err := it1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it2 := newTBClip(act, objs, score.Default(), &without, func(int32) bool { return false }, nil)
+	for !it2.Exhausted() {
+		if _, _, err := it2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withSkip.Random >= without.Random {
+		t.Fatalf("skip did not save random accesses: %d vs %d", withSkip.Random, without.Random)
+	}
+	if _, known := it1.Known(1); known {
+		t.Fatal("skipped clip was scored")
+	}
+}
+
+func TestTBClipKnownAndScoreClip(t *testing.T) {
+	act, objs := iterTables()
+	var c tables.AccessCounter
+	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false }, nil)
+	if _, ok := it.Known(0); ok {
+		t.Fatal("clip known before any step")
+	}
+	s, err := it.ScoreClip(99) // absent everywhere: score 0
+	if err != nil || s != 0 {
+		t.Fatalf("absent clip score = %v, %v", s, err)
+	}
+}
+
+func TestTBClipActionlessQueryUsesNeutralAction(t *testing.T) {
+	_, objs := iterTables()
+	var c tables.AccessCounter
+	it := newTBClip(nil, objs, score.Default(), &c, func(int32) bool { return false }, nil)
+	s, err := it.ScoreClip(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 8 { // 1 (neutral action) * 8
+		t.Fatalf("actionless score = %v, want 8", s)
+	}
+}

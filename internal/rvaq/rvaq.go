@@ -1,0 +1,269 @@
+// Package rvaq implements the offline query phase of the paper (§4.3–
+// §4.4): algorithm RVAQ returns the top-K result sequences of a query
+// against an ingested video, ranked by a user-supplied scoring scheme,
+// while pruning clip-score-table accesses through progressively refined
+// per-sequence score bounds (Equations 13–15) and a dynamically growing
+// skip set. The package also ships the paper's comparison baselines:
+// Fagin's algorithm (FA), RVAQ without the skip mechanism, and
+// Pq-Traverse.
+package rvaq
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/ingest"
+	"vaq/internal/interval"
+	"vaq/internal/pqueue"
+	"vaq/internal/score"
+	"vaq/internal/tables"
+)
+
+// SeqResult is one ranked result sequence.
+type SeqResult struct {
+	Seq   interval.Interval // clip-id range (c_l, c_r)
+	Score float64           // exact when Options.ExactScores, else the lower bound
+}
+
+// Stats reports the cost of one query execution.
+type Stats struct {
+	Accesses   tables.AccessCounter
+	Runtime    time.Duration
+	Candidates int // |P_q|
+	Iterations int // TBClip steps (RVAQ variants only)
+}
+
+// Options tunes a TopK execution.
+type Options struct {
+	// Score is the scoring scheme; zero value uses score.Default().
+	Score score.Functions
+	// Skip enables the C_skip mechanism of §4.3 (default on; RVAQ-noSkip
+	// sets it off and processes every clip of the video).
+	Skip bool
+	// ExactScores computes exact scores for the returned top-K
+	// sequences (random-accessing their remaining clips once membership
+	// is decided). Off, the returned scores are the lower bounds at the
+	// stopping point.
+	ExactScores bool
+}
+
+// DefaultOptions returns the standard RVAQ configuration.
+func DefaultOptions() Options {
+	return Options{Score: score.Default(), Skip: true, ExactScores: true}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Score.H == nil {
+		o.Score = score.Default()
+	}
+	return o
+}
+
+// seqState tracks one candidate sequence's bound bookkeeping.
+type seqState struct {
+	iv         interval.Interval
+	knownScore float64 // F-combined exact scores of known clips
+	knownCount int
+	up, lo     float64 // current bounds
+	pruned     bool    // conclusively out of the top-K (clips skipped)
+}
+
+// TopK runs RVAQ (Algorithm 4): top-K result sequences of query q over
+// the ingested video vd.
+func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult, Stats, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("rvaq: k must be positive, got %d", k)
+	}
+	pq, err := vd.CandidateSequences(q) // Equation 12
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Candidates: len(pq)}
+	if len(pq) == 0 {
+		stats.Runtime = time.Since(start)
+		return nil, stats, nil
+	}
+	act, objs, err := vd.QueryTables(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	fns := opts.Score
+
+	seqs := make([]*seqState, len(pq))
+	for i, iv := range pq {
+		seqs[i] = &seqState{iv: iv, knownScore: fns.F.Zero()}
+	}
+
+	// C_skip starts as the complement of P_q: the iterator never
+	// random-accesses clips outside the candidate sequences. Pruned
+	// sequences extend it as the algorithm progresses (§4.3).
+	skip := func(cid int32) bool {
+		i, ok := findSeq(pq, cid)
+		if !ok {
+			return true
+		}
+		return seqs[i].pruned
+	}
+	if !opts.Skip {
+		skip = func(int32) bool { return false }
+	}
+
+	onScored := func(cid int32, s float64) {
+		if i, ok := findSeq(pq, cid); ok {
+			seqs[i].knownScore = fns.F.Merge(seqs[i].knownScore, s)
+			seqs[i].knownCount++
+		}
+	}
+
+	it := newTBClip(act, objs, fns, &stats.Accesses, skip, onScored)
+
+	for {
+		tauTop, tauBtm, err := it.Step()
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Iterations++
+		exhausted := it.Exhausted()
+		if exhausted {
+			// Every row has been seen: clips never scored are absent
+			// from every table and carry score zero.
+			tauTop, tauBtm = 0, 0
+			for _, s := range seqs {
+				if n := s.iv.Len() - s.knownCount; n > 0 && !s.pruned {
+					// Zero-score clips complete the sequence exactly.
+					s.knownScore = fns.F.Merge(s.knownScore, fns.F.MergeN(0, n))
+					s.knownCount = s.iv.Len()
+				}
+			}
+		}
+		// Refresh bounds (Equations 13–14): known clips contribute
+		// exactly; each unknown clip is bounded by the frontier values.
+		for _, s := range seqs {
+			unknown := s.iv.Len() - s.knownCount
+			s.up = fns.F.Merge(s.knownScore, fns.F.MergeN(tauTop, unknown))
+			s.lo = fns.F.Merge(s.knownScore, fns.F.MergeN(tauBtm, unknown))
+		}
+		topK, bloK, bupRest := selectTopK(seqs, k)
+		// Grow the skip set: sequences that can no longer reach the
+		// top-K (Algorithm 4 lines 13–14).
+		if opts.Skip {
+			for _, s := range seqs {
+				if !s.pruned && s.up < bloK {
+					s.pruned = true
+				}
+			}
+		}
+		// Stopping condition (Equation 15).
+		if bloK >= bupRest || exhausted {
+			return finish(it, fns, seqs, topK, k, opts, &stats, start)
+		}
+	}
+}
+
+// findSeq locates the candidate sequence containing cid.
+func findSeq(pq interval.Set, cid int32) (int, bool) {
+	c := int(cid)
+	i := sort.Search(len(pq), func(i int) bool { return pq[i].Hi >= c })
+	if i < len(pq) && pq[i].Contains(c) {
+		return i, true
+	}
+	return 0, false
+}
+
+// selectTopK returns the indices of the k sequences with the highest
+// lower bounds (PQ_lo^K), the minimum lower bound among them (B_lo^K),
+// and the maximum upper bound among the rest (B_up^¬K; −∞ when none).
+// A size-k indexed min-heap realizes PQ_lo^K in O(S log k) per
+// refresh; evicted sequences feed B_up^¬K directly.
+func selectTopK(seqs []*seqState, k int) (topK []int, bloK, bupRest float64) {
+	if k > len(seqs) {
+		k = len(seqs)
+	}
+	pqLo := pqueue.New(len(seqs), pqueue.Min)
+	bupRest = negInf
+	for i, s := range seqs {
+		if pqLo.Len() < k {
+			pqLo.Push(i, s.lo)
+			continue
+		}
+		j, minLo, _ := pqLo.Peek()
+		// Deterministic ties: the earlier sequence stays in the top-K.
+		if s.lo > minLo || (s.lo == minLo && s.iv.Lo < seqs[j].iv.Lo) {
+			pqLo.Remove(j)
+			pqLo.Push(i, s.lo)
+			if seqs[j].up > bupRest {
+				bupRest = seqs[j].up
+			}
+		} else if s.up > bupRest {
+			bupRest = s.up
+		}
+	}
+	topK = make([]int, 0, pqLo.Len())
+	bloK = negInf
+	for {
+		i, lo, ok := pqLo.Pop()
+		if !ok {
+			break
+		}
+		if bloK == negInf {
+			bloK = lo // the heap pops its minimum first
+		}
+		topK = append(topK, i)
+	}
+	return topK, bloK, bupRest
+}
+
+const negInf = -1e308
+
+// finish materializes the final ranking; with ExactScores it completes
+// the top-K sequences' scores by random access to their remaining clips.
+func finish(it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int, opts Options, stats *Stats, start time.Time) ([]SeqResult, Stats, error) {
+	results := make([]SeqResult, 0, len(topK))
+	for _, i := range topK {
+		s := seqs[i]
+		scoreVal := s.lo
+		if opts.ExactScores {
+			exact, err := exactScore(it, fns, s)
+			if err != nil {
+				return nil, *stats, err
+			}
+			scoreVal = exact
+		}
+		results = append(results, SeqResult{Seq: s.iv, Score: scoreVal})
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Score != results[b].Score {
+			return results[a].Score > results[b].Score
+		}
+		return results[a].Seq.Lo < results[b].Seq.Lo
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	stats.Runtime = time.Since(start)
+	return results, *stats, nil
+}
+
+// exactScore completes a sequence's exact score, random-accessing any
+// clip not already scored by the iterator.
+func exactScore(it *tbClip, fns score.Functions, s *seqState) (float64, error) {
+	total := fns.F.Zero()
+	for c := s.iv.Lo; c <= s.iv.Hi; c++ {
+		cid := int32(c)
+		v, ok := it.Known(cid)
+		if !ok {
+			sv, err := it.ScoreClip(cid)
+			if err != nil {
+				return 0, err
+			}
+			it.scores[cid] = sv
+			v = sv
+		}
+		total = fns.F.Merge(total, v)
+	}
+	return total, nil
+}

@@ -1,0 +1,38 @@
+package scanstat
+
+import "testing"
+
+// BenchmarkCriticalValue measures the per-update cost SVAQD pays when a
+// background probability moves outside the recompute tolerance.
+func BenchmarkCriticalValue(b *testing.B) {
+	pr := Params{P: 0.03, W: 50, N: 100000}
+	for i := 0; i < b.N; i++ {
+		if _, err := CriticalValue(pr, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTailProb(b *testing.B) {
+	pr := Params{P: 0.03, W: 50, N: 100000}
+	for i := 0; i < b.N; i++ {
+		if _, err := TailProb(pr, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovTailExact measures the FMCE embedding at the action
+// window size (W = 5 shots) and a mid-size window.
+func BenchmarkMarkovTailExact(b *testing.B) {
+	for _, w := range []int{5, 12} {
+		b.Run(string(rune('0'+w/10))+string(rune('0'+w%10)), func(b *testing.B) {
+			mp := MarkovParams{P01: 0.01, P11: 0.4, W: w, N: 10000}
+			for i := 0; i < b.N; i++ {
+				if _, err := MarkovTailExact(mp, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

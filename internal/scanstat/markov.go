@@ -1,0 +1,209 @@
+package scanstat
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Footnote 7 of the paper notes that the scan-statistics analysis
+// extends to Bernoulli trials with known Markov dependencies through the
+// finite Markov chain embedding (FMCE) technique. This file provides
+// that extension for first-order two-state chains: the exact tail
+// probability by embedding the window contents as chain states (small
+// windows), a Monte-Carlo estimator (any window), and the derived
+// critical value.
+
+// MarkovParams describes occurrence units forming a two-state Markov
+// chain: P01 = P(event | previous unit had no event) and
+// P11 = P(event | previous unit had an event). P01 = P11 recovers the
+// i.i.d. case.
+type MarkovParams struct {
+	P01, P11 float64
+	// W is the scanning window length; N the total number of units.
+	W, N int
+}
+
+// Validate reports whether the parameters are usable.
+func (mp MarkovParams) Validate() error {
+	switch {
+	case !(mp.P01 >= 0 && mp.P01 <= 1):
+		return fmt.Errorf("scanstat: P01 %v outside [0,1]", mp.P01)
+	case !(mp.P11 >= 0 && mp.P11 <= 1):
+		return fmt.Errorf("scanstat: P11 %v outside [0,1]", mp.P11)
+	case mp.W <= 0:
+		return fmt.Errorf("scanstat: window %d must be positive", mp.W)
+	case mp.N < mp.W:
+		return fmt.Errorf("scanstat: N=%d shorter than window %d", mp.N, mp.W)
+	}
+	return nil
+}
+
+// Stationary returns the chain's stationary event probability
+// π₁ = P01 / (P01 + 1 − P11).
+func (mp MarkovParams) Stationary() float64 {
+	denom := mp.P01 + 1 - mp.P11
+	if denom == 0 {
+		// P01 = 0, P11 = 1: the chain freezes in its initial state; use
+		// an uninformative 1/2.
+		return 0.5
+	}
+	return mp.P01 / denom
+}
+
+// maxExactMarkovW bounds the window length for the exact embedding: the
+// state space is 2^(W−1) window contents.
+const maxExactMarkovW = 14
+
+// MarkovTailExact computes P(S_w(N) ≥ k) exactly for Markov-dependent
+// trials by finite Markov chain embedding: each state encodes the last
+// W−1 outcomes (bit 0 = most recent); a trial whose completed window
+// holds at least k events moves the mass to an absorbing state. Only
+// available for W ≤ 14.
+func MarkovTailExact(mp MarkovParams, k int) (float64, error) {
+	if err := mp.Validate(); err != nil {
+		return 0, err
+	}
+	if mp.W > maxExactMarkovW {
+		return 0, fmt.Errorf("scanstat: exact Markov embedding limited to W ≤ %d, got %d (use MonteCarloTailMarkov)", maxExactMarkovW, mp.W)
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	if k > mp.W {
+		return 0, nil
+	}
+	histBits := mp.W - 1
+	size := 1 << histBits
+	mask := size - 1
+	cur := make([]float64, size)
+	next := make([]float64, size)
+	absorbed := 0.0
+
+	// Warm-up: build the first W−1 outcomes (no complete window yet).
+	pi1 := mp.Stationary()
+	cur[0] = 1
+	for t := 0; t < histBits; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for m, p := range cur[:1<<t] {
+			if p == 0 {
+				continue
+			}
+			p1 := pi1
+			if t > 0 {
+				if m&1 == 1 {
+					p1 = mp.P11
+				} else {
+					p1 = mp.P01
+				}
+			}
+			next[m<<1] += p * (1 - p1)
+			next[m<<1|1] += p * p1
+		}
+		cur, next = next, cur
+	}
+
+	// Main pass: each further trial completes a window.
+	for t := histBits; t < mp.N; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for m, p := range cur {
+			if p == 0 {
+				continue
+			}
+			p1 := pi1
+			if histBits > 0 {
+				if m&1 == 1 {
+					p1 = mp.P11
+				} else {
+					p1 = mp.P01
+				}
+			} else if t > 0 {
+				// W = 1: no history bits; chain state is the previous
+				// outcome, which a single state cannot carry — fall
+				// back to the stationary probability (documented
+				// approximation for the degenerate window).
+				p1 = pi1
+			}
+			c := bits.OnesCount(uint(m))
+			// Outcome 0.
+			if c >= k {
+				absorbed += p * (1 - p1)
+			} else {
+				next[(m<<1)&mask] += p * (1 - p1)
+			}
+			// Outcome 1.
+			if c+1 >= k {
+				absorbed += p * p1
+			} else {
+				next[(m<<1|1)&mask] += p * p1
+			}
+		}
+		cur, next = next, cur
+	}
+	return clamp01(absorbed), nil
+}
+
+// MonteCarloTailMarkov estimates P(S_w(N) ≥ k) for Markov-dependent
+// trials by simulation, starting each sequence from the stationary
+// distribution.
+func MonteCarloTailMarkov(mp MarkovParams, k, trials int, rng *rand.Rand) (float64, error) {
+	if err := mp.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	hits := 0
+	buf := make([]bool, mp.N)
+	pi1 := mp.Stationary()
+	for t := 0; t < trials; t++ {
+		prev := rng.Float64() < pi1
+		buf[0] = prev
+		for i := 1; i < mp.N; i++ {
+			p := mp.P01
+			if prev {
+				p = mp.P11
+			}
+			prev = rng.Float64() < p
+			buf[i] = prev
+		}
+		if maxWindowCount(buf, mp.W) >= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// CriticalValueMarkov returns the smallest k with
+// P(S_w(N) ≥ k) ≤ alpha for Markov-dependent trials, using the exact
+// embedding when the window permits and Monte Carlo (with the given
+// trials and rng) otherwise.
+func CriticalValueMarkov(mp MarkovParams, alpha float64, trials int, rng *rand.Rand) (int, error) {
+	if err := mp.Validate(); err != nil {
+		return 0, err
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return 0, fmt.Errorf("scanstat: significance level %v outside (0,1)", alpha)
+	}
+	tail := func(k int) (float64, error) {
+		if mp.W <= maxExactMarkovW {
+			return MarkovTailExact(mp, k)
+		}
+		return MonteCarloTailMarkov(mp, k, trials, rng)
+	}
+	// The tail is non-increasing in k; scan upward (W is small).
+	for k := 1; k <= mp.W; k++ {
+		t, err := tail(k)
+		if err != nil {
+			return 0, err
+		}
+		if t <= alpha {
+			return k, nil
+		}
+	}
+	return 0, ErrNoCriticalValue
+}

@@ -1,0 +1,213 @@
+package scanstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMarkovValidate(t *testing.T) {
+	bad := []MarkovParams{
+		{P01: -0.1, P11: 0.5, W: 5, N: 100},
+		{P01: 0.1, P11: 1.5, W: 5, N: 100},
+		{P01: 0.1, P11: 0.5, W: 0, N: 100},
+		{P01: 0.1, P11: 0.5, W: 5, N: 3},
+	}
+	for _, mp := range bad {
+		if mp.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil", mp)
+		}
+	}
+}
+
+func TestMarkovStationary(t *testing.T) {
+	mp := MarkovParams{P01: 0.1, P11: 0.7}
+	// π = p01/(p01+1-p11) = 0.1/0.4 = 0.25.
+	if got := mp.Stationary(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Stationary = %v", got)
+	}
+	frozen := MarkovParams{P01: 0, P11: 1}
+	if got := frozen.Stationary(); got != 0.5 {
+		t.Fatalf("frozen chain stationary = %v", got)
+	}
+}
+
+// exactScanBelowMarkov brute-forces P(S_w(n) ≥ k) over all 2^n outcome
+// strings, weighting by the Markov chain started at stationarity.
+func exactMarkovTail(n, w, k int, p01, p11 float64) float64 {
+	pi1 := MarkovParams{P01: p01, P11: p11}.Stationary()
+	total := 0.0
+	for m := 0; m < 1<<n; m++ {
+		exceeds := false
+		for s := 0; s+w <= n && !exceeds; s++ {
+			c := 0
+			for i := s; i < s+w; i++ {
+				if m>>i&1 == 1 {
+					c++
+				}
+			}
+			if c >= k {
+				exceeds = true
+			}
+		}
+		if !exceeds {
+			continue
+		}
+		prob := pi1
+		if m&1 == 0 {
+			prob = 1 - pi1
+		}
+		for i := 1; i < n; i++ {
+			prev := m >> (i - 1) & 1
+			cur := m >> i & 1
+			p := p01
+			if prev == 1 {
+				p = p11
+			}
+			if cur == 1 {
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+		}
+		total += prob
+	}
+	return total
+}
+
+func TestMarkovTailExactAgainstBruteForce(t *testing.T) {
+	cases := []struct {
+		mp MarkovParams
+		k  int
+	}{
+		{MarkovParams{P01: 0.2, P11: 0.6, W: 3, N: 8}, 2},
+		{MarkovParams{P01: 0.1, P11: 0.5, W: 4, N: 10}, 3},
+		{MarkovParams{P01: 0.3, P11: 0.3, W: 3, N: 9}, 2}, // iid special case
+		{MarkovParams{P01: 0.05, P11: 0.8, W: 5, N: 12}, 4},
+	}
+	for _, c := range cases {
+		got, err := MarkovTailExact(c.mp, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactMarkovTail(c.mp.N, c.mp.W, c.k, c.mp.P01, c.mp.P11)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%+v k=%d: embedding %v vs brute force %v", c.mp, c.k, got, want)
+		}
+	}
+}
+
+func TestMarkovTailExactIIDMatchesBinomialModel(t *testing.T) {
+	// With P01 = P11 = p the chain is i.i.d.; the exact embedding must
+	// then agree with the i.i.d. Monte Carlo reference.
+	mp := MarkovParams{P01: 0.05, P11: 0.05, W: 10, N: 500}
+	exact, err := MarkovTailExact(mp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	mc, err := MonteCarloTail(Params{P: 0.05, W: 10, N: 500}, 4, 6000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-mc) > 0.05 {
+		t.Fatalf("iid embedding %v vs iid monte carlo %v", exact, mc)
+	}
+}
+
+func TestMarkovTailExactAgainstMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo")
+	}
+	rng := rand.New(rand.NewSource(6))
+	mp := MarkovParams{P01: 0.03, P11: 0.5, W: 10, N: 800}
+	for _, k := range []int{3, 5, 7} {
+		exact, err := MarkovTailExact(mp, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloTailMarkov(mp, k, 6000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-mc) > 0.05 {
+			t.Errorf("k=%d: exact %v vs monte carlo %v", k, exact, mc)
+		}
+	}
+}
+
+func TestMarkovTailEdgeCases(t *testing.T) {
+	mp := MarkovParams{P01: 0.1, P11: 0.5, W: 5, N: 50}
+	if got, _ := MarkovTailExact(mp, 0); got != 1 {
+		t.Errorf("k=0 tail = %v", got)
+	}
+	if got, _ := MarkovTailExact(mp, 6); got != 0 {
+		t.Errorf("k>W tail = %v", got)
+	}
+	if _, err := MarkovTailExact(MarkovParams{P01: 0.1, P11: 0.5, W: 20, N: 100}, 3); err == nil {
+		t.Error("oversized exact window accepted")
+	}
+}
+
+// Positive dependence (P11 > P01) clusters events, making large window
+// counts more likely than under an i.i.d. chain with the same marginal.
+func TestPositiveDependenceFattensTail(t *testing.T) {
+	dep := MarkovParams{P01: 0.02, P11: 0.6, W: 10, N: 1000}
+	pi := dep.Stationary()
+	iid := MarkovParams{P01: pi, P11: pi, W: 10, N: 1000}
+	k := 5
+	depTail, err := MarkovTailExact(dep, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidTail, err := MarkovTailExact(iid, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depTail <= iidTail {
+		t.Fatalf("dependent tail %v not above iid tail %v", depTail, iidTail)
+	}
+}
+
+func TestCriticalValueMarkov(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mp := MarkovParams{P01: 0.01, P11: 0.4, W: 10, N: 2000}
+	k, err := CriticalValueMarkov(mp, 0.05, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := MarkovTailExact(mp, k)
+	if at > 0.05 {
+		t.Fatalf("tail at k=%d is %v > alpha", k, at)
+	}
+	if k > 1 {
+		below, _ := MarkovTailExact(mp, k-1)
+		if below <= 0.05 {
+			t.Fatalf("k=%d not minimal", k)
+		}
+	}
+	// The dependent critical value must exceed the i.i.d. one at the
+	// same marginal rate (clustering needs a higher bar).
+	pi := mp.Stationary()
+	kIID, err := CriticalValue(Params{P: pi, W: 10, N: 2000}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < kIID {
+		t.Fatalf("markov k=%d below iid k=%d", k, kIID)
+	}
+	if _, err := CriticalValueMarkov(mp, 0, 100, rng); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := CriticalValueMarkov(MarkovParams{P01: 2, W: 5, N: 50}, 0.05, 100, rng); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestCriticalValueMarkovNoSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mp := MarkovParams{P01: 0.9, P11: 0.95, W: 5, N: 100}
+	if _, err := CriticalValueMarkov(mp, 1e-6, 100, rng); err != ErrNoCriticalValue {
+		t.Fatalf("err = %v, want ErrNoCriticalValue", err)
+	}
+}

@@ -1,0 +1,50 @@
+package scanstat
+
+import "math/rand"
+
+// MonteCarloTail estimates P(S_w(N) ≥ k) exactly by simulation: it draws
+// trials sequences of N Bernoulli(P) occurrence units and reports the
+// fraction in which some window of W consecutive units holds at least k
+// successes. It is the reference implementation against which the Naus
+// approximation is validated in tests, and is also exposed so callers can
+// cross-check critical values for unusual parameter regimes.
+func MonteCarloTail(pr Params, k, trials int, rng *rand.Rand) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	hits := 0
+	buf := make([]bool, pr.N)
+	for t := 0; t < trials; t++ {
+		for i := range buf {
+			buf[i] = rng.Float64() < pr.P
+		}
+		if maxWindowCount(buf, pr.W) >= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// maxWindowCount returns S_w(N): the maximum number of successes in any
+// window of w consecutive trials.
+func maxWindowCount(trials []bool, w int) int {
+	if len(trials) < w {
+		w = len(trials)
+	}
+	count, best := 0, 0
+	for i, v := range trials {
+		if v {
+			count++
+		}
+		if i >= w && trials[i-w] {
+			count--
+		}
+		if count > best {
+			best = count
+		}
+	}
+	return best
+}

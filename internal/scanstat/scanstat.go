@@ -1,0 +1,220 @@
+// Package scanstat implements the scan statistics machinery of §3.2:
+// the probability that some window of w consecutive occurrence units
+// (frames or shots) contains at least k positive predictions, under a
+// background Bernoulli success probability p, and the derived critical
+// value k_crit of Equation 5.
+//
+// Following the approach of Naus (1982) as popularized by Turner,
+// Ghahramani and Bottone (2010) — reference [45] of the paper — the tail
+// probability is approximated as
+//
+//	P(S_w(N) ≥ k | p, w, L) ≈ 1 − Q₂ · (Q₃/Q₂)^(L−2),  L = N/w,
+//
+// where Q₂ = P(S_w(2w) < k) and Q₃ = P(S_w(3w) < k) are computed in
+// closed form for Bernoulli trials using the binomial distribution
+// b(i; w, p) with window mean ψ = p·w. The package also ships an exact
+// Monte-Carlo estimator and, for small windows, tests compare the closed
+// forms to brute-force enumeration.
+package scanstat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params bundles the inputs of the scan-statistic computation.
+type Params struct {
+	// P is the background probability of a positive prediction on one
+	// occurrence unit (Bernoulli success probability).
+	P float64
+	// W is the scanning window length in occurrence units. For object
+	// predicates this is the clip length in frames; for the action
+	// predicate, the clip length in shots (§3.2).
+	W int
+	// N is the total number of occurrence units observed. L = N/W.
+	N int
+}
+
+// Validate reports whether the parameters are usable.
+func (pr Params) Validate() error {
+	switch {
+	case !(pr.P >= 0 && pr.P <= 1):
+		return fmt.Errorf("scanstat: probability %v outside [0,1]", pr.P)
+	case pr.W <= 0:
+		return fmt.Errorf("scanstat: window %d must be positive", pr.W)
+	case pr.N < pr.W:
+		return fmt.Errorf("scanstat: N=%d shorter than window %d", pr.N, pr.W)
+	}
+	return nil
+}
+
+// lnFact returns ln(n!).
+func lnFact(n int) float64 {
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// binomPMF returns P(X = k) for X ~ Binomial(w, p), computed in log
+// space for numerical stability.
+func binomPMF(k, w int, p float64) float64 {
+	if k < 0 || k > w {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == w {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(lnFact(w) - lnFact(k) - lnFact(w-k) +
+		float64(k)*math.Log(p) + float64(w-k)*math.Log(1-p))
+}
+
+// binomCDF returns P(X ≤ k) for X ~ Binomial(w, p).
+func binomCDF(k, w int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= w {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += binomPMF(i, w, p)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// q2 returns Q₂ = P(S_w(2w) < k) for Bernoulli trials (Naus 1982, with
+// binomial b(i; w, p), F its CDF, and ψ = w·p):
+//
+//	Q₂ = F(k−1)² − (k−1)·b(k)·F(k−2) + ψ·b(k)·F(k−3)
+func q2(k, w int, p float64) float64 {
+	F := func(i int) float64 { return binomCDF(i, w, p) }
+	bk := binomPMF(k, w, p)
+	psi := float64(w) * p
+	v := F(k-1)*F(k-1) - float64(k-1)*bk*F(k-2) + psi*bk*F(k-3)
+	return clamp01(v)
+}
+
+// q3 returns Q₃ = P(S_w(3w) < k) for Bernoulli trials (Naus 1982, same
+// substitution, f(i) = b(i; w, p)):
+//
+//	Q₃ = F(k−1)³ − A₁ + A₂ + A₃ − A₄
+//	A₁ = 2·f(k)·F(k−1)·[(k−1)F(k−2) − ψF(k−3)]
+//	A₂ = ½·f(k)²·[(k−1)(k−2)F(k−3) − 2(k−2)ψF(k−4) + ψ²F(k−5)]
+//	A₃ = Σ_{r=1}^{k−1} f(2k−r)·F(r−1)²
+//	A₄ = Σ_{r=2}^{k−1} f(2k−r)·f(r)·[(r−1)F(r−2) − ψF(r−3)]
+func q3(k, w int, p float64) float64 {
+	F := func(i int) float64 { return binomCDF(i, w, p) }
+	f := func(i int) float64 { return binomPMF(i, w, p) }
+	psi := float64(w) * p
+	fk := f(k)
+	a1 := 2 * fk * F(k-1) * (float64(k-1)*F(k-2) - psi*F(k-3))
+	a2 := 0.5 * fk * fk *
+		(float64(k-1)*float64(k-2)*F(k-3) - 2*float64(k-2)*psi*F(k-4) + psi*psi*F(k-5))
+	a3 := 0.0
+	for r := 1; r <= k-1; r++ {
+		a3 += f(2*k-r) * F(r-1) * F(r-1)
+	}
+	a4 := 0.0
+	for r := 2; r <= k-1; r++ {
+		a4 += f(2*k-r) * f(r) * (float64(r-1)*F(r-2) - psi*F(r-3))
+	}
+	v := F(k-1)*F(k-1)*F(k-1) - a1 + a2 + a3 - a4
+	return clamp01(v)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// TailProb approximates P(S_w(N) ≥ k | p, w, L): the probability that
+// some window of W consecutive occurrence units contains at least k
+// events when the background event probability is P.
+func TailProb(pr Params, k int) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	if pr.P == 0 {
+		return 0, nil
+	}
+	L := float64(pr.N) / float64(pr.W)
+	if L < 2 {
+		// With fewer than two windows the two-window closed form is the
+		// best available estimate; it upper-bounds the true tail.
+		return clamp01(1 - q2(k, pr.W, pr.P)), nil
+	}
+	Q2 := q2(k, pr.W, pr.P)
+	Q3 := q3(k, pr.W, pr.P)
+	if Q2 <= 0 {
+		return 1, nil
+	}
+	ratio := Q3 / Q2
+	if ratio > 1 {
+		ratio = 1
+	}
+	return clamp01(1 - Q2*math.Pow(ratio, L-2)), nil
+}
+
+// ErrNoCriticalValue is returned when even k = W events in a window is
+// not significant at the requested level (background probability too
+// high for the window to ever reject).
+var ErrNoCriticalValue = errors.New("scanstat: no critical value at this significance level")
+
+// CriticalValue returns the smallest k such that
+// P(S_w(N) ≥ k | p, w, L) ≤ alpha (Equation 5). The result is clamped to
+// at least 1 and at most W (a window cannot contain more events than
+// occurrence units).
+func CriticalValue(pr Params, alpha float64) (int, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return 0, fmt.Errorf("scanstat: significance level %v outside (0,1)", alpha)
+	}
+	if pr.P == 0 {
+		return 1, nil
+	}
+	// TailProb is non-increasing in k; binary search for the boundary.
+	lo, hi := 1, pr.W
+	tailAt := func(k int) float64 {
+		t, err := TailProb(pr, k)
+		if err != nil {
+			// Validate already passed; TailProb cannot fail here.
+			panic(err)
+		}
+		return t
+	}
+	if tailAt(hi) > alpha {
+		return 0, ErrNoCriticalValue
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tailAt(mid) <= alpha {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,172 @@
+package svaq
+
+import (
+	"fmt"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// The paper's core algorithms consume conjunctive queries of one action
+// plus objects; footnotes 3–4 sketch the extension to multiple actions
+// and disjunctions by computing per-predicate indicators per clip and
+// combining them through the query's conjunctive normal form. CNFEngine
+// implements that extension: each distinct label keeps its own
+// LabelTracker; a clause is satisfied when any of its predicates is, and
+// a clip is positive when every clause is.
+
+// Clause is one disjunction of simple predicates.
+type Clause struct {
+	// Actions and Objects list the clause's predicates; the clause is
+	// satisfied on a clip when at least one has a positive indicator.
+	Actions []annot.Label
+	Objects []annot.Label
+}
+
+// CNFEngine evaluates a conjunction of clauses over a stream.
+type CNFEngine struct {
+	clauses []Clause
+	det     detect.ObjectDetector
+	rec     detect.ActionRecognizer
+	geom    video.Geometry
+	cfg     Config
+
+	objTrk map[annot.Label]*LabelTracker
+	actTrk map[annot.Label]*LabelTracker
+
+	nextClip   video.ClipIdx
+	indicators []bool
+}
+
+// NewCNF builds an engine for the given clauses.
+func NewCNF(clauses []Clause, det detect.ObjectDetector, rec detect.ActionRecognizer, geom video.Geometry, cfg Config) (*CNFEngine, error) {
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("svaq: CNF query has no clauses")
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e := &CNFEngine{
+		clauses: clauses,
+		det:     det,
+		rec:     rec,
+		geom:    geom,
+		cfg:     cfg,
+		objTrk:  map[annot.Label]*LabelTracker{},
+		actTrk:  map[annot.Label]*LabelTracker{},
+	}
+	actKernel := cfg.KernelU / float64(geom.ShotLen)
+	if actKernel < 1 {
+		actKernel = 1
+	}
+	for _, cl := range e.clauses {
+		if len(cl.Actions) == 0 && len(cl.Objects) == 0 {
+			return nil, fmt.Errorf("svaq: empty CNF clause")
+		}
+		for _, o := range cl.Objects {
+			if e.objTrk[o] != nil {
+				continue
+			}
+			if det == nil {
+				return nil, fmt.Errorf("svaq: object predicate %q but no object detector", o)
+			}
+			lt, err := NewLabelTracker(cfg.trackerConfig(geom.ClipLen(), cfg.P0Object, cfg.KernelU))
+			if err != nil {
+				return nil, fmt.Errorf("svaq: object %q: %w", o, err)
+			}
+			e.objTrk[o] = lt
+		}
+		for _, a := range cl.Actions {
+			if e.actTrk[a] != nil {
+				continue
+			}
+			if rec == nil {
+				return nil, fmt.Errorf("svaq: action predicate %q but no action recognizer", a)
+			}
+			lt, err := NewLabelTracker(cfg.trackerConfig(geom.ShotsPerClip, cfg.P0Action, actKernel))
+			if err != nil {
+				return nil, fmt.Errorf("svaq: action %q: %w", a, err)
+			}
+			e.actTrk[a] = lt
+		}
+	}
+	return e, nil
+}
+
+// ProcessClip evaluates the next clip (clips must be fed in order).
+func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
+	if c != e.nextClip {
+		return false, fmt.Errorf("svaq: clips must be processed in order: got %d, want %d", c, e.nextClip)
+	}
+	e.nextClip++
+	objPos := map[annot.Label]bool{}
+	actPos := map[annot.Label]bool{}
+	frameLo, frameHi := e.geom.FrameRangeOfClip(c)
+	for o, lt := range e.objTrk {
+		count := 0
+		for v := frameLo; v < frameHi; v++ {
+			for _, d := range e.det.Detect(v, []annot.Label{o}) {
+				if d.Label == o && d.Score >= e.cfg.Thresholds.Object {
+					count++
+					break
+				}
+			}
+		}
+		pos, err := lt.ObserveClip(count)
+		if err != nil {
+			return false, fmt.Errorf("svaq: object %q: %w", o, err)
+		}
+		objPos[o] = pos
+	}
+	shotLo, shotHi := e.geom.ShotRangeOfClip(c)
+	for a, lt := range e.actTrk {
+		count := 0
+		for s := shotLo; s < shotHi; s++ {
+			for _, sc := range e.rec.Recognize(s, []annot.Label{a}) {
+				if sc.Label == a && sc.Score >= e.cfg.Thresholds.Action {
+					count++
+					break
+				}
+			}
+		}
+		pos, err := lt.ObserveClip(count)
+		if err != nil {
+			return false, fmt.Errorf("svaq: action %q: %w", a, err)
+		}
+		actPos[a] = pos
+	}
+	positive := true
+	for _, cl := range e.clauses {
+		clause := false
+		for _, o := range cl.Objects {
+			clause = clause || objPos[o]
+		}
+		for _, a := range cl.Actions {
+			clause = clause || actPos[a]
+		}
+		if !clause {
+			positive = false
+			break
+		}
+	}
+	e.indicators = append(e.indicators, positive)
+	return positive, nil
+}
+
+// Run processes clips 0..nclips−1 and returns the result sequences.
+func (e *CNFEngine) Run(nclips int) (interval.Set, error) {
+	for c := e.nextClip; int(c) < nclips; c++ {
+		if _, err := e.ProcessClip(c); err != nil {
+			return nil, err
+		}
+	}
+	return e.Sequences(), nil
+}
+
+// Sequences returns the maximal runs of positive clips so far.
+func (e *CNFEngine) Sequences() interval.Set {
+	return interval.FromIndicators(e.indicators)
+}

@@ -1,0 +1,152 @@
+package svaq
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// cnfWorld has two actions and two objects with known, disjoint
+// placements so clause logic is directly checkable with ideal models.
+func cnfWorld(t *testing.T) *detect.Scene {
+	t.Helper()
+	geom := video.DefaultGeometry()
+	meta := video.Meta{Name: "cnf", Frames: 20000, Geom: geom} // 400 clips
+	truth := annot.NewVideo(meta)
+	// In shots (5 per clip): runA on clips 20..39, runB on clips 60..79.
+	truth.AddAction("runA", interval.Set{{Lo: 100, Hi: 199}})
+	truth.AddAction("runB", interval.Set{{Lo: 300, Hi: 399}})
+	// In frames (50 per clip): car on clips 20..49, dog on clips 70..89.
+	truth.AddObject("car", interval.Set{{Lo: 1000, Hi: 2499}})
+	truth.AddObject("dog", interval.Set{{Lo: 3500, Hi: 4499}})
+	return &detect.Scene{Truth: truth, Seed: 55}
+}
+
+func idealCNF(t *testing.T, scene *detect.Scene, clauses []Clause) interval.Set {
+	t.Helper()
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	nclips := scene.Truth.Meta.Clips()
+	e, err := NewCNF(clauses, det, rec, scene.Truth.Meta.Geom, Config{HorizonClips: nclips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := e.Run(nclips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs
+}
+
+func TestCNFDisjunctionOfActions(t *testing.T) {
+	scene := cnfWorld(t)
+	seqs := idealCNF(t, scene, []Clause{{Actions: []annot.Label{"runA", "runB"}}})
+	want := interval.Set{{Lo: 20, Hi: 39}, {Lo: 60, Hi: 79}}
+	if !seqs.Equal(want) {
+		t.Fatalf("runA OR runB = %v, want %v", seqs, want)
+	}
+}
+
+func TestCNFConjunctionOfClauses(t *testing.T) {
+	scene := cnfWorld(t)
+	// (runA OR runB) AND car: car spans clips 20..49 ⊇ runA only.
+	seqs := idealCNF(t, scene, []Clause{
+		{Actions: []annot.Label{"runA", "runB"}},
+		{Objects: []annot.Label{"car"}},
+	})
+	want := interval.Set{{Lo: 20, Hi: 39}}
+	if !seqs.Equal(want) {
+		t.Fatalf("got %v, want %v", seqs, want)
+	}
+}
+
+func TestCNFTwoActionsConjunction(t *testing.T) {
+	scene := cnfWorld(t)
+	// runA AND runB never co-occur.
+	seqs := idealCNF(t, scene, []Clause{
+		{Actions: []annot.Label{"runA"}},
+		{Actions: []annot.Label{"runB"}},
+	})
+	if len(seqs) != 0 {
+		t.Fatalf("disjoint actions conjunction = %v", seqs)
+	}
+}
+
+func TestCNFMixedClause(t *testing.T) {
+	scene := cnfWorld(t)
+	// runB OR dog: clips 60..89 (runB 60..79, dog 70..89).
+	seqs := idealCNF(t, scene, []Clause{
+		{Actions: []annot.Label{"runB"}, Objects: []annot.Label{"dog"}},
+	})
+	want := interval.Set{{Lo: 60, Hi: 89}}
+	if !seqs.Equal(want) {
+		t.Fatalf("got %v, want %v", seqs, want)
+	}
+}
+
+func TestCNFMatchesSimpleEngineOnConjunction(t *testing.T) {
+	scene := cnfWorld(t)
+	q := annot.Query{Action: "runA", Objects: []annot.Label{"car"}}
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	nclips := scene.Truth.Meta.Clips()
+	cfg := Config{HorizonClips: nclips, Dynamic: true}
+
+	simple, err := New(q, det, rec, scene.Truth.Meta.Geom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := simple.Run(nclips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnf, err := NewCNF([]Clause{
+		{Actions: []annot.Label{"runA"}},
+		{Objects: []annot.Label{"car"}},
+	}, det, rec, scene.Truth.Meta.Geom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cnf.Run(nclips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatalf("CNF and simple engines disagree on a conjunction:\n%v\nvs\n%v", s1, s2)
+	}
+}
+
+func TestCNFValidation(t *testing.T) {
+	scene := cnfWorld(t)
+	geom := scene.Truth.Meta.Geom
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	if _, err := NewCNF(nil, det, rec, geom, Config{}); err == nil {
+		t.Error("no clauses accepted")
+	}
+	if _, err := NewCNF([]Clause{{}}, det, rec, geom, Config{}); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if _, err := NewCNF([]Clause{{Objects: []annot.Label{"car"}}}, nil, rec, geom, Config{}); err == nil {
+		t.Error("missing detector accepted")
+	}
+	if _, err := NewCNF([]Clause{{Actions: []annot.Label{"runA"}}}, det, nil, geom, Config{}); err == nil {
+		t.Error("missing recognizer accepted")
+	}
+}
+
+func TestCNFOrderEnforced(t *testing.T) {
+	scene := cnfWorld(t)
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	e, err := NewCNF([]Clause{{Actions: []annot.Label{"runA"}}}, det, rec, scene.Truth.Meta.Geom, Config{HorizonClips: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProcessClip(3); err == nil {
+		t.Fatal("out-of-order clip accepted")
+	}
+}

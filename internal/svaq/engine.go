@@ -1,0 +1,345 @@
+// Package svaq implements the online case of the paper (§3): streaming
+// algorithms SVAQ (Algorithm 1, static critical values) and SVAQD
+// (Algorithm 3, dynamic background-probability updates) that identify
+// the video-stream segments satisfying a query combining an action with
+// object predicates.
+//
+// The engine consumes clips in order. For each clip it evaluates the
+// per-predicate indicators of Algorithm 2 — counting positive
+// per-frame object detections and per-shot action predictions against
+// the scan-statistics critical values k_crit (§3.2) — and merges
+// consecutive positive clips into result sequences (Equation 4).
+package svaq
+
+import (
+	"fmt"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// Config tunes an Engine. The zero value is completed by sensible
+// defaults in New.
+type Config struct {
+	// Thresholds are T_obj and T_act (§2); zero value uses
+	// detect.DefaultThresholds.
+	Thresholds detect.Thresholds
+	// Alpha is the significance level of Equation 5 (default 0.05).
+	Alpha float64
+	// HorizonClips is the clip count whose occurrence units form the
+	// scan statistic's total trial count N (default 2000). For bounded
+	// videos, pass the video's clip count.
+	HorizonClips int
+	// Dynamic selects SVAQD: background probabilities are estimated
+	// online (§3.3) and critical values recomputed as they move. False
+	// selects SVAQ with fixed probabilities.
+	Dynamic bool
+	// P0Object / P0Action are the initial background probabilities. For
+	// SVAQ they are final; for SVAQD they only seed the estimators
+	// (default 1e-4, the paper's SVAQ operating point).
+	P0Object float64
+	P0Action float64
+	// KernelU is the SVAQD kernel scale in occurrence units (default
+	// 4000 frames for objects; the action estimator scales it by the
+	// shot length so both kernels span the same wall-clock extent).
+	KernelU float64
+	// ShortCircuit evaluates predicates sequentially and skips the rest
+	// of a clip once one predicate fails (Algorithm 2 lines 6–8),
+	// saving model invocations at the price of starving later
+	// predicates' estimators on negative clips. The ablation bench
+	// exercises both settings.
+	ShortCircuit bool
+	// AdaptiveOrder reorders the short-circuit pipeline online by
+	// ascending cost/(1−pass-rate) — the footnote 5 future work; see
+	// order.go. Only meaningful with ShortCircuit.
+	AdaptiveOrder bool
+	// ExploreEvery forces every predicate to be evaluated on every
+	// n-th clip when both ShortCircuit and AdaptiveOrder are on, so the
+	// pass-rate estimates of late-pipeline predicates stay fresh
+	// (default 20).
+	ExploreEvery int
+	// ActionCostWeight scales the per-invocation cost of the action
+	// recognizer relative to a frame detection when ranking predicates
+	// (default 4: shot models are heavier; e.g. I3D vs Mask R-CNN
+	// per-invocation latency).
+	ActionCostWeight float64
+	// MinK floors the critical values. The self-consistent background
+	// estimation of SVAQD (estimators learn only from clips whose
+	// counts are statistically consistent with background) needs k ≥ 2
+	// to converge. Zero means auto: 2 for Dynamic engines, 1 otherwise.
+	MinK int
+	// RecomputeTol skips the critical-value recomputation while a
+	// background probability stays within this relative distance of the
+	// value it last used (default 0.02). Set negative to force
+	// recomputation on every update.
+	RecomputeTol float64
+	// RecordIndicators keeps the per-frame / per-shot prediction
+	// indicator streams for the query labels, enabling the FPR analysis
+	// of Table 5. Off by default (memory proportional to stream length).
+	RecordIndicators bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thresholds == (detect.Thresholds{}) {
+		c.Thresholds = detect.DefaultThresholds()
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.HorizonClips == 0 {
+		c.HorizonClips = 2000
+	}
+	if c.P0Object == 0 {
+		c.P0Object = 1e-4
+	}
+	if c.P0Action == 0 {
+		c.P0Action = 1e-4
+	}
+	if c.KernelU == 0 {
+		c.KernelU = 4000
+	}
+	if c.ExploreEvery == 0 {
+		c.ExploreEvery = 20
+	}
+	if c.ActionCostWeight == 0 {
+		c.ActionCostWeight = 4
+	}
+	return c
+}
+
+// trackerConfig translates the engine configuration for one predicate's
+// LabelTracker.
+func (c Config) trackerConfig(unitsPerClip int, p0, kernelU float64) TrackerConfig {
+	return TrackerConfig{
+		UnitsPerClip: unitsPerClip,
+		HorizonClips: c.HorizonClips,
+		Alpha:        c.Alpha,
+		P0:           p0,
+		Dynamic:      c.Dynamic,
+		KernelU:      kernelU,
+		MinK:         c.MinK,
+		RecomputeTol: c.RecomputeTol,
+	}
+}
+
+// ClipResult reports the evaluation of one clip (Algorithm 2).
+type ClipResult struct {
+	Clip     video.ClipIdx
+	Positive bool
+	// ObjectCounts holds, per evaluated object predicate, the number of
+	// frames in the clip with a positive prediction. Predicates skipped
+	// by short-circuiting are absent.
+	ObjectCounts map[annot.Label]int
+	// ActionCount is the number of shots with a positive action
+	// prediction; −1 when the action was skipped by short-circuiting.
+	ActionCount int
+	// RelationCounts holds, per evaluated relation predicate (footnote 2
+	// extension; see Engine.WithRelations), the number of frames on
+	// which the relation holds.
+	RelationCounts map[string]int
+	// Invocations counts model calls spent on this clip (object
+	// detector calls plus action recognizer calls).
+	Invocations int
+}
+
+// Engine processes one video stream for one query.
+type Engine struct {
+	query annot.Query
+	det   detect.ObjectDetector
+	rec   detect.ActionRecognizer
+	geom  video.Geometry
+	cfg   Config
+
+	objTrk    map[annot.Label]*LabelTracker
+	actTrk    *LabelTracker
+	relations []relationState
+
+	// short-circuit pipeline (order.go)
+	order []predRef
+	stats []predStats
+
+	nextClip   video.ClipIdx
+	indicators []bool
+
+	// indicator logs (RecordIndicators)
+	objLog map[annot.Label][]bool
+	actLog []bool
+
+	invocations int
+}
+
+// New builds an engine for query q over a stream with the given
+// geometry, using the supplied models.
+func New(q annot.Query, det detect.ObjectDetector, rec detect.ActionRecognizer, geom video.Geometry, cfg Config) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Action != "" && rec == nil {
+		return nil, fmt.Errorf("svaq: query has an action predicate but no action recognizer")
+	}
+	if len(q.Objects) > 0 && det == nil {
+		return nil, fmt.Errorf("svaq: query has object predicates but no object detector")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		query:  q,
+		det:    det,
+		rec:    rec,
+		geom:   geom,
+		cfg:    cfg,
+		objTrk: map[annot.Label]*LabelTracker{},
+		objLog: map[annot.Label][]bool{},
+	}
+	for _, o := range q.Objects {
+		lt, err := NewLabelTracker(cfg.trackerConfig(geom.ClipLen(), cfg.P0Object, cfg.KernelU))
+		if err != nil {
+			return nil, fmt.Errorf("svaq: object %q: %w", o, err)
+		}
+		e.objTrk[o] = lt
+	}
+	if q.Action != "" {
+		// The action tracker works in shots; scale the kernel so it
+		// spans the same wall-clock extent as the object kernels.
+		u := cfg.KernelU / float64(geom.ShotLen)
+		if u < 1 {
+			u = 1
+		}
+		lt, err := NewLabelTracker(cfg.trackerConfig(geom.ShotsPerClip, cfg.P0Action, u))
+		if err != nil {
+			return nil, fmt.Errorf("svaq: action %q: %w", q.Action, err)
+		}
+		e.actTrk = lt
+	}
+	return e, nil
+}
+
+// CriticalValues returns the current per-object critical values and the
+// action critical value (0 if the query has no action predicate).
+func (e *Engine) CriticalValues() (obj map[annot.Label]int, act int) {
+	out := make(map[annot.Label]int, len(e.objTrk))
+	for o, lt := range e.objTrk {
+		out[o] = lt.K()
+	}
+	if e.actTrk != nil {
+		act = e.actTrk.K()
+	}
+	return out, act
+}
+
+// BackgroundP returns the current background probability of the given
+// object predicate, or of the action when label equals the query action.
+func (e *Engine) BackgroundP(label annot.Label) float64 {
+	if lt, ok := e.objTrk[label]; ok {
+		return lt.P()
+	}
+	if label == e.query.Action && e.actTrk != nil {
+		return e.actTrk.P()
+	}
+	return 0
+}
+
+// ProcessClip evaluates the next clip of the stream (clips must be fed
+// in order starting at 0) and returns its evaluation.
+func (e *Engine) ProcessClip(c video.ClipIdx) (ClipResult, error) {
+	if c != e.nextClip {
+		return ClipResult{}, fmt.Errorf("svaq: clips must be processed in order: got %d, want %d", c, e.nextClip)
+	}
+	e.nextClip++
+	res, err := e.evaluateClip(c)
+	if err != nil {
+		return ClipResult{}, err
+	}
+	e.indicators = append(e.indicators, res.Positive)
+	e.invocations += res.Invocations
+	return res, nil
+}
+
+// evaluateClip is Algorithm 2: per-predicate indicators on clip c,
+// optionally short-circuiting after the first failed predicate. The
+// pipeline order is the query order unless Config.AdaptiveOrder is on.
+func (e *Engine) evaluateClip(c video.ClipIdx) (ClipResult, error) {
+	e.initOrder()
+	if e.cfg.AdaptiveOrder {
+		e.reorder()
+	}
+	res := ClipResult{
+		Clip:         c,
+		Positive:     true,
+		ObjectCounts: map[annot.Label]int{},
+		ActionCount:  -1,
+	}
+	// Exploration clips evaluate everything so late-pipeline pass-rate
+	// estimates stay fresh under adaptive ordering.
+	shortCircuit := e.cfg.ShortCircuit
+	if e.cfg.AdaptiveOrder && shortCircuit && int(c)%e.cfg.ExploreEvery == 0 {
+		shortCircuit = false
+	}
+	for _, ref := range e.order {
+		if !res.Positive && shortCircuit {
+			return res, nil
+		}
+		positive, err := e.evalPredicate(ref, c, &res)
+		if err != nil {
+			return res, err
+		}
+		e.observePass(ref, positive)
+		if !positive {
+			res.Positive = false
+		}
+	}
+	return res, nil
+}
+
+// detectObject returns the prediction indicator 1_{o}(v): whether any
+// detection of label o on frame v scores at least T_obj.
+func (e *Engine) detectObject(v video.FrameIdx, o annot.Label) bool {
+	for _, d := range e.det.Detect(v, []annot.Label{o}) {
+		if d.Label == o && d.Score >= e.cfg.Thresholds.Object {
+			return true
+		}
+	}
+	return false
+}
+
+// recognizeAction returns the prediction indicator 1_{a}(s).
+func (e *Engine) recognizeAction(s video.ShotIdx) bool {
+	for _, a := range e.rec.Recognize(s, []annot.Label{e.query.Action}) {
+		if a.Label == e.query.Action && a.Score >= e.cfg.Thresholds.Action {
+			return true
+		}
+	}
+	return false
+}
+
+// Run processes clips 0..nclips−1 and returns the result sequences.
+func (e *Engine) Run(nclips int) (interval.Set, error) {
+	for c := e.nextClip; int(c) < nclips; c++ {
+		if _, err := e.ProcessClip(c); err != nil {
+			return nil, err
+		}
+	}
+	return e.Sequences(), nil
+}
+
+// Sequences returns the result sequences over the clips processed so
+// far: maximal runs of positive clips (Equation 4).
+func (e *Engine) Sequences() interval.Set {
+	return interval.FromIndicators(e.indicators)
+}
+
+// Invocations returns the total number of model invocations so far
+// (frame detections plus shot recognitions).
+func (e *Engine) Invocations() int { return e.invocations }
+
+// ObjectIndicators returns the recorded per-frame indicator stream of
+// an object predicate (nil unless Config.RecordIndicators was set).
+func (e *Engine) ObjectIndicators(o annot.Label) []bool { return e.objLog[o] }
+
+// ActionIndicators returns the recorded per-shot indicator stream of
+// the action predicate (nil unless Config.RecordIndicators was set).
+func (e *Engine) ActionIndicators() []bool { return e.actLog }

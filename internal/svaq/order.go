@@ -1,0 +1,196 @@
+package svaq
+
+import (
+	"fmt"
+	"sort"
+
+	"vaq/internal/video"
+)
+
+// Footnote 5 of the paper defers "a thorough investigation into the
+// impact of the predicate order" to future work and evaluates predicates
+// in user-given order. This file implements that future work: with
+// Config.AdaptiveOrder, the engine reorders the short-circuit
+// evaluation pipeline online by the classic pipelined-filter rule —
+// ascending cost / (1 − pass-rate) — using per-predicate pass rates
+// estimated from the stream itself. Periodic exploration clips evaluate
+// every predicate so that the estimates of predicates parked late in the
+// pipeline stay fresh.
+
+// predKind distinguishes the three predicate families of the engine.
+type predKind int
+
+const (
+	predObject predKind = iota
+	predRelation
+	predAction
+)
+
+// predRef addresses one predicate of the engine's query.
+type predRef struct {
+	kind predKind
+	idx  int // index into query.Objects or relations; unused for the action
+}
+
+// predStats tracks one predicate's online ordering statistics.
+type predStats struct {
+	// passRate is an exponentially-weighted estimate of
+	// P(indicator positive), the predicate's (non-)selectivity.
+	passRate float64
+	// cost is the predicate's model invocations per clip, optionally
+	// weighted (actions run heavier models on fewer units).
+	cost float64
+	// evaluated counts the clips on which the predicate actually ran.
+	evaluated int
+}
+
+// passDecay is the EWMA factor for pass-rate updates.
+const passDecay = 0.98
+
+// initOrder builds the predicate pipeline in the paper's default order:
+// objects in query order, then relations, then the action.
+func (e *Engine) initOrder() {
+	if e.order != nil {
+		return
+	}
+	clipFrames := float64(e.geom.ClipLen())
+	actCost := float64(e.geom.ShotsPerClip) * e.cfg.ActionCostWeight
+	for i := range e.query.Objects {
+		e.order = append(e.order, predRef{kind: predObject, idx: i})
+		e.stats = append(e.stats, predStats{passRate: 0.5, cost: clipFrames})
+	}
+	for i := range e.relations {
+		e.order = append(e.order, predRef{kind: predRelation, idx: i})
+		e.stats = append(e.stats, predStats{passRate: 0.5, cost: clipFrames})
+	}
+	if e.query.Action != "" {
+		e.order = append(e.order, predRef{kind: predAction})
+		e.stats = append(e.stats, predStats{passRate: 0.5, cost: actCost})
+	}
+}
+
+// statIndex maps a predRef back to its stats slot (stats are stored in
+// construction order: objects, relations, action).
+func (e *Engine) statIndex(r predRef) int {
+	switch r.kind {
+	case predObject:
+		return r.idx
+	case predRelation:
+		return len(e.query.Objects) + r.idx
+	default:
+		return len(e.query.Objects) + len(e.relations)
+	}
+}
+
+// reorder sorts the pipeline by ascending cost/(1−passRate): cheap,
+// highly selective predicates run first so failed clips are abandoned
+// early (the optimal ordering for independent pipelined filters).
+func (e *Engine) reorder() {
+	rank := func(r predRef) float64 {
+		s := e.stats[e.statIndex(r)]
+		reject := 1 - s.passRate
+		if reject < 0.05 {
+			reject = 0.05 // never let a non-selective predicate look free
+		}
+		return s.cost / reject
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return rank(e.order[a]) < rank(e.order[b])
+	})
+}
+
+// observePass feeds a predicate's outcome into its ordering statistics.
+func (e *Engine) observePass(r predRef, positive bool) {
+	s := &e.stats[e.statIndex(r)]
+	v := 0.0
+	if positive {
+		v = 1
+	}
+	s.passRate = passDecay*s.passRate + (1-passDecay)*v
+	s.evaluated++
+}
+
+// evalPredicate runs one predicate of the pipeline on clip c, updating
+// the clip result and the predicate's tracker; it returns the indicator.
+func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (bool, error) {
+	switch r.kind {
+	case predObject:
+		o := e.query.Objects[r.idx]
+		frameLo, frameHi := e.geom.FrameRangeOfClip(c)
+		count := 0
+		for v := frameLo; v < frameHi; v++ {
+			pos := e.detectObject(v, o)
+			if pos {
+				count++
+			}
+			if e.cfg.RecordIndicators {
+				e.objLog[o] = append(e.objLog[o], pos)
+			}
+		}
+		res.Invocations += int(frameHi - frameLo)
+		res.ObjectCounts[o] = count
+		positive, err := e.objTrk[o].ObserveClip(count)
+		if err != nil {
+			return false, fmt.Errorf("svaq: object %q: %w", o, err)
+		}
+		return positive, nil
+
+	case predRelation:
+		rs := e.relations[r.idx]
+		frameLo, frameHi := e.geom.FrameRangeOfClip(c)
+		count := 0
+		for v := frameLo; v < frameHi; v++ {
+			if rs.rd.Holds(v) {
+				count++
+			}
+		}
+		res.Invocations += int(frameHi - frameLo)
+		if res.RelationCounts == nil {
+			res.RelationCounts = map[string]int{}
+		}
+		res.RelationCounts[rs.rd.Relation().String()] = count
+		positive, err := rs.trk.ObserveClip(count)
+		if err != nil {
+			return false, fmt.Errorf("svaq: relation %v: %w", rs.rd.Relation(), err)
+		}
+		return positive, nil
+
+	default: // predAction
+		shotLo, shotHi := e.geom.ShotRangeOfClip(c)
+		count := 0
+		for s := shotLo; s < shotHi; s++ {
+			pos := e.recognizeAction(s)
+			if pos {
+				count++
+			}
+			if e.cfg.RecordIndicators {
+				e.actLog = append(e.actLog, pos)
+			}
+		}
+		res.Invocations += int(shotHi - shotLo)
+		res.ActionCount = count
+		positive, err := e.actTrk.ObserveClip(count)
+		if err != nil {
+			return false, fmt.Errorf("svaq: action %q: %w", e.query.Action, err)
+		}
+		return positive, nil
+	}
+}
+
+// Order reports the current pipeline as human-readable predicate names,
+// for diagnostics and the ordering ablation.
+func (e *Engine) Order() []string {
+	e.initOrder()
+	out := make([]string, len(e.order))
+	for i, r := range e.order {
+		switch r.kind {
+		case predObject:
+			out[i] = "obj:" + string(e.query.Objects[r.idx])
+		case predRelation:
+			out[i] = "rel:" + e.relations[r.idx].rd.Relation().String()
+		default:
+			out[i] = "act:" + string(e.query.Action)
+		}
+	}
+	return out
+}

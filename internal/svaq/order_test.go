@@ -1,0 +1,129 @@
+package svaq
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// orderWorld: "rare" is almost never present (highly selective); "common"
+// is almost always present (barely selective). The optimal pipeline
+// evaluates rare first.
+func orderWorld(t *testing.T) (*detect.Scene, annot.Query) {
+	t.Helper()
+	geom := video.DefaultGeometry()
+	meta := video.Meta{Name: "ord", Frames: 50000, Geom: geom} // 1000 clips
+	truth := annot.NewVideo(meta)
+	truth.AddAction("run", interval.Set{{Lo: 400, Hi: 499}}) // clips 80..99
+	truth.AddObject("common", interval.Set{{Lo: 0, Hi: 49999}})
+	truth.AddObject("rare", interval.Set{{Lo: 4000, Hi: 4999}}) // clips 80..99
+	return &detect.Scene{Truth: truth, Seed: 31},
+		annot.Query{Action: "run", Objects: []annot.Label{"common", "rare"}}
+}
+
+func TestAdaptiveOrderSavesInvocations(t *testing.T) {
+	scene, q := orderWorld(t)
+	nclips := scene.Truth.Meta.Clips()
+	run := func(adaptive bool) (*Engine, int) {
+		det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+		e, err := New(q, det, rec, scene.Truth.Meta.Geom, Config{
+			HorizonClips: nclips, ShortCircuit: true, AdaptiveOrder: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(nclips); err != nil {
+			t.Fatal(err)
+		}
+		return e, e.Invocations()
+	}
+	// The user-given order puts the worst predicate (common) first.
+	_, fixed := run(false)
+	eng, adaptive := run(true)
+	if adaptive >= fixed {
+		t.Fatalf("adaptive ordering saved nothing: %d vs %d", adaptive, fixed)
+	}
+	// The optimizer must have moved the rare (selective) object ahead
+	// of the common one.
+	order := eng.Order()
+	posOf := func(name string) int {
+		for i, n := range order {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("predicate %q missing from order %v", name, order)
+		return -1
+	}
+	if posOf("obj:rare") > posOf("obj:common") {
+		t.Fatalf("rare predicate not promoted: %v", order)
+	}
+}
+
+func TestAdaptiveOrderSameResults(t *testing.T) {
+	scene, q := orderWorld(t)
+	nclips := scene.Truth.Meta.Clips()
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	mk := func(adaptive bool) interval.Set {
+		e, err := New(q, det, rec, scene.Truth.Meta.Geom, Config{
+			HorizonClips: nclips, ShortCircuit: true, AdaptiveOrder: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs, err := e.Run(nclips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seqs
+	}
+	// With ideal models the reported sequences are order-independent.
+	if a, b := mk(true), mk(false); !a.Equal(b) {
+		t.Fatalf("adaptive ordering changed results: %v vs %v", a, b)
+	}
+}
+
+func TestOrderDefaultIsQueryOrder(t *testing.T) {
+	scene, q := orderWorld(t)
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	e, err := New(q, det, rec, scene.Truth.Meta.Geom, Config{HorizonClips: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := e.Order()
+	want := []string{"obj:common", "obj:rare", "act:run"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("default order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOrderIncludesRelations(t *testing.T) {
+	scene, q := orderWorld(t)
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	e, err := New(q, det, rec, scene.Truth.Meta.Geom, Config{HorizonClips: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WithRelations([]detect.Relation{{A: "rare", B: "common", Kind: detect.Near}}); err != nil {
+		t.Fatal(err)
+	}
+	order := e.Order()
+	found := false
+	for _, n := range order {
+		if n == "rel:rare near common" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("relation missing from order %v", order)
+	}
+}

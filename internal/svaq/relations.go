@@ -1,0 +1,41 @@
+package svaq
+
+import (
+	"fmt"
+
+	"vaq/internal/detect"
+)
+
+// Footnote 2 extension: queries may additionally constrain spatial
+// relationships between objects ("human left of the car"). Each relation
+// yields a binary per-frame output derived from the detection outcomes
+// (detect.EvalRelation) and is then treated exactly like an object
+// predicate: counted per clip and compared against its own
+// scan-statistics critical value.
+
+// WithRelations augments an engine built by New with relation
+// predicates. It must be called before the first clip is processed.
+func (e *Engine) WithRelations(rels []detect.Relation) error {
+	if e.nextClip != 0 {
+		return fmt.Errorf("svaq: relations must be added before processing starts")
+	}
+	if len(rels) > 0 && e.det == nil {
+		return fmt.Errorf("svaq: relation predicates need an object detector")
+	}
+	for _, r := range rels {
+		lt, err := NewLabelTracker(e.cfg.trackerConfig(e.geom.ClipLen(), e.cfg.P0Object, e.cfg.KernelU))
+		if err != nil {
+			return fmt.Errorf("svaq: relation %v: %w", r, err)
+		}
+		e.relations = append(e.relations, relationState{
+			rd:  detect.NewRelationDetector(e.det, r, e.cfg.Thresholds.Object),
+			trk: lt,
+		})
+	}
+	return nil
+}
+
+type relationState struct {
+	rd  *detect.RelationDetector
+	trk *LabelTracker
+}

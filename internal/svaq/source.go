@@ -1,0 +1,124 @@
+package svaq
+
+import (
+	"context"
+	"fmt"
+
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// Source abstracts a clip-granularity video feed for the online case: a
+// live camera, a file decoder, or a simulated stream. Next blocks until
+// the next clip is available and reports done when the stream ends.
+type Source interface {
+	// Next returns the index of the next clip (consecutive from 0) or
+	// done = true at end of stream.
+	Next(ctx context.Context) (c video.ClipIdx, done bool, err error)
+}
+
+// SequenceEvent notifies a subscriber of result-sequence boundaries as
+// the stream progresses — the online reporting mode of §1 ("query
+// results have to be reported as the video streams").
+type SequenceEvent struct {
+	// Open is true when a new result sequence starts at Clip; false
+	// when the sequence that started earlier closes at Clip (its last
+	// positive clip).
+	Open bool
+	Clip video.ClipIdx
+}
+
+// Consume drives the engine from a source until the stream ends or the
+// context is cancelled, delivering sequence boundary events to onEvent
+// (which may be nil). It returns the result sequences over everything
+// processed.
+func (e *Engine) Consume(ctx context.Context, src Source, onEvent func(SequenceEvent)) (interval.Set, error) {
+	inSeq := false
+	var last video.ClipIdx
+	for {
+		if err := ctx.Err(); err != nil {
+			return e.Sequences(), err
+		}
+		c, done, err := src.Next(ctx)
+		if done {
+			break
+		}
+		if err != nil {
+			return e.Sequences(), err
+		}
+		res, err := e.ProcessClip(c)
+		if err != nil {
+			return e.Sequences(), err
+		}
+		switch {
+		case res.Positive && !inSeq:
+			inSeq = true
+			if onEvent != nil {
+				onEvent(SequenceEvent{Open: true, Clip: c})
+			}
+		case !res.Positive && inSeq:
+			inSeq = false
+			if onEvent != nil {
+				onEvent(SequenceEvent{Open: false, Clip: last})
+			}
+		}
+		last = c
+	}
+	if inSeq && onEvent != nil {
+		onEvent(SequenceEvent{Open: false, Clip: last})
+	}
+	return e.Sequences(), nil
+}
+
+// SliceSource replays a fixed number of clips; the simplest Source.
+type SliceSource struct {
+	n    int
+	next video.ClipIdx
+}
+
+// NewSliceSource returns a source yielding clips 0..n−1.
+func NewSliceSource(n int) *SliceSource { return &SliceSource{n: n} }
+
+// Next implements Source.
+func (s *SliceSource) Next(ctx context.Context) (video.ClipIdx, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, false, err
+	}
+	if int(s.next) >= s.n {
+		return 0, true, nil
+	}
+	c := s.next
+	s.next++
+	return c, false, nil
+}
+
+// ChanSource adapts a channel of clip indices into a Source; closing
+// the channel ends the stream. Clips must arrive consecutively from 0
+// (the engine enforces it).
+type ChanSource struct {
+	C <-chan video.ClipIdx
+}
+
+// Next implements Source.
+func (s ChanSource) Next(ctx context.Context) (video.ClipIdx, bool, error) {
+	select {
+	case <-ctx.Done():
+		return 0, false, ctx.Err()
+	case c, ok := <-s.C:
+		if !ok {
+			return 0, true, nil
+		}
+		return c, false, nil
+	}
+}
+
+var _ Source = (*SliceSource)(nil)
+var _ Source = ChanSource{}
+
+// String implements fmt.Stringer for diagnostics.
+func (ev SequenceEvent) String() string {
+	if ev.Open {
+		return fmt.Sprintf("open@%d", ev.Clip)
+	}
+	return fmt.Sprintf("close@%d", ev.Clip)
+}

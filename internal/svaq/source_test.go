@@ -1,0 +1,117 @@
+package svaq
+
+import (
+	"context"
+	"testing"
+
+	"vaq/internal/detect"
+	"vaq/internal/video"
+)
+
+func TestConsumeMatchesRun(t *testing.T) {
+	scene, q := testWorld(t, 21)
+	nclips := scene.Truth.Meta.Clips()
+	a := engines(t, scene, q, Config{HorizonClips: nclips})
+	b := engines(t, scene, q, Config{HorizonClips: nclips})
+
+	want, err := a.Run(nclips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []SequenceEvent
+	got, err := b.Consume(context.Background(), NewSliceSource(nclips), func(ev SequenceEvent) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("Consume %v != Run %v", got, want)
+	}
+	// Events come in open/close pairs matching the sequences.
+	if len(events) != 2*len(want) {
+		t.Fatalf("events = %v for sequences %v", events, want)
+	}
+	for i, seq := range want {
+		open, clos := events[2*i], events[2*i+1]
+		if !open.Open || int(open.Clip) != seq.Lo {
+			t.Fatalf("event %d = %v, want open@%d", 2*i, open, seq.Lo)
+		}
+		if clos.Open || int(clos.Clip) != seq.Hi {
+			t.Fatalf("event %d = %v, want close@%d", 2*i+1, clos, seq.Hi)
+		}
+	}
+}
+
+func TestConsumeCancellation(t *testing.T) {
+	scene, q := testWorld(t, 22)
+	e := engines(t, scene, q, Config{HorizonClips: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Consume(ctx, NewSliceSource(100), nil); err == nil {
+		t.Fatal("cancelled context not surfaced")
+	}
+}
+
+func TestChanSource(t *testing.T) {
+	scene, q := testWorld(t, 23)
+	e := engines(t, scene, q, Config{HorizonClips: 50})
+	ch := make(chan video.ClipIdx)
+	go func() {
+		for c := 0; c < 50; c++ {
+			ch <- video.ClipIdx(c)
+		}
+		close(ch)
+	}()
+	got, err := e.Consume(context.Background(), ChanSource{C: ch}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := engines(t, scene, q, Config{HorizonClips: 50})
+	want, _ := ref.Run(50)
+	if !got.Equal(want) {
+		t.Fatalf("ChanSource result %v != %v", got, want)
+	}
+}
+
+func TestChanSourceCancel(t *testing.T) {
+	ch := make(chan video.ClipIdx)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := ChanSource{C: ch}
+	if _, _, err := src.Next(ctx); err == nil {
+		t.Fatal("cancelled Next returned no error")
+	}
+}
+
+func TestSequenceEventString(t *testing.T) {
+	if (SequenceEvent{Open: true, Clip: 3}).String() != "open@3" {
+		t.Error("open string")
+	}
+	if (SequenceEvent{Clip: 7}).String() != "close@7" {
+		t.Error("close string")
+	}
+}
+
+// Consume must also notify the final close when the stream ends inside
+// a sequence.
+func TestConsumeClosesAtEOF(t *testing.T) {
+	scene, q := testWorld(t, 24)
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, nil)
+	e, err := New(q, det, rec, scene.Truth.Meta.Geom, Config{HorizonClips: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clips 19..24 lie inside the first truth episode (shots 100..179 =
+	// clips 20..35); stop mid-sequence at clip 24.
+	var events []SequenceEvent
+	if _, err := e.Consume(context.Background(), NewSliceSource(25), func(ev SequenceEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[len(events)-1].Open {
+		t.Fatalf("missing final close event: %v", events)
+	}
+}

@@ -1,0 +1,177 @@
+package svaq
+
+import (
+	"fmt"
+
+	"vaq/internal/bgprob"
+	"vaq/internal/scanstat"
+)
+
+// LabelTracker is the per-predicate statistical state machine shared by
+// the online engine (one tracker per query predicate) and the ingestion
+// phase (one tracker per supported label): it turns per-clip event
+// counts into clip indicators using the scan-statistics critical value
+// (Equations 1–2, 5) and, in dynamic mode, re-estimates the background
+// probability online (§3.3).
+type LabelTracker struct {
+	w       int // window length in occurrence units (units per clip)
+	horizon int // total occurrence units N for Equation 5
+	alpha   float64
+	minK    int
+	tol     float64
+	dynamic bool
+
+	est   *bgprob.Estimator
+	k     int     // detection critical value
+	kExcl int     // estimator exclusion threshold (single-window)
+	pLast float64 // probability at last recomputation
+}
+
+// TrackerConfig parameterizes a LabelTracker.
+type TrackerConfig struct {
+	// UnitsPerClip is the scanning window w: frames per clip for object
+	// predicates, shots per clip for action predicates.
+	UnitsPerClip int
+	// HorizonClips is N/w of Equation 5.
+	HorizonClips int
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// P0 is the (initial) background probability.
+	P0 float64
+	// Dynamic enables the §3.3 online estimation; false freezes P0.
+	Dynamic bool
+	// KernelU is the estimator kernel scale in occurrence units.
+	KernelU float64
+	// MinK floors the critical value (see Config.MinK).
+	MinK int
+	// RecomputeTol is the relative probability change that triggers
+	// recomputation (see Config.RecomputeTol).
+	RecomputeTol float64
+}
+
+// NewLabelTracker builds a tracker; the zero-valued optional fields of
+// cfg get the engine defaults.
+func NewLabelTracker(cfg TrackerConfig) (*LabelTracker, error) {
+	if cfg.UnitsPerClip <= 0 {
+		return nil, fmt.Errorf("svaq: UnitsPerClip must be positive, got %d", cfg.UnitsPerClip)
+	}
+	if cfg.HorizonClips <= 0 {
+		return nil, fmt.Errorf("svaq: HorizonClips must be positive, got %d", cfg.HorizonClips)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.05
+	}
+	if cfg.KernelU <= 0 {
+		cfg.KernelU = 4000
+	}
+	if cfg.MinK == 0 {
+		if cfg.Dynamic {
+			cfg.MinK = 2
+		} else {
+			cfg.MinK = 1
+		}
+	}
+	if cfg.RecomputeTol == 0 {
+		cfg.RecomputeTol = 0.02
+	}
+	est, err := bgprob.New(cfg.KernelU, cfg.P0)
+	if err != nil {
+		return nil, err
+	}
+	lt := &LabelTracker{
+		w:       cfg.UnitsPerClip,
+		horizon: cfg.HorizonClips * cfg.UnitsPerClip,
+		alpha:   cfg.Alpha,
+		minK:    cfg.MinK,
+		tol:     cfg.RecomputeTol,
+		dynamic: cfg.Dynamic,
+		est:     est,
+		pLast:   -1, // force the initial recomputation
+	}
+	if err := lt.recompute(); err != nil {
+		return nil, err
+	}
+	return lt, nil
+}
+
+// recompute derives the detection critical value k (Equation 5) and the
+// estimator exclusion threshold from the current background
+// probability, skipping the work while the probability is within tol of
+// the last value used.
+func (lt *LabelTracker) recompute() error {
+	p := lt.est.P()
+	if lt.pLast >= 0 && withinTol(p, lt.pLast, lt.tol) {
+		return nil
+	}
+	k, err := criticalOrMax(scanstat.Params{P: p, W: lt.w, N: lt.horizon}, lt.alpha)
+	if err != nil {
+		return err
+	}
+	lt.k = max(min(k, lt.w), lt.minK)
+	// The exclusion threshold uses a single-window horizon so it stays
+	// decoupled from the detection threshold: tying exclusion to the
+	// detection k lets boundary clips ratchet the background estimate
+	// upward (see updateEstimator).
+	kx, err := criticalOrMax(scanstat.Params{P: p, W: lt.w, N: lt.w}, lt.alpha)
+	if err != nil {
+		return err
+	}
+	lt.kExcl = max(min(kx, lt.w), 2)
+	lt.pLast = p
+	return nil
+}
+
+// criticalOrMax degrades to requiring a full window of events when no k
+// rejects at the requested level (background too noisy to ever reject).
+func criticalOrMax(pr scanstat.Params, alpha float64) (int, error) {
+	k, err := scanstat.CriticalValue(pr, alpha)
+	if err == scanstat.ErrNoCriticalValue {
+		return pr.W, nil
+	}
+	return k, err
+}
+
+// withinTol reports whether p is within rel relative distance of ref.
+func withinTol(p, ref, rel float64) bool {
+	if rel < 0 {
+		return false
+	}
+	if ref == 0 {
+		return p == 0
+	}
+	d := p - ref
+	if d < 0 {
+		d = -d
+	}
+	return d/ref <= rel
+}
+
+// ObserveClip consumes one clip's positive-prediction count and returns
+// the clip indicator (count ≥ k_crit). In dynamic mode it also feeds the
+// background estimator and refreshes the critical value.
+func (lt *LabelTracker) ObserveClip(count int) (bool, error) {
+	positive := count >= lt.k
+	if lt.dynamic {
+		// §1: the background distribution describes model predictions
+		// when the predicate is NOT satisfied; clips whose counts are
+		// already significant for a single window are excluded so true
+		// event-dense segments cannot contaminate the estimate.
+		if count < lt.kExcl {
+			lt.est.ObserveRun(lt.w, count)
+		}
+		if err := lt.recompute(); err != nil {
+			return positive, err
+		}
+	}
+	return positive, nil
+}
+
+// Indicator returns the clip indicator for a count without mutating the
+// tracker.
+func (lt *LabelTracker) Indicator(count int) bool { return count >= lt.k }
+
+// K returns the current detection critical value.
+func (lt *LabelTracker) K() int { return lt.k }
+
+// P returns the current background probability estimate.
+func (lt *LabelTracker) P() float64 { return lt.est.P() }

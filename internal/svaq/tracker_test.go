@@ -1,0 +1,165 @@
+package svaq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLabelTrackerValidation(t *testing.T) {
+	if _, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 0, HorizonClips: 10}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 100, P0: 1e-4}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestStaticTrackerKeepsK(t *testing.T) {
+	lt, err := NewLabelTracker(TrackerConfig{
+		UnitsPerClip: 50, HorizonClips: 2000, P0: 1e-3, Dynamic: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := lt.K()
+	for i := 0; i < 200; i++ {
+		if _, err := lt.ObserveClip(i % 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lt.K() != k0 {
+		t.Fatalf("static tracker changed k: %d -> %d", k0, lt.K())
+	}
+}
+
+func TestDynamicTrackerConvergesToNoiseRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lt, err := NewLabelTracker(TrackerConfig{
+		UnitsPerClip: 50, HorizonClips: 2000, P0: 1e-4, Dynamic: true, KernelU: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure-noise stream at 1% per unit.
+	const noise = 0.01
+	for c := 0; c < 3000; c++ {
+		count := 0
+		for u := 0; u < 50; u++ {
+			if rng.Float64() < noise {
+				count++
+			}
+		}
+		if _, err := lt.ObserveClip(count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := lt.P(); p < 0.004 || p > 0.02 {
+		t.Fatalf("estimated background %v far from %v", lt.P(), noise)
+	}
+	// A true event burst (45/50 units) must be flagged positive and
+	// must NOT move the background estimate.
+	before := lt.P()
+	pos, err := lt.ObserveClip(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos {
+		t.Fatal("dense clip not positive")
+	}
+	if lt.P() != before {
+		t.Fatalf("dense clip contaminated the estimate: %v -> %v", before, lt.P())
+	}
+}
+
+func TestDynamicTrackerPriorWashesOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	finalK := map[float64]int{}
+	for _, p0 := range []float64{1e-6, 1e-2} {
+		lt, err := NewLabelTracker(TrackerConfig{
+			UnitsPerClip: 50, HorizonClips: 2000, P0: p0, Dynamic: true, KernelU: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(rng.Int63()))
+		_ = r
+		local := rand.New(rand.NewSource(7)) // same stream for both priors
+		for c := 0; c < 4000; c++ {
+			count := 0
+			for u := 0; u < 50; u++ {
+				if local.Float64() < 0.008 {
+					count++
+				}
+			}
+			if _, err := lt.ObserveClip(count); err != nil {
+				t.Fatal(err)
+			}
+		}
+		finalK[p0] = lt.K()
+	}
+	if finalK[1e-6] != finalK[1e-2] {
+		t.Fatalf("priors did not wash out: k=%v", finalK)
+	}
+}
+
+func TestTrackerIndicatorPure(t *testing.T) {
+	lt, _ := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 100, P0: 1e-3})
+	k := lt.K()
+	if lt.Indicator(k-1) || !lt.Indicator(k) {
+		t.Fatal("Indicator boundary wrong")
+	}
+	if lt.K() != k {
+		t.Fatal("Indicator mutated the tracker")
+	}
+}
+
+func TestMinKFloor(t *testing.T) {
+	lt, err := NewLabelTracker(TrackerConfig{
+		UnitsPerClip: 50, HorizonClips: 100, P0: 1e-9, Dynamic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.K() < 2 {
+		t.Fatalf("dynamic k = %d, want ≥ 2", lt.K())
+	}
+	lt2, _ := NewLabelTracker(TrackerConfig{
+		UnitsPerClip: 50, HorizonClips: 100, P0: 1e-9, Dynamic: true, MinK: 5,
+	})
+	if lt2.K() < 5 {
+		t.Fatalf("explicit MinK ignored: %d", lt2.K())
+	}
+}
+
+func TestSaturatedBackgroundDegradesToFullWindow(t *testing.T) {
+	lt, err := NewLabelTracker(TrackerConfig{
+		UnitsPerClip: 10, HorizonClips: 1000, P0: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.K() != 10 {
+		t.Fatalf("k = %d, want full window 10", lt.K())
+	}
+}
+
+func TestWithinTol(t *testing.T) {
+	if !withinTol(1.0, 1.01, 0.02) {
+		t.Error("within tolerance rejected")
+	}
+	if withinTol(1.0, 1.5, 0.02) {
+		t.Error("out of tolerance accepted")
+	}
+	if withinTol(0.5, 0, 0.02) {
+		t.Error("uninitialized ref accepted")
+	}
+	if !withinTol(0, 0, 0.02) {
+		t.Error("zero-zero rejected")
+	}
+	if withinTol(1.0, 1.0, -1) {
+		t.Error("negative tolerance must force recompute")
+	}
+}

@@ -1,0 +1,78 @@
+package tables
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func benchRows(n int) []Row {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{CID: int32(i), Score: rng.Float64() * 100}
+	}
+	return rows
+}
+
+func BenchmarkMemSortedRow(b *testing.B) {
+	t := NewMemTable("x", benchRows(10000))
+	var c AccessCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.SortedRow(i%10000, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemRandomGet(b *testing.B) {
+	t := NewMemTable("x", benchRows(10000))
+	var c AccessCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := t.RandomGet(int32(i%12000), &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileRandomGet measures the disk-backed random access the
+// offline experiments pay per clip score lookup (Tables 6–8).
+func BenchmarkFileRandomGet(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "t.tbl")
+	if err := WriteFile(path, "x", benchRows(10000)); err != nil {
+		b.Fatal(err)
+	}
+	t, err := OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	var c AccessCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := t.RandomGet(int32(i%12000), &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileSortedRow(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "t.tbl")
+	if err := WriteFile(path, "x", benchRows(10000)); err != nil {
+		b.Fatal(err)
+	}
+	t, err := OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	var c AccessCounter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.SortedRow(i%10000, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package temporal composes query result sequences over time — the §7
+// future-work direction of queries relating actions to one another
+// ("queries involving interactions between objects and actions in the
+// video feed"). Given two result-sequence sets (each produced by an
+// SVAQ/SVAQD/RVAQ query), the operators pair them by temporal
+// relationship:
+//
+//   - Then: a B-sequence starts within a bounded gap after an
+//     A-sequence ends ("loading, then the truck drives off"),
+//   - During: a B-sequence lies entirely inside an A-sequence,
+//   - Overlap: the two sequences share at least minOverlap clips.
+//
+// All operators run in O(|A| + |B|) over the sorted inputs (plus output
+// size) and return explicit pairs, so callers can rank or filter the
+// composite events.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"vaq/internal/interval"
+)
+
+// Pair is one composite match.
+type Pair struct {
+	A, B interval.Interval
+	// Gap is the number of clips strictly between A and B for Then
+	// (0 = adjacent); the overlap length for Overlap; 0 for During.
+	Gap int
+}
+
+func (p Pair) String() string {
+	return fmt.Sprintf("%v->%v(gap %d)", p.A, p.B, p.Gap)
+}
+
+// Then pairs each sequence of a with the b-sequences that start after a
+// ends, within maxGap clips (gap 0 means b starts immediately after a).
+// Inputs must be normalized interval sets; output pairs are ordered by
+// (A.Lo, B.Lo).
+func Then(a, b interval.Set, maxGap int) []Pair {
+	if maxGap < 0 {
+		return nil
+	}
+	var out []Pair
+	j := 0
+	for _, av := range a {
+		// First b starting after av ends.
+		for j < len(b) && b[j].Lo <= av.Hi {
+			j++
+		}
+		for k := j; k < len(b); k++ {
+			gap := b[k].Lo - av.Hi - 1
+			if gap > maxGap {
+				break
+			}
+			out = append(out, Pair{A: av, B: b[k], Gap: gap})
+		}
+	}
+	return out
+}
+
+// During pairs each b-sequence with the a-sequence that fully contains
+// it.
+func During(a, b interval.Set) []Pair {
+	var out []Pair
+	i := 0
+	for _, bv := range b {
+		for i < len(a) && a[i].Hi < bv.Hi {
+			i++
+		}
+		if i < len(a) && a[i].Lo <= bv.Lo && bv.Hi <= a[i].Hi {
+			out = append(out, Pair{A: a[i], B: bv})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].A.Lo != out[y].A.Lo {
+			return out[x].A.Lo < out[y].A.Lo
+		}
+		return out[x].B.Lo < out[y].B.Lo
+	})
+	return out
+}
+
+// Overlap pairs sequences of a and b sharing at least minOverlap clips;
+// Gap reports the overlap length.
+func Overlap(a, b interval.Set, minOverlap int) []Pair {
+	if minOverlap < 1 {
+		minOverlap = 1
+	}
+	var out []Pair
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		inter := a[i].Intersect(b[j])
+		if n := inter.Len(); n >= minOverlap {
+			out = append(out, Pair{A: a[i], B: b[j], Gap: n})
+		}
+		if a[i].Hi < b[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Spans merges each pair into the single clip range it covers (from the
+// start of A to the end of B), normalized — useful for reporting a
+// composite event as one sequence.
+func Spans(pairs []Pair) interval.Set {
+	ivs := make([]interval.Interval, len(pairs))
+	for i, p := range pairs {
+		lo, hi := p.A.Lo, p.B.Hi
+		if p.B.Lo < lo {
+			lo = p.B.Lo
+		}
+		if p.A.Hi > hi {
+			hi = p.A.Hi
+		}
+		ivs[i] = interval.Interval{Lo: lo, Hi: hi}
+	}
+	return interval.Normalize(ivs)
+}

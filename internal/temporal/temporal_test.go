@@ -1,0 +1,137 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/interval"
+)
+
+func TestThen(t *testing.T) {
+	a := interval.Set{{Lo: 0, Hi: 4}, {Lo: 20, Hi: 24}}
+	b := interval.Set{{Lo: 5, Hi: 8}, {Lo: 10, Hi: 12}, {Lo: 30, Hi: 31}}
+	got := Then(a, b, 5)
+	want := []Pair{
+		{A: interval.Interval{Lo: 0, Hi: 4}, B: interval.Interval{Lo: 5, Hi: 8}, Gap: 0},
+		{A: interval.Interval{Lo: 0, Hi: 4}, B: interval.Interval{Lo: 10, Hi: 12}, Gap: 5},
+		{A: interval.Interval{Lo: 20, Hi: 24}, B: interval.Interval{Lo: 30, Hi: 31}, Gap: 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Then = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestThenZeroGapOnly(t *testing.T) {
+	a := interval.Set{{Lo: 0, Hi: 4}}
+	b := interval.Set{{Lo: 5, Hi: 6}, {Lo: 8, Hi: 9}}
+	got := Then(a, b, 0)
+	if len(got) != 1 || got[0].B.Lo != 5 {
+		t.Fatalf("Then maxGap=0 = %v", got)
+	}
+	if Then(a, b, -1) != nil {
+		t.Fatal("negative gap should yield nil")
+	}
+}
+
+func TestThenIgnoresOverlapping(t *testing.T) {
+	a := interval.Set{{Lo: 0, Hi: 10}}
+	b := interval.Set{{Lo: 5, Hi: 15}} // starts inside a: not "then"
+	if got := Then(a, b, 100); len(got) != 0 {
+		t.Fatalf("overlapping b treated as following: %v", got)
+	}
+}
+
+func TestDuring(t *testing.T) {
+	a := interval.Set{{Lo: 0, Hi: 20}, {Lo: 40, Hi: 60}}
+	b := interval.Set{{Lo: 5, Hi: 10}, {Lo: 18, Hi: 25}, {Lo: 45, Hi: 60}}
+	got := During(a, b)
+	if len(got) != 2 {
+		t.Fatalf("During = %v", got)
+	}
+	if got[0].B != (interval.Interval{Lo: 5, Hi: 10}) || got[1].B != (interval.Interval{Lo: 45, Hi: 60}) {
+		t.Fatalf("During pairs = %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := interval.Set{{Lo: 0, Hi: 10}, {Lo: 20, Hi: 30}}
+	b := interval.Set{{Lo: 8, Hi: 22}}
+	got := Overlap(a, b, 3)
+	if len(got) != 2 {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if got[0].Gap != 3 || got[1].Gap != 3 {
+		t.Fatalf("overlap lengths = %v", got)
+	}
+	if got2 := Overlap(a, b, 4); len(got2) != 0 {
+		t.Fatalf("minOverlap not honored: %v", got2)
+	}
+	// minOverlap floor at 1.
+	if got3 := Overlap(a, b, 0); len(got3) != 2 {
+		t.Fatalf("minOverlap floor: %v", got3)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	pairs := []Pair{
+		{A: interval.Interval{Lo: 0, Hi: 4}, B: interval.Interval{Lo: 6, Hi: 9}},
+		{A: interval.Interval{Lo: 8, Hi: 12}, B: interval.Interval{Lo: 13, Hi: 14}},
+	}
+	got := Spans(pairs)
+	want := interval.Set{{Lo: 0, Hi: 14}}
+	if !got.Equal(want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+	if len(Spans(nil)) != 0 {
+		t.Fatal("empty spans")
+	}
+}
+
+// Property: Then against a quadratic oracle on random inputs.
+func TestPropThenMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		a := randomSet(rng)
+		b := randomSet(rng)
+		maxGap := rng.Intn(20)
+		got := Then(a, b, maxGap)
+		var want []Pair
+		for _, av := range a {
+			for _, bv := range b {
+				if bv.Lo > av.Hi && bv.Lo-av.Hi-1 <= maxGap {
+					want = append(want, Pair{A: av, B: bv, Gap: bv.Lo - av.Hi - 1})
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, want %d (a=%v b=%v gap=%d)", trial, len(got), len(want), a, b, maxGap)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d pair %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand) interval.Set {
+	n := rng.Intn(6)
+	ivs := make([]interval.Interval, n)
+	for i := range ivs {
+		lo := rng.Intn(150)
+		ivs[i] = interval.Interval{Lo: lo, Hi: lo + rng.Intn(15)}
+	}
+	return interval.Normalize(ivs)
+}
+
+func TestPairString(t *testing.T) {
+	p := Pair{A: interval.Interval{Lo: 1, Hi: 2}, B: interval.Interval{Lo: 4, Hi: 5}, Gap: 1}
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+}

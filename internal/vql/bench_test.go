@@ -1,0 +1,27 @@
+package vql
+
+import "testing"
+
+// BenchmarkParseAndCompile measures the full front-end on the paper's
+// offline example query.
+func BenchmarkParseAndCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAndCompile(offlineQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCNFLowering(b *testing.B) {
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+	WHERE (act='a' AND obj.include('x','y')) OR (act='b' AND obj.include('z'))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package vql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vaq/internal/annot"
+)
+
+// PredicateKind distinguishes the two simple predicate forms.
+type PredicateKind int
+
+const (
+	// ActionPred is `act = 'label'`.
+	ActionPred PredicateKind = iota
+	// ObjectPred is one label of `obj.include(...)`.
+	ObjectPred
+	// RelationPred is `rel('a', 'kind', 'b')` (footnote 2 extension).
+	RelationPred
+)
+
+// Predicate is a simple predicate in the lowered plan.
+type Predicate struct {
+	Kind  PredicateKind
+	Label annot.Label
+	// Relation fields (RelationPred only).
+	RelA, RelB annot.Label
+	RelKind    string
+}
+
+func (p Predicate) String() string {
+	switch p.Kind {
+	case ActionPred:
+		return "act=" + string(p.Label)
+	case RelationPred:
+		return fmt.Sprintf("rel(%s %s %s)", p.RelA, p.RelKind, p.RelB)
+	}
+	return "obj:" + string(p.Label)
+}
+
+// Plan is the compiled, executable form of a VQL statement. The WHERE
+// clause is lowered to conjunctive normal form: the query is satisfied
+// on a clip iff every clause has at least one satisfied predicate
+// (footnotes 3–4 of the paper).
+type Plan struct {
+	// Input names the video or stream.
+	Input string
+	// CNF is the predicate tree in conjunctive normal form; empty means
+	// no WHERE clause.
+	CNF [][]Predicate
+	// K is the LIMIT (0 = unlimited); Ranked marks ORDER BY RANK.
+	K      int
+	Ranked bool
+}
+
+// Compile lowers a parsed statement to a Plan.
+func Compile(st *Statement) (*Plan, error) {
+	if st.Input == "" {
+		return nil, fmt.Errorf("vql: statement has no input video")
+	}
+	hasMerge := false
+	for _, it := range st.Select {
+		if it.Func == "MERGE" {
+			hasMerge = true
+		}
+	}
+	if !hasMerge && len(st.Select) > 0 && st.Select[0].Func != "" {
+		return nil, fmt.Errorf("vql: SELECT must project MERGE(clipID) (or a bare column)")
+	}
+	p := &Plan{Input: st.Input, K: st.Limit, Ranked: st.OrderByRank}
+	if st.Where != nil {
+		p.CNF = toCNF(st.Where)
+		for _, clause := range p.CNF {
+			if len(clause) == 0 {
+				return nil, fmt.Errorf("vql: empty clause after CNF lowering")
+			}
+		}
+	}
+	if st.OrderByRank && st.Limit == 0 {
+		return nil, fmt.Errorf("vql: ORDER BY RANK requires LIMIT K")
+	}
+	return p, nil
+}
+
+// ParseAndCompile parses src and compiles it in one step.
+func ParseAndCompile(src string) (*Plan, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(st)
+}
+
+// toCNF lowers a predicate tree to conjunctive normal form by
+// distributing OR over AND, expanding obj.include into one predicate per
+// label, and deduplicating predicates within each clause.
+func toCNF(e Expr) [][]Predicate {
+	switch e := e.(type) {
+	case ActionEq:
+		return [][]Predicate{{{Kind: ActionPred, Label: annot.Label(e.Label)}}}
+	case ObjInclude:
+		// include(a, b) means both present: one singleton clause each.
+		out := make([][]Predicate, 0, len(e.Labels))
+		for _, l := range e.Labels {
+			out = append(out, []Predicate{{Kind: ObjectPred, Label: annot.Label(l)}})
+		}
+		return out
+	case RelationExpr:
+		return [][]Predicate{{{
+			Kind: RelationPred,
+			RelA: annot.Label(e.A), RelB: annot.Label(e.B), RelKind: e.Kind,
+		}}}
+	case And:
+		return append(toCNF(e.L), toCNF(e.R)...)
+	case Or:
+		// (A1 ∧ ... ∧ An) ∨ (B1 ∧ ... ∧ Bm) = ∧_{i,j} (Ai ∨ Bj)
+		left, right := toCNF(e.L), toCNF(e.R)
+		var out [][]Predicate
+		for _, lc := range left {
+			for _, rc := range right {
+				out = append(out, dedupClause(append(append([]Predicate{}, lc...), rc...)))
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func dedupClause(c []Predicate) []Predicate {
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].Kind != c[j].Kind {
+			return c[i].Kind < c[j].Kind
+		}
+		return c[i].Label < c[j].Label
+	})
+	out := c[:0]
+	for i, p := range c {
+		if i == 0 || p != c[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SimpleQuery reports whether the plan is a pure conjunction of simple
+// object/action predicates with at most one action — the form the
+// SVAQ/SVAQD/RVAQ algorithms consume directly — and returns it as an
+// annot.Query. Plans with relation predicates are not simple; use
+// SimpleQueryWithRelations.
+func (p *Plan) SimpleQuery() (annot.Query, bool) {
+	q, rels, ok := p.SimpleQueryWithRelations()
+	if !ok || len(rels) > 0 {
+		return annot.Query{}, false
+	}
+	return q, true
+}
+
+// SimpleQueryWithRelations is SimpleQuery extended to conjunctions that
+// also carry relation predicates (footnote 2): it returns the base
+// conjunctive query plus the relation predicates in clause order.
+func (p *Plan) SimpleQueryWithRelations() (annot.Query, []Predicate, bool) {
+	var q annot.Query
+	var rels []Predicate
+	seenObj := map[annot.Label]bool{}
+	for _, clause := range p.CNF {
+		if len(clause) != 1 {
+			return annot.Query{}, nil, false
+		}
+		pred := clause[0]
+		switch pred.Kind {
+		case ActionPred:
+			if q.Action != "" && q.Action != pred.Label {
+				return annot.Query{}, nil, false // multiple distinct actions
+			}
+			q.Action = pred.Label
+		case ObjectPred:
+			if !seenObj[pred.Label] {
+				seenObj[pred.Label] = true
+				q.Objects = append(q.Objects, pred.Label)
+			}
+		case RelationPred:
+			rels = append(rels, pred)
+		}
+	}
+	if q.Validate() != nil {
+		return annot.Query{}, nil, false
+	}
+	return q, rels, true
+}
+
+// Labels returns all object and action labels the plan references, each
+// sorted, for model binding.
+func (p *Plan) Labels() (objects, actions []annot.Label) {
+	objSet, actSet := map[annot.Label]bool{}, map[annot.Label]bool{}
+	for _, clause := range p.CNF {
+		for _, pred := range clause {
+			switch pred.Kind {
+			case ActionPred:
+				actSet[pred.Label] = true
+			case ObjectPred:
+				objSet[pred.Label] = true
+			case RelationPred:
+				objSet[pred.RelA] = true
+				objSet[pred.RelB] = true
+			}
+		}
+	}
+	for l := range objSet {
+		objects = append(objects, l)
+	}
+	for l := range actSet {
+		actions = append(actions, l)
+	}
+	sort.Slice(objects, func(i, j int) bool { return objects[i] < objects[j] })
+	sort.Slice(actions, func(i, j int) bool { return actions[i] < actions[j] })
+	return objects, actions
+}
+
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan(%s", p.Input)
+	for _, clause := range p.CNF {
+		parts := make([]string, len(clause))
+		for i, pr := range clause {
+			parts[i] = pr.String()
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " OR "))
+	}
+	if p.Ranked {
+		fmt.Fprintf(&b, " rank top-%d", p.K)
+	} else if p.K > 0 {
+		fmt.Fprintf(&b, " limit %d", p.K)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts also compiles or fails with a proper error (never a panic).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		onlineQuery,
+		offlineQuery,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE rel('a','near','b')`,
+		`SELECT x FROM (PROCESS v PRODUCE a, b USING M) WHERE a='x' OR (b.include('y') AND a='z')`,
+		`SELECT`,
+		`SELECT MERGE(c FROM`,
+		`'`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) LIMIT 99999999999999999999`,
+		"SELECT \x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Compile(st); err != nil {
+			return
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer against arbitrary bytes.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT a = 'b' AND c.include('d')")
+	f.Add(strings.Repeat("(", 100))
+	f.Add("123abc_x.y,z='w'")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream not EOF-terminated: %v", toks)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package vql implements the SQL-like video query language of the
+// paper's examples (§1–2):
+//
+//	SELECT MERGE(clipID) AS Sequence
+//	FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector,
+//	      act USING ActionRecognizer)
+//	WHERE act = 'jumping' AND obj.include('car', 'human')
+//
+// and the offline form with ranking:
+//
+//	SELECT MERGE(clipID) AS Sequence, RANK(act, obj)
+//	FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker,
+//	      act USING ActionRecognizer)
+//	WHERE act = 'jumping' AND obj.include('car', 'human')
+//	ORDER BY RANK(act, obj) LIMIT 5
+//
+// The package provides a lexer, a recursive-descent parser producing an
+// AST, and a compiler lowering the AST to the engine's Query form. The
+// WHERE clause supports conjunctions of action equality predicates and
+// obj.include(...) object-presence predicates; multiple actions and
+// disjunctions (footnotes 3–4 of the paper) are accepted by the grammar
+// and lowered to conjunctive normal form.
+package vql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted literal
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokEq
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// Error is a query-language error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("vql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the query text.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, errf(i, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+// keyword reports whether tok is the given case-insensitive keyword.
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

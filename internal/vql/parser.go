@@ -1,0 +1,391 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Statement is the parsed form of a VQL query.
+type Statement struct {
+	// Select lists the projection items (MERGE(clipID) AS alias,
+	// RANK(...)).
+	Select []SelectItem
+	// Input names the video (or stream) in the PROCESS clause.
+	Input string
+	// Produce lists the PROCESS ... PRODUCE bindings.
+	Produce []Binding
+	// Where is the predicate tree (nil if absent).
+	Where Expr
+	// OrderByRank is true when an ORDER BY RANK(...) clause is present.
+	OrderByRank bool
+	// Limit is the LIMIT K value; 0 means absent.
+	Limit int
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Func  string   // "MERGE" or "RANK" (empty for a bare column)
+	Args  []string // argument identifiers
+	Alias string   // AS alias, optional
+}
+
+// Binding is one PRODUCE item, optionally bound to a model with USING.
+type Binding struct {
+	Name  string // e.g. clipID, obj, act, frameSequence, det
+	Model string // e.g. ObjectDetector, ActionRecognizer (optional)
+}
+
+// Expr is a WHERE-clause predicate tree.
+type Expr interface{ isExpr() }
+
+// And / Or are boolean connectives.
+type And struct{ L, R Expr }
+
+// Or is a disjunction (lowered to CNF by the compiler).
+type Or struct{ L, R Expr }
+
+// ActionEq is `act = 'label'`.
+type ActionEq struct {
+	Column string // the PRODUCE binding referenced (usually "act")
+	Label  string
+}
+
+// ObjInclude is `obj.include('a', 'b', ...)`.
+type ObjInclude struct {
+	Column string // usually "obj"
+	Labels []string
+}
+
+// RelationExpr is `rel('human', 'left_of', 'car')` — the footnote 2
+// extension constraining a spatial relationship between two objects.
+type RelationExpr struct {
+	A, Kind, B string
+}
+
+func (And) isExpr()          {}
+func (Or) isExpr()           {}
+func (ActionEq) isExpr()     {}
+func (ObjInclude) isExpr()   {}
+func (RelationExpr) isExpr() {}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a VQL statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peek().keyword("") && p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "unexpected %s %q after statement", p.peek().kind, p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.keyword(kw) {
+		return errf(t.pos, "expected %s, got %q", strings.ToUpper(kw), t.text)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, errf(t.pos, "expected %s, got %q", kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) statement() (*Statement, error) {
+	st := &Statement{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = append(st.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("PROCESS"); err != nil {
+		return nil, err
+	}
+	in, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	st.Input = in.text
+	if err := p.expectKeyword("PRODUCE"); err != nil {
+		return nil, err
+	}
+	for {
+		b, err := p.binding()
+		if err != nil {
+			return nil, err
+		}
+		st.Produce = append(st.Produce, b)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if p.peek().keyword("WHERE") {
+		p.next()
+		st.Where, err = p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().keyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if !t.keyword("RANK") {
+			return nil, errf(t.pos, "only ORDER BY RANK(...) is supported, got %q", t.text)
+		}
+		if err := p.skipParenGroup(); err != nil {
+			return nil, err
+		}
+		st.OrderByRank = true
+	}
+	if p.peek().keyword("LIMIT") {
+		p.next()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(n.text)
+		if err != nil || k <= 0 {
+			return nil, errf(n.pos, "LIMIT must be a positive integer, got %q", n.text)
+		}
+		st.Limit = k
+	}
+	return st, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{}
+	if p.peek().kind == tokLParen {
+		item.Func = strings.ToUpper(t.text)
+		p.next()
+		for p.peek().kind != tokRParen {
+			a, err := p.expect(tokIdent)
+			if err != nil {
+				return item, err
+			}
+			item.Args = append(item.Args, a.text)
+			if p.peek().kind == tokComma {
+				p.next()
+			}
+		}
+		p.next() // ')'
+	} else {
+		item.Args = []string{t.text}
+	}
+	if p.peek().keyword("AS") {
+		p.next()
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return item, err
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+func (p *parser) binding() (Binding, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return Binding{}, err
+	}
+	b := Binding{Name: t.text}
+	if p.peek().keyword("USING") {
+		p.next()
+		m, err := p.expect(tokIdent)
+		if err != nil {
+			return b, err
+		}
+		b.Model = m.text
+	}
+	return b, nil
+}
+
+// skipParenGroup consumes a balanced parenthesized group.
+func (p *parser) skipParenGroup() error {
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t.kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+		case tokEOF:
+			return errf(t.pos, "unbalanced parentheses")
+		}
+	}
+	return nil
+}
+
+// orExpr := andExpr { OR andExpr }
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().keyword("OR") {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+// andExpr := primary { AND primary }
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().keyword("AND") {
+		p.next()
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+// primary := '(' orExpr ')' | ident '=' string | ident '.' ident '(' strings ')'
+func (p *parser) primary() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(col.text, "rel") && p.peek().kind == tokLParen {
+		return p.relationExpr()
+	}
+	switch p.peek().kind {
+	case tokEq:
+		p.next()
+		lit, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		return ActionEq{Column: col.text, Label: lit.text}, nil
+	case tokDot:
+		p.next()
+		m, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(m.text, "include") && !strings.EqualFold(m.text, "inc") {
+			return nil, errf(m.pos, "unknown method %q (expected include)", m.text)
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		var labels []string
+		for p.peek().kind != tokRParen {
+			lit, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			labels = append(labels, lit.text)
+			if p.peek().kind == tokComma {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		if len(labels) == 0 {
+			return nil, errf(col.pos, "%s.include requires at least one label", col.text)
+		}
+		return ObjInclude{Column: col.text, Labels: labels}, nil
+	default:
+		return nil, errf(p.peek().pos, "expected '=' or '.include' after %q", col.text)
+	}
+}
+
+// relationExpr := REL '(' string ',' string ',' string ')'
+func (p *parser) relationExpr() (Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var parts []string
+	for i := 0; i < 3; i++ {
+		lit, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, lit.text)
+		if i < 2 {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return RelationExpr{A: parts[0], Kind: parts[1], B: parts[2]}, nil
+}

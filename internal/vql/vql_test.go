@@ -1,0 +1,302 @@
+package vql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vaq/internal/annot"
+)
+
+const onlineQuery = `
+SELECT MERGE(clipID) AS Sequence
+FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+WHERE act = 'jumping' AND obj.include('car', 'human')`
+
+const offlineQuery = `
+SELECT MERGE(clipID) AS Sequence, RANK(act, obj)
+FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer)
+WHERE act = 'jumping' AND obj.include('car', 'human')
+ORDER BY RANK(act, obj) LIMIT 5`
+
+func TestLexBasic(t *testing.T) {
+	toks, err := lex(`SELECT a, b(c) WHERE x = 'hi' AND n.inc("q") LIMIT 12`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.kind
+	}
+	want := []tokenKind{
+		tokIdent, tokIdent, tokComma, tokIdent, tokLParen, tokIdent, tokRParen,
+		tokIdent, tokIdent, tokEq, tokString, tokIdent, tokIdent, tokDot,
+		tokIdent, tokLParen, tokString, tokRParen, tokIdent, tokNumber, tokEOF,
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kinds = %v\nwant  = %v", kinds, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex(`'unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex(`a @ b`); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseOnlineQuery(t *testing.T) {
+	st, err := Parse(onlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Input != "inputVideo" {
+		t.Errorf("input = %q", st.Input)
+	}
+	if len(st.Select) != 1 || st.Select[0].Func != "MERGE" || st.Select[0].Alias != "Sequence" {
+		t.Errorf("select = %+v", st.Select)
+	}
+	if len(st.Produce) != 3 || st.Produce[1].Model != "ObjectDetector" {
+		t.Errorf("produce = %+v", st.Produce)
+	}
+	and, ok := st.Where.(And)
+	if !ok {
+		t.Fatalf("where = %T", st.Where)
+	}
+	if _, ok := and.L.(ActionEq); !ok {
+		t.Errorf("left = %T", and.L)
+	}
+	inc, ok := and.R.(ObjInclude)
+	if !ok || len(inc.Labels) != 2 {
+		t.Errorf("right = %#v", and.R)
+	}
+	if st.OrderByRank || st.Limit != 0 {
+		t.Errorf("unexpected order/limit: %+v", st)
+	}
+}
+
+func TestParseOfflineQuery(t *testing.T) {
+	st, err := Parse(offlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.OrderByRank || st.Limit != 5 {
+		t.Fatalf("order/limit = %v/%d", st.OrderByRank, st.Limit)
+	}
+	if len(st.Select) != 2 || st.Select[1].Func != "RANK" {
+		t.Fatalf("select = %+v", st.Select)
+	}
+}
+
+func TestParsePaperIntroQuery(t *testing.T) {
+	// The §1 example with the `inc` alias.
+	src := `SELECT MERGE(clipID) AS Sequence
+	FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+	WHERE act='robot_dancing' AND obj.inc('car', 'human')`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := plan.SimpleQuery()
+	if !ok {
+		t.Fatal("intro query should be simple")
+	}
+	if q.Action != "robot_dancing" || len(q.Objects) != 2 {
+		t.Fatalf("query = %v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT x FROM y`,                    // FROM must open a PROCESS group
+		`SELECT x FROM (PROCESS v)`,          // missing PRODUCE
+		`SELECT x FROM (PROCESS v PRODUCE a`, // unclosed paren
+		onlineQuery + ` LIMIT 0`,             // non-positive limit
+		onlineQuery + ` trailing`,            // garbage after statement
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE a.unknown('x')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE obj.include()`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act <`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) ORDER BY foo(a)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid query %q", strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestCompileSimple(t *testing.T) {
+	plan, err := ParseAndCompile(onlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := plan.SimpleQuery()
+	if !ok {
+		t.Fatal("conjunctive query should be simple")
+	}
+	if q.Action != "jumping" {
+		t.Errorf("action = %q", q.Action)
+	}
+	want := []annot.Label{"car", "human"}
+	if !reflect.DeepEqual(q.Objects, want) {
+		t.Errorf("objects = %v", q.Objects)
+	}
+	objs, acts := plan.Labels()
+	if !reflect.DeepEqual(objs, want) || !reflect.DeepEqual(acts, []annot.Label{"jumping"}) {
+		t.Errorf("labels = %v / %v", objs, acts)
+	}
+	if plan.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCompileRankRequiresLimit(t *testing.T) {
+	src := strings.Replace(offlineQuery, "LIMIT 5", "", 1)
+	if _, err := ParseAndCompile(src); err == nil {
+		t.Error("ORDER BY RANK without LIMIT accepted")
+	}
+}
+
+func TestCompileDisjunctionCNF(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act)
+	WHERE act = 'running' OR act = 'jumping'`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.CNF) != 1 || len(plan.CNF[0]) != 2 {
+		t.Fatalf("CNF = %v", plan.CNF)
+	}
+	if _, ok := plan.SimpleQuery(); ok {
+		t.Fatal("disjunction should not be simple")
+	}
+}
+
+func TestCompileDistributesOrOverAnd(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act)
+	WHERE (act = 'a1' AND obj.include('o1')) OR act = 'a2'`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CNF: (a1 ∨ a2) ∧ (o1 ∨ a2).
+	if len(plan.CNF) != 2 {
+		t.Fatalf("CNF = %v", plan.CNF)
+	}
+	for _, clause := range plan.CNF {
+		if len(clause) != 2 {
+			t.Fatalf("clause = %v", clause)
+		}
+	}
+}
+
+func TestCompileMultipleActions(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, act)
+	WHERE act = 'running' AND act = 'smiling'`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.SimpleQuery(); ok {
+		t.Fatal("two distinct actions should not be simple")
+	}
+	objs, acts := plan.Labels()
+	if len(objs) != 0 || len(acts) != 2 {
+		t.Fatalf("labels = %v / %v", objs, acts)
+	}
+}
+
+func TestCompileDedupsObjects(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj)
+	WHERE obj.include('car') AND obj.include('car')`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := plan.SimpleQuery()
+	if !ok || len(q.Objects) != 1 {
+		t.Fatalf("query = %v ok=%v", q, ok)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := Parse(`SELECT ???`)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var e *Error
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	_ = e
+}
+
+func TestParenthesizedWhere(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act)
+	WHERE (act = 'a' AND (obj.include('b')))`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := plan.SimpleQuery(); !ok || q.Action != "a" {
+		t.Fatalf("query = %v", q)
+	}
+}
+
+func TestParseRelationPredicate(t *testing.T) {
+	src := `SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act)
+	WHERE act = 'loading' AND obj.include('person', 'car') AND rel('person', 'left_of', 'car')`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.SimpleQuery(); ok {
+		t.Fatal("plan with relations should not be SimpleQuery")
+	}
+	q, rels, ok := plan.SimpleQueryWithRelations()
+	if !ok {
+		t.Fatal("conjunction with relations should be simple-with-relations")
+	}
+	if q.Action != "loading" || len(q.Objects) != 2 {
+		t.Fatalf("base query = %v", q)
+	}
+	if len(rels) != 1 || rels[0].RelA != "person" || rels[0].RelB != "car" || rels[0].RelKind != "left_of" {
+		t.Fatalf("relations = %+v", rels)
+	}
+	objs, _ := plan.Labels()
+	if len(objs) != 2 { // person, car (dedup with include labels)
+		t.Fatalf("labels = %v", objs)
+	}
+	if plan.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestParseRelationErrors(t *testing.T) {
+	bad := []string{
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE rel('a', 'left_of')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE rel('a', 'left_of', 'b'`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE rel(a, 'left_of', 'b')`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestRelationInsideDisjunction(t *testing.T) {
+	src := `SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+	WHERE rel('a', 'near', 'b') OR act = 'x'`
+	plan, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := plan.SimpleQueryWithRelations(); ok {
+		t.Fatal("disjunctive relation should not be simple")
+	}
+}

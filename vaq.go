@@ -1,0 +1,315 @@
+// Package vaq is a Go implementation of "Querying For Actions Over
+// Videos" (Chao and Koudas, EDBT 2024): declarative queries over videos
+// whose predicates combine an action with object presence, answered
+//
+//   - online over streams with the SVAQ / SVAQD algorithms (scan-
+//     statistics clip indicators with optional dynamic background
+//     estimation), and
+//   - offline over pre-ingested repositories with the RVAQ top-k
+//     algorithm (bounded, skip-pruned ranking over clip score tables).
+//
+// The package is a thin facade over the internal engine. A typical
+// online session:
+//
+//	plan, _ := vaq.ParseQuery(`SELECT MERGE(clipID) AS Sequence
+//	    FROM (PROCESS cam PRODUCE clipID, obj USING ObjectDetector,
+//	          act USING ActionRecognizer)
+//	    WHERE act = 'blowing_leaves' AND obj.include('car')`)
+//	stream, _ := vaq.NewStream(plan, det, rec, vaq.DefaultGeometry(), vaq.StreamConfig{Dynamic: true})
+//	seqs, _ := stream.Run(nclips)
+//
+// and an offline one:
+//
+//	repo, _ := vaq.OpenRepository(dir)
+//	results, stats, _ := repo.TopK("movie", query, 5)
+//
+// Detection models plug in through the ObjectDetector / ActionRecognizer
+// interfaces; the repository ships calibrated simulated models (see
+// package detect) standing in for Mask R-CNN, YOLOv3, I3D and
+// CenterTrack.
+package vaq
+
+import (
+	"fmt"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/ingest"
+	"vaq/internal/interval"
+	"vaq/internal/rvaq"
+	"vaq/internal/svaq"
+	"vaq/internal/temporal"
+	"vaq/internal/video"
+	"vaq/internal/vql"
+)
+
+// Re-exported vocabulary types.
+type (
+	// Label names an object type or action category.
+	Label = annot.Label
+	// Query is a conjunctive query: one action plus object predicates.
+	Query = annot.Query
+	// Geometry fixes the frame/shot/clip structure.
+	Geometry = video.Geometry
+	// Sequence is an inclusive clip-id range — one query result.
+	Sequence = interval.Interval
+	// Sequences is a normalized set of result sequences.
+	Sequences = interval.Set
+	// ObjectDetector and ActionRecognizer are the pluggable model
+	// interfaces.
+	ObjectDetector = detect.ObjectDetector
+	// ActionRecognizer recognizes actions on shots.
+	ActionRecognizer = detect.ActionRecognizer
+	// StreamConfig tunes the online engine (SVAQ when Dynamic is false,
+	// SVAQD when true).
+	StreamConfig = svaq.Config
+	// Plan is a compiled VQL statement.
+	Plan = vql.Plan
+	// TopKResult is one ranked offline result.
+	TopKResult = rvaq.SeqResult
+	// TopKStats reports the cost of an offline query.
+	TopKStats = rvaq.Stats
+)
+
+// DefaultGeometry mirrors the paper's Figure 1 structure: 50-frame
+// clips of five 10-frame shots at 30 fps.
+func DefaultGeometry() Geometry { return video.DefaultGeometry() }
+
+// ParseQuery parses and compiles a VQL statement.
+func ParseQuery(src string) (*Plan, error) { return vql.ParseAndCompile(src) }
+
+// Stream runs an online query over a clip stream.
+type Stream struct {
+	simple *svaq.Engine
+	cnf    *svaq.CNFEngine
+}
+
+// NewStream builds the online engine for a compiled plan. Plans that
+// are pure conjunctions run the paper's SVAQ/SVAQD engine — with any
+// rel(...) predicates attached as relation trackers (footnote 2); plans
+// with disjunctions or multiple actions run the CNF extension engine
+// (footnotes 3–4). Relation predicates inside disjunctions are not
+// supported.
+func NewStream(plan *Plan, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig) (*Stream, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("vaq: nil plan")
+	}
+	if q, relPreds, ok := plan.SimpleQueryWithRelations(); ok {
+		eng, err := svaq.New(q, det, rec, geom, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(relPreds) > 0 {
+			rels := make([]detect.Relation, 0, len(relPreds))
+			for _, rp := range relPreds {
+				kind, err := detect.ParseRelationKind(rp.RelKind)
+				if err != nil {
+					return nil, err
+				}
+				rels = append(rels, detect.Relation{A: rp.RelA, B: rp.RelB, Kind: kind})
+			}
+			if err := eng.WithRelations(rels); err != nil {
+				return nil, err
+			}
+		}
+		return &Stream{simple: eng}, nil
+	}
+	clauses := make([]svaq.Clause, 0, len(plan.CNF))
+	for _, clause := range plan.CNF {
+		var cl svaq.Clause
+		for _, pred := range clause {
+			switch pred.Kind {
+			case vql.ActionPred:
+				cl.Actions = append(cl.Actions, pred.Label)
+			case vql.ObjectPred:
+				cl.Objects = append(cl.Objects, pred.Label)
+			default:
+				return nil, fmt.Errorf("vaq: relation predicates are not supported inside disjunctions")
+			}
+		}
+		clauses = append(clauses, cl)
+	}
+	eng, err := svaq.NewCNF(clauses, det, rec, geom, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{cnf: eng}, nil
+}
+
+// NewStreamQuery builds the online engine directly from a conjunctive
+// query, bypassing VQL.
+func NewStreamQuery(q Query, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig) (*Stream, error) {
+	eng, err := svaq.New(q, det, rec, geom, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{simple: eng}, nil
+}
+
+// ProcessClip evaluates the next clip (fed in order from 0) and reports
+// whether it satisfies the query.
+func (s *Stream) ProcessClip(c int) (bool, error) {
+	if s.simple != nil {
+		res, err := s.simple.ProcessClip(video.ClipIdx(c))
+		return res.Positive, err
+	}
+	return s.cnf.ProcessClip(video.ClipIdx(c))
+}
+
+// Run processes clips 0..nclips−1 and returns the result sequences.
+func (s *Stream) Run(nclips int) (Sequences, error) {
+	if s.simple != nil {
+		return s.simple.Run(nclips)
+	}
+	return s.cnf.Run(nclips)
+}
+
+// Results returns the result sequences over the clips processed so far.
+func (s *Stream) Results() Sequences {
+	if s.simple != nil {
+		return s.simple.Sequences()
+	}
+	return s.cnf.Sequences()
+}
+
+// Engine exposes the underlying conjunctive engine for diagnostics
+// (critical values, background probabilities); nil for CNF plans.
+func (s *Stream) Engine() *svaq.Engine { return s.simple }
+
+// SequencePair is one composite temporal match between two queries'
+// result sequences.
+type SequencePair = temporal.Pair
+
+// Then pairs result sequences of two queries where a b-sequence starts
+// within maxGap clips after an a-sequence ends — composing actions over
+// time, the §7 future-work direction ("loading, then driving off").
+func Then(a, b Sequences, maxGap int) []SequencePair { return temporal.Then(a, b, maxGap) }
+
+// During pairs b-sequences fully contained in an a-sequence.
+func During(a, b Sequences) []SequencePair { return temporal.During(a, b) }
+
+// OverlapSeqs pairs sequences sharing at least minOverlap clips.
+func OverlapSeqs(a, b Sequences, minOverlap int) []SequencePair {
+	return temporal.Overlap(a, b, minOverlap)
+}
+
+// SpanOf merges composite pairs into the single clip ranges they cover.
+func SpanOf(pairs []SequencePair) Sequences { return temporal.Spans(pairs) }
+
+// IngestConfig tunes the offline ingestion phase.
+type IngestConfig = ingest.Config
+
+// VideoData is one ingested video's materialized metadata.
+type VideoData = ingest.VideoData
+
+// IngestVideo runs the one-time ingestion phase (§4.2) over a video:
+// per-label clip score tables and individual sequences for every label
+// the models support.
+func IngestVideo(det ObjectDetector, rec ActionRecognizer, meta video.Meta, objLabels, actLabels []Label, cfg IngestConfig) (*VideoData, error) {
+	return ingest.Video(det, rec, meta, objLabels, actLabels, cfg)
+}
+
+// TopKVideo runs RVAQ directly against one ingested video's metadata
+// (no repository needed).
+func TopKVideo(vd *VideoData, q Query, k int) ([]TopKResult, TopKStats, error) {
+	return rvaq.TopK(vd, q, k, rvaq.DefaultOptions())
+}
+
+// Repository is a directory of ingested videos answering ad-hoc top-k
+// queries.
+type Repository struct {
+	repo *ingest.Repository
+}
+
+// OpenRepository opens (or creates) a repository directory.
+func OpenRepository(dir string) (*Repository, error) {
+	r, err := ingest.OpenRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{repo: r}, nil
+}
+
+// Add persists an ingested video into the repository.
+func (r *Repository) Add(name string, vd *VideoData) error { return r.repo.Add(name, vd) }
+
+// Remove deletes a video from the repository.
+func (r *Repository) Remove(name string) error { return r.repo.Remove(name) }
+
+// Videos lists the repository's video names.
+func (r *Repository) Videos() []string { return r.repo.Names() }
+
+// TopK runs RVAQ against one video of the repository.
+func (r *Repository) TopK(videoName string, q Query, k int) ([]TopKResult, TopKStats, error) {
+	vd, ok := r.repo.Video(videoName)
+	if !ok {
+		return nil, TopKStats{}, fmt.Errorf("vaq: video %q not in repository", videoName)
+	}
+	return rvaq.TopK(vd, q, k, rvaq.DefaultOptions())
+}
+
+// VideoTopKResult tags a result with its video.
+type VideoTopKResult struct {
+	Video string
+	TopKResult
+}
+
+// TopKGlobal merges every video's metadata into one clip-id namespace
+// (§4.2: "associating a video identifier to each clip identifier") and
+// runs RVAQ once across the whole repository, so its bounds and skip
+// set prune globally. Results are mapped back to (video, local range).
+func (r *Repository) TopKGlobal(q Query, k int) ([]VideoTopKResult, TopKStats, error) {
+	names := r.repo.Names()
+	videos := make([]*ingest.VideoData, 0, len(names))
+	for _, n := range names {
+		vd, _ := r.repo.Video(n)
+		videos = append(videos, vd)
+	}
+	merged, err := ingest.Merge(videos, names)
+	if err != nil {
+		return nil, TopKStats{}, err
+	}
+	res, stats, err := rvaq.TopK(merged.VideoData, q, k, rvaq.DefaultOptions())
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]VideoTopKResult, 0, len(res))
+	for _, sr := range res {
+		name, local, ok := merged.LocateSeq(sr.Seq)
+		if !ok {
+			return nil, stats, fmt.Errorf("vaq: result %v outside every video span", sr.Seq)
+		}
+		out = append(out, VideoTopKResult{Video: name, TopKResult: TopKResult{Seq: local, Score: sr.Score}})
+	}
+	return out, stats, nil
+}
+
+// TopKAll runs RVAQ against every video in the repository and merges
+// the per-video rankings into a global top-k (the paper's multi-video
+// setting: each clip identifier is namespaced by its video).
+func (r *Repository) TopKAll(q Query, k int) ([]VideoTopKResult, TopKStats, error) {
+	var all []VideoTopKResult
+	var total TopKStats
+	for _, name := range r.repo.Names() {
+		res, stats, err := r.TopK(name, q, k)
+		if err != nil {
+			return nil, total, fmt.Errorf("vaq: video %q: %w", name, err)
+		}
+		total.Accesses.Add(stats.Accesses)
+		total.Runtime += stats.Runtime
+		total.Candidates += stats.Candidates
+		for _, sr := range res {
+			all = append(all, VideoTopKResult{Video: name, TopKResult: sr})
+		}
+	}
+	// Merge by score.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Score > all[j-1].Score; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, total, nil
+}

@@ -1,0 +1,196 @@
+package vaq
+
+import (
+	"testing"
+
+	"vaq/internal/detect"
+	"vaq/internal/metrics"
+	"vaq/internal/synth"
+)
+
+func quickWorld(t *testing.T) (*synth.QuerySet, ObjectDetector, ActionRecognizer) {
+	t.Helper()
+	qs, err := synth.YouTubeScaled("q2", DefaultGeometry(), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := qs.World.Scene()
+	return qs,
+		detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil),
+		detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+}
+
+func TestParseQueryAndStream(t *testing.T) {
+	qs, det, rec := quickWorld(t)
+	plan, err := ParseQuery(`
+		SELECT MERGE(clipID) AS Sequence
+		FROM (PROCESS cam PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+		WHERE act = 'blowing_leaves' AND obj.include('car')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := qs.World.Truth.Meta
+	stream, err := NewStream(plan, det, rec, meta.Geom, StreamConfig{Dynamic: true, HorizonClips: meta.Clips()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Engine() == nil {
+		t.Fatal("conjunctive plan should use the simple engine")
+	}
+	seqs, err := stream.Run(meta.Clips())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Action: "blowing_leaves", Objects: []Label{"car"}}
+	truth, err := qs.World.Truth.GroundTruthClips(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := metrics.SequenceF1(seqs, truth, 0.5).F1; f1 < 0.6 {
+		t.Fatalf("facade stream F1 = %v", f1)
+	}
+	if !stream.Results().Equal(seqs) {
+		t.Fatal("Results disagrees with Run")
+	}
+}
+
+func TestCNFPlanUsesCNFEngine(t *testing.T) {
+	qs, det, rec := quickWorld(t)
+	plan, err := ParseQuery(`
+		SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID, obj, act)
+		WHERE act = 'blowing_leaves' OR obj.include('car')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := qs.World.Truth.Meta
+	stream, err := NewStream(plan, det, rec, meta.Geom, StreamConfig{HorizonClips: meta.Clips()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Engine() != nil {
+		t.Fatal("disjunctive plan should use the CNF engine")
+	}
+	if _, err := stream.ProcessClip(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Run(50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	_, det, rec := quickWorld(t)
+	if _, err := NewStream(nil, det, rec, DefaultGeometry(), StreamConfig{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := NewStreamQuery(Query{}, det, rec, DefaultGeometry(), StreamConfig{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestRepositoryFacadeEndToEnd(t *testing.T) {
+	qs, det, rec := quickWorld(t)
+	truth := qs.World.Truth
+	vd, err := IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("v1", vd); err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.Videos(); len(got) != 1 || got[0] != "v1" {
+		t.Fatalf("Videos = %v", got)
+	}
+	q := Query{Action: "blowing_leaves", Objects: []Label{"car"}}
+	results, stats, err := repo.TopK("v1", q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 || stats.Candidates == 0 {
+		t.Fatalf("no results: %v %+v", results, stats)
+	}
+	if _, _, err := repo.TopK("ghost", q, 3); err == nil {
+		t.Error("unknown video accepted")
+	}
+	all, _, err := repo.TopKAll(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || all[0].Video != "v1" {
+		t.Fatalf("TopKAll = %v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Score > all[i-1].Score {
+			t.Fatal("TopKAll not sorted")
+		}
+	}
+	if err := repo.Remove("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Videos()) != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestTopKGlobalMatchesPerVideoMerge(t *testing.T) {
+	qs, det, rec := quickWorld(t)
+	truth := qs.World.Truth
+	vd, err := IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("v1", vd); err != nil {
+		t.Fatal(err)
+	}
+	// A second, distinct video.
+	qs2, err := synth.YouTubeScaled("q1", DefaultGeometry(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene2 := qs2.World.Scene()
+	det2 := detect.NewSimObjectDetector(scene2, detect.MaskRCNN, nil)
+	rec2 := detect.NewSimActionRecognizer(scene2, detect.I3D, nil)
+	truth2 := qs2.World.Truth
+	// Give both videos the "car" and "blowing_leaves" labels: v2 simply
+	// has no blowing_leaves episodes, so all matches come from v1.
+	vd2, err := IngestVideo(det2, rec2, truth2.Meta,
+		append(truth2.ObjectLabels(), "car"), append(truth2.ActionLabels(), "blowing_leaves"), IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add("v2", vd2); err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{Action: "blowing_leaves", Objects: []Label{"car"}}
+	global, _, err := repo.TopKGlobal(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perVideo, _, err := repo.TopKAll(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != len(perVideo) {
+		t.Fatalf("lengths differ: %d vs %d", len(global), len(perVideo))
+	}
+	for i := range global {
+		g, p := global[i], perVideo[i]
+		if g.Video != p.Video || g.Seq != p.Seq {
+			t.Fatalf("rank %d: global %s %v vs per-video %s %v", i, g.Video, g.Seq, p.Video, p.Seq)
+		}
+		if diff := g.Score - p.Score; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("rank %d: scores differ: %v vs %v", i, g.Score, p.Score)
+		}
+	}
+}
