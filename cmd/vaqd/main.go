@@ -1,0 +1,94 @@
+// Command vaqd is the query-serving daemon: a resident HTTP server
+// hosting concurrent online VQL sessions over synthetic streams and
+// offline top-k queries against a repository built by vaqingest.
+//
+//	vaqd -addr :8080 -repo vaq-repo -max-sessions 128 -workers 8
+//
+// Create a session and poll it:
+//
+//	curl -s localhost:8080/v1/sessions -d '{"workload": "q2"}'
+//	curl -s 'localhost:8080/v1/sessions/s1/results?wait=5s'
+//
+// vaqd drains gracefully on SIGINT/SIGTERM: new sessions are rejected,
+// in-flight sessions run to completion until -drain-timeout, then are
+// cancelled. See docs/SERVER.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vaq"
+	"vaq/internal/server"
+)
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", ":8080", "listen address")
+		repoFlag     = flag.String("repo", "", "repository directory for /v1/topk (optional)")
+		sessionsFlag = flag.Int("max-sessions", 64, "maximum concurrently running sessions")
+		workersFlag  = flag.Int("workers", 0, "worker pool size shared by all sessions (0 = GOMAXPROCS)")
+		timeoutFlag  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout for create/top-k")
+		waitFlag     = flag.Duration("max-wait", time.Minute, "cap on ?wait= long-poll duration")
+		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets sessions finish before cancelling")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxSessions:    *sessionsFlag,
+		Workers:        *workersFlag,
+		RequestTimeout: *timeoutFlag,
+		MaxWait:        *waitFlag,
+	}
+	if *repoFlag != "" {
+		repo, err := vaq.OpenRepository(*repoFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Repo = repo
+		fmt.Printf("vaqd: repository %s: videos %v\n", *repoFlag, repo.Videos())
+	}
+	srv := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("vaqd: listening on %s (max-sessions %d)\n", *addrFlag, *sessionsFlag)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("vaqd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	// Stop accepting requests first, then drain sessions.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "vaqd: http shutdown:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vaqd: cancelled in-flight sessions:", err)
+	}
+	fmt.Println("vaqd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaqd:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"vaq"
 	"vaq/internal/detect"
 	"vaq/internal/metrics"
+	"vaq/internal/server"
 	"vaq/internal/synth"
 )
 
@@ -27,6 +29,7 @@ func main() {
 		dynFlag   = flag.Bool("dynamic", true, "use SVAQD (dynamic background estimation)")
 		scaleFlag = flag.Float64("scale", 1.0, "workload scale")
 		modelFlag = flag.String("model", "maskrcnn", "object detector profile: maskrcnn, yolov3, ideal")
+		jsonFlag  = flag.Bool("json", false, "emit the result sequences as JSON in the server's response shape")
 	)
 	flag.Parse()
 
@@ -47,7 +50,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("compiled: %v\n", plan)
+		if !*jsonFlag {
+			fmt.Printf("compiled: %v\n", plan)
+		}
 		if q, ok := plan.SimpleQuery(); ok {
 			query = q
 		}
@@ -66,12 +71,17 @@ func main() {
 		}
 	}
 
-	fmt.Printf("streaming %s (%d clips), query %v\n", meta.Name, meta.Clips(), query)
+	if !*jsonFlag {
+		fmt.Printf("streaming %s (%d clips), query %v\n", meta.Name, meta.Clips(), query)
+	}
 	inSeq := false
 	for c := 0; c < meta.Clips(); c++ {
 		pos, err := stream.ProcessClip(c)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonFlag {
+			continue
 		}
 		switch {
 		case pos && !inSeq:
@@ -83,6 +93,21 @@ func main() {
 		}
 	}
 	seqs := stream.Results()
+	if *jsonFlag {
+		// The same shape GET /v1/sessions/{id}/results serves, so
+		// scripted consumers can switch between CLI and API freely.
+		out := server.ResultsResponse{
+			State:          server.StateDone,
+			ClipsProcessed: stream.ClipsProcessed(),
+			Sequences:      server.Ranges(seqs),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("%d result sequences: %v\n", len(seqs), seqs)
 
 	if truth, err := qs.World.Truth.GroundTruthClips(query); err == nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"vaq"
 	"vaq/internal/ingest"
 	"vaq/internal/rvaq"
+	"vaq/internal/server"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 		objectsFlag = flag.String("objects", "", "comma-separated object labels")
 		kFlag       = flag.Int("k", 5, "number of results")
 		compareFlag = flag.Bool("compare", false, "also run FA, RVAQ-noSkip and Pq-Traverse")
+		jsonFlag    = flag.Bool("json", false, "emit results as JSON in the server's /v1/topk response shape (skips -compare)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonFlag {
+			out := server.TopKResponse{
+				Results:        []server.TopKEntry{},
+				RuntimeUS:      stats.Runtime.Microseconds(),
+				RandomAccesses: stats.Accesses.Random,
+				Candidates:     stats.Candidates,
+			}
+			for _, r := range results {
+				out.Results = append(out.Results, server.TopKEntry{
+					Video: r.Video, Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score,
+				})
+			}
+			emitJSON(out)
+			return
+		}
 		fmt.Printf("top-%d for %v across %v (%v, %d random accesses):\n",
 			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
 		for i, r := range results {
@@ -59,6 +77,21 @@ func main() {
 	results, stats, err := repo.TopK(*videoFlag, q, *kFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonFlag {
+		out := server.TopKResponse{
+			Results:        []server.TopKEntry{},
+			RuntimeUS:      stats.Runtime.Microseconds(),
+			RandomAccesses: stats.Accesses.Random,
+			Candidates:     stats.Candidates,
+		}
+		for _, r := range results {
+			out.Results = append(out.Results, server.TopKEntry{
+				Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score,
+			})
+		}
+		emitJSON(out)
+		return
 	}
 	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d):\n",
 		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates)
@@ -96,6 +129,14 @@ func main() {
 		}
 		fmt.Printf("  %-12s %10v  %6d random accesses\n",
 			b.name, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

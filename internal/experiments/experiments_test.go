@@ -174,6 +174,9 @@ func TestOnlineRuntimeShape(t *testing.T) {
 	if r.EndToEndTrainingEst < 60*60*1e9 {
 		t.Error("end-to-end cost model missing")
 	}
+	if r.ClipP50 < 0 || r.ClipP99 < r.ClipP50 {
+		t.Errorf("per-clip quantiles inconsistent: p50 %v, p99 %v", r.ClipP50, r.ClipP99)
+	}
 }
 
 func TestDriftShape(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"vaq/internal/detect"
 	"vaq/internal/interval"
 	"vaq/internal/metrics"
+	"vaq/internal/quantile"
 	"vaq/internal/svaq"
 	"vaq/internal/synth"
 	"vaq/internal/video"
@@ -375,6 +376,10 @@ type RuntimeResult struct {
 	InferenceShare      float64
 	ModelInvocations    int64
 	EndToEndTrainingEst time.Duration // cost model of the per-query end-to-end baseline
+	// Per-clip algorithm latency quantiles (inference excluded — it is
+	// simulated). Tail latency per clip is what bounds how far behind a
+	// live feed the engine can fall.
+	ClipP50, ClipP90, ClipP99 time.Duration
 }
 
 // endToEndTrainingCost models the paper's end-to-end baseline: fine-
@@ -398,9 +403,14 @@ func (c *Context) OnlineRuntime() (*RuntimeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sk := quantile.New(quantile.DefaultTargets()...)
 	start := time.Now()
-	if _, err := eng.Run(meta.Clips()); err != nil {
-		return nil, err
+	for clip := 0; clip < meta.Clips(); clip++ {
+		clipStart := time.Now()
+		if _, err := eng.ProcessClip(video.ClipIdx(clip)); err != nil {
+			return nil, err
+		}
+		sk.Observe(float64(time.Since(clipStart).Microseconds()))
 	}
 	wall := time.Since(start)
 	r := &RuntimeResult{
@@ -412,9 +422,13 @@ func (c *Context) OnlineRuntime() (*RuntimeResult, error) {
 		EndToEndTrainingEst: endToEndTrainingCost,
 	}
 	r.InferenceShare = float64(r.InferenceTime) / float64(r.TotalRuntime)
+	r.ClipP50 = time.Duration(sk.Query(0.5)) * time.Microsecond
+	r.ClipP90 = time.Duration(sk.Query(0.9)) * time.Microsecond
+	r.ClipP99 = time.Duration(sk.Query(0.99)) * time.Microsecond
 	c.printf("Online runtime (%s): total %v = inference %v (%.1f%%) + algorithm %v over %d invocations\n",
 		r.Query, r.TotalRuntime.Round(time.Second), r.InferenceTime.Round(time.Second),
 		100*r.InferenceShare, r.AlgorithmTime.Round(time.Millisecond), r.ModelInvocations)
+	c.printf("  per-clip algorithm latency: p50 %v, p90 %v, p99 %v\n", r.ClipP50, r.ClipP90, r.ClipP99)
 	c.printf("  end-to-end per-query model baseline (cost model): %v training alone\n", r.EndToEndTrainingEst)
 	return r, nil
 }

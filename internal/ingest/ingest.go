@@ -15,6 +15,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,12 @@ import (
 	"vaq/internal/tables"
 	"vaq/internal/video"
 )
+
+// ErrNotIngested reports that a queried label has no materialized
+// metadata in a video. Callers distinguish it from infrastructure
+// failures with errors.Is; the ingested label set is fixed at ingest
+// time, so retrying the same query cannot succeed.
+var ErrNotIngested = errors.New("not ingested")
 
 // Config tunes the ingestion phase.
 type Config struct {
@@ -275,14 +282,14 @@ func (vd *VideoData) CandidateSequences(q annot.Query) (interval.Set, error) {
 	if q.Action != "" {
 		s, ok := vd.ActSeqs[q.Action]
 		if !ok {
-			return nil, fmt.Errorf("ingest: action %q not ingested for video %q", q.Action, vd.Meta.Name)
+			return nil, fmt.Errorf("ingest: action %q %w for video %q", q.Action, ErrNotIngested, vd.Meta.Name)
 		}
 		sets = append(sets, s)
 	}
 	for _, o := range q.Objects {
 		s, ok := vd.ObjSeqs[o]
 		if !ok {
-			return nil, fmt.Errorf("ingest: object %q not ingested for video %q", o, vd.Meta.Name)
+			return nil, fmt.Errorf("ingest: object %q %w for video %q", o, ErrNotIngested, vd.Meta.Name)
 		}
 		sets = append(sets, s)
 	}
@@ -296,14 +303,14 @@ func (vd *VideoData) QueryTables(q annot.Query) (act tables.Table, objs []tables
 	if q.Action != "" {
 		t, ok := vd.ActTables[q.Action]
 		if !ok {
-			return nil, nil, fmt.Errorf("ingest: action %q not ingested for video %q", q.Action, vd.Meta.Name)
+			return nil, nil, fmt.Errorf("ingest: action %q %w for video %q", q.Action, ErrNotIngested, vd.Meta.Name)
 		}
 		act = t
 	}
 	for _, o := range q.Objects {
 		t, ok := vd.ObjTables[o]
 		if !ok {
-			return nil, nil, fmt.Errorf("ingest: object %q not ingested for video %q", o, vd.Meta.Name)
+			return nil, nil, fmt.Errorf("ingest: object %q %w for video %q", o, ErrNotIngested, vd.Meta.Name)
 		}
 		objs = append(objs, t)
 	}

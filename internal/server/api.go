@@ -1,0 +1,144 @@
+// Package server is the query-serving daemon behind cmd/vaqd: a
+// stdlib-only HTTP layer hosting many concurrent online query sessions
+// over the SVAQ/SVAQD engines plus offline RVAQ top-k requests against
+// repositories opened at startup.
+//
+// An online session registers a VQL query against a synthetic workload
+// (or, via the facade, any stream) and a per-session goroutine drives
+// the engine clip by clip through a bounded shared worker pool. Clients
+// poll results (optionally long-polling), read status, and cancel. The
+// serving vocabulary follows the standing-query deployment of the
+// related video-monitoring work (Koudas et al.): queries are resident,
+// results accrete, the daemon drains gracefully on shutdown.
+//
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          status (clips, invocations, critical values)
+//	GET    /v1/sessions/{id}/results  result sequences so far (?wait= long-poll)
+//	DELETE /v1/sessions/{id}          cancel and remove
+//	POST   /v1/topk                   offline RVAQ top-k against a repository
+//	GET    /healthz                   liveness
+//	GET    /metricsz                  per-endpoint counts and latency quantiles
+package server
+
+import (
+	"vaq"
+)
+
+// Range is one result sequence: an inclusive clip-id interval. It is
+// the JSON shape shared by the HTTP API and the -json mode of the CLIs.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Ranges converts engine result sequences to the wire shape.
+func Ranges(s vaq.Sequences) []Range {
+	out := make([]Range, 0, len(s))
+	for _, iv := range s {
+		out = append(out, Range{Lo: iv.Lo, Hi: iv.Hi})
+	}
+	return out
+}
+
+// CreateSessionRequest registers a standing online query.
+type CreateSessionRequest struct {
+	// Query is the VQL statement to evaluate online.
+	Query string `json:"query"`
+	// Workload names the synthetic stream (q1..q12 or a Table 2 movie
+	// name) the session runs against.
+	Workload string `json:"workload"`
+	// Scale resizes the workload (0 < Scale <= 4; default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Model picks the detector profile: maskrcnn (default), yolov3,
+	// ideal.
+	Model string `json:"model,omitempty"`
+	// Dynamic selects SVAQD (default true).
+	Dynamic *bool `json:"dynamic,omitempty"`
+	// MaxClips bounds the clips processed; 0 means the whole workload.
+	// Values beyond the workload length keep streaming background-only
+	// clips (a standing query over a quiet feed).
+	MaxClips int `json:"max_clips,omitempty"`
+	// PaceMS throttles the stream to one clip per PaceMS milliseconds,
+	// simulating a live feed; 0 processes as fast as the pool allows.
+	PaceMS int `json:"pace_ms,omitempty"`
+}
+
+// CriticalValues reports the scan statistic's current thresholds.
+type CriticalValues struct {
+	Objects map[string]int `json:"objects,omitempty"`
+	Action  int            `json:"action,omitempty"`
+}
+
+// SessionInfo is the status of one session.
+type SessionInfo struct {
+	ID             string          `json:"id"`
+	Query          string          `json:"query"`
+	Workload       string          `json:"workload"`
+	State          string          `json:"state"` // running, done, cancelled, failed
+	ClipsTotal     int             `json:"clips_total"`
+	ClipsProcessed int             `json:"clips_processed"`
+	Invocations    int             `json:"invocations"`
+	Sequences      int             `json:"sequences"`
+	CriticalValues *CriticalValues `json:"critical_values,omitempty"`
+	Error          string          `json:"error,omitempty"`
+}
+
+// SessionList is the GET /v1/sessions response.
+type SessionList struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// ResultsResponse carries the result sequences found so far. The CLI
+// vaqquery -json emits the same shape (with ID left empty).
+type ResultsResponse struct {
+	ID             string  `json:"id,omitempty"`
+	State          string  `json:"state"`
+	ClipsProcessed int     `json:"clips_processed"`
+	Sequences      []Range `json:"sequences"`
+}
+
+// TopKRequest is an offline ranked query. Either give Action/Objects
+// directly, or a ranked VQL statement in Query (ORDER BY RANK ... LIMIT
+// K), which also fixes K.
+type TopKRequest struct {
+	// Video names one repository video; empty runs the query globally
+	// across the repository with a merged clip-id namespace.
+	Video   string   `json:"video,omitempty"`
+	Query   string   `json:"query,omitempty"`
+	Action  string   `json:"action,omitempty"`
+	Objects []string `json:"objects,omitempty"`
+	K       int      `json:"k,omitempty"`
+}
+
+// TopKEntry is one ranked result.
+type TopKEntry struct {
+	Video string  `json:"video,omitempty"`
+	Seq   Range   `json:"seq"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse is the POST /v1/topk response; vaqtopk -json emits the
+// same shape.
+type TopKResponse struct {
+	Results []TopKEntry `json:"results"`
+	// RuntimeUS is the engine-side runtime in microseconds.
+	RuntimeUS int64 `json:"runtime_us"`
+	// RandomAccesses counts score-table random accesses (the paper's
+	// primary cost metric); Candidates is |Pq|.
+	RandomAccesses int64 `json:"random_accesses"`
+	Candidates     int   `json:"candidates"`
+}
+
+// ErrorBody is the structured error payload of every non-2xx response.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Pos is the byte offset of the offending token for VQL errors.
+	Pos *int `json:"pos,omitempty"`
+}
+
+// ErrorResponse wraps ErrorBody.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}

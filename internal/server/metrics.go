@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"vaq/internal/quantile"
+)
+
+// RouteMetrics is the per-endpoint slice of the /metricsz payload.
+// Latencies are milliseconds from handler entry to last byte.
+type RouteMetrics struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"` // responses with status >= 400
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// MetricsResponse is the GET /metricsz payload.
+type MetricsResponse struct {
+	Routes         map[string]RouteMetrics `json:"routes"`
+	ActiveSessions int                     `json:"active_sessions"`
+	TotalSessions  int                     `json:"total_sessions"`
+}
+
+// metrics accumulates per-route request counts and latency sketches.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeState
+}
+
+type routeState struct {
+	count  int64
+	errors int64
+	sketch *quantile.Sketch
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: map[string]*routeState{}}
+}
+
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.routes[route]
+	if st == nil {
+		st = &routeState{sketch: quantile.New()}
+		m.routes[route] = st
+	}
+	st.count++
+	if status >= 400 {
+		st.errors++
+	}
+	st.sketch.Observe(float64(d) / float64(time.Millisecond))
+}
+
+func (m *metrics) snapshot() map[string]RouteMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]RouteMetrics, len(m.routes))
+	for route, st := range m.routes {
+		out[route] = RouteMetrics{
+			Count:  st.count,
+			Errors: st.errors,
+			P50MS:  st.sketch.Query(0.50),
+			P90MS:  st.sketch.Query(0.90),
+			P99MS:  st.sketch.Query(0.99),
+			MaxMS:  st.sketch.Max(),
+		}
+	}
+	return out
+}
+
+// statusWriter records the response code for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/count recording under the
+// given route label (the mux pattern, so all sessions share one row).
+func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		m.observe(route, sw.status, time.Since(start))
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vaq"
+)
+
+// Registry owns the live sessions, the shared worker pool, and the
+// lifecycle from admission to drain.
+type Registry struct {
+	maxSessions int
+	workers     chan struct{}
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*Session
+	closed   bool
+
+	// ctx is the parent of every session context; cancelAll fires it.
+	ctx       context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// NewRegistry sizes the session table and worker pool. Non-positive
+// arguments fall back to 64 sessions and GOMAXPROCS workers.
+func NewRegistry(maxSessions, workers int) *Registry {
+	if maxSessions <= 0 {
+		maxSessions = 64
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Registry{
+		maxSessions: maxSessions,
+		workers:     make(chan struct{}, workers),
+		sessions:    map[string]*Session{},
+		ctx:         ctx,
+		cancelAll:   cancel,
+	}
+}
+
+// errTooManySessions maps to 429.
+var errTooManySessions = fmt.Errorf("server: session limit reached")
+
+// errShuttingDown maps to 503.
+var errShuttingDown = fmt.Errorf("server: shutting down")
+
+// Create admits a new session and starts its goroutine. The stream must
+// be exclusively owned by the session from here on.
+func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total int) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errShuttingDown
+	}
+	running := 0
+	for _, s := range r.sessions {
+		select {
+		case <-s.Done():
+		default:
+			running++
+		}
+	}
+	if running >= r.maxSessions {
+		return nil, errTooManySessions
+	}
+	r.seq++
+	id := fmt.Sprintf("s%d", r.seq)
+	ctx, cancel := context.WithCancel(r.ctx)
+	sess := newSession(id, req, stream, total, cancel)
+	r.sessions[id] = sess
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		sess.run(ctx, r.workers)
+	}()
+	return sess, nil
+}
+
+// Get looks a session up by id.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	return s, ok
+}
+
+// Delete cancels a session and removes it from the table. It reports
+// whether the id existed.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	delete(r.sessions, id)
+	r.mu.Unlock()
+	if ok {
+		s.Cancel()
+	}
+	return ok
+}
+
+// List returns every session's status, newest last.
+func (r *Registry) List() []SessionInfo {
+	r.mu.Lock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]SessionInfo, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Info()
+	}
+	return out
+}
+
+// Total counts sessions in the table, running or finished.
+func (r *Registry) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Active counts sessions still running.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.sessions {
+		select {
+		case <-s.Done():
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown stops admitting sessions and drains the in-flight ones:
+// running sessions keep processing until they finish or ctx expires, at
+// which point they are cancelled. Shutdown returns once every session
+// goroutine has exited; the returned error is ctx's if the drain was
+// cut short.
+func (r *Registry) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		r.cancelAll()
+		<-drained // sessions exit promptly once cancelled
+	}
+	r.cancelAll() // release the parent context either way
+	return err
+}

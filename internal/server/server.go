@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vaq"
+	"vaq/internal/detect"
+	"vaq/internal/ingest"
+	"vaq/internal/synth"
+	"vaq/internal/vql"
+)
+
+// Config tunes a Server. The zero value serves sessions with defaults
+// and rejects top-k requests (no repository).
+type Config struct {
+	// Repo answers POST /v1/topk; nil returns 503 for that endpoint.
+	// It is opened once at startup and shared read-only across requests.
+	Repo *vaq.Repository
+	// MaxSessions caps concurrently running sessions (default 64).
+	MaxSessions int
+	// Workers bounds concurrent clip evaluations across all sessions
+	// (default GOMAXPROCS).
+	Workers int
+	// RequestTimeout bounds session-create and top-k handlers
+	// (default 30s).
+	RequestTimeout time.Duration
+	// MaxWait caps the ?wait= long-poll duration (default 60s).
+	MaxWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 60 * time.Second
+	}
+	return c
+}
+
+// Server hosts the HTTP API. Build with New, mount Handler, and call
+// Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *Registry
+	met *metrics
+	mux *http.ServeMux
+}
+
+// New builds a server and its routes.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(cfg.MaxSessions, cfg.Workers),
+		met: newMetrics(),
+		mux: http.NewServeMux(),
+	}
+	route := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.met.instrument(pattern, h))
+	}
+	route("POST /v1/sessions", s.timed(s.handleCreateSession))
+	route("GET /v1/sessions", s.handleListSessions)
+	route("GET /v1/sessions/{id}", s.handleSessionStatus)
+	route("GET /v1/sessions/{id}/results", s.handleSessionResults)
+	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	route("POST /v1/topk", s.timed(s.handleTopK))
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains in-flight sessions (see Registry.Shutdown). Callers
+// shut the http.Server down first so no new requests arrive mid-drain.
+func (s *Server) Shutdown(ctx context.Context) error { return s.reg.Shutdown(ctx) }
+
+// Registry exposes the session registry (status endpoints, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// timed attaches the request-scoped timeout to non-poll handlers.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr emits the structured error envelope. Query errors carry the
+// byte offset of the offending token when the vql layer provides one.
+func writeErr(w http.ResponseWriter, status int, code, msg string, queryErr error) {
+	body := ErrorBody{Code: code, Message: msg}
+	if queryErr != nil {
+		if pos, ok := vql.ErrPosition(queryErr); ok {
+			body.Pos = &pos
+		}
+	}
+	writeJSON(w, status, ErrorResponse{Error: body})
+}
+
+// loadWorkload resolves a synthetic workload name (q1..q12 or a movie)
+// exactly as the CLIs do.
+func loadWorkload(name string, scale float64) (*synth.QuerySet, error) {
+	for _, id := range synth.YouTubeIDs() {
+		if id == name {
+			return synth.YouTubeScaled(id, vaq.DefaultGeometry(), scale)
+		}
+	}
+	for _, m := range synth.MovieNames() {
+		if m == name {
+			return synth.MovieScaled(name, scale)
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (want q1..q12 or one of %v)", name, synth.MovieNames())
+}
+
+func modelProfiles(model string) (detect.Profile, detect.Profile, error) {
+	switch model {
+	case "", "maskrcnn":
+		return detect.MaskRCNN, detect.I3D, nil
+	case "yolov3":
+		return detect.YOLOv3, detect.I3D, nil
+	case "ideal":
+		return detect.IdealObject, detect.IdealAction, nil
+	}
+	return detect.Profile{}, detect.Profile{}, fmt.Errorf("unknown model %q (want maskrcnn, yolov3 or ideal)", model)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_json", "malformed request body: "+err.Error(), nil)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if req.Scale < 0 || req.Scale > 4 {
+		writeErr(w, http.StatusBadRequest, "bad_scale", "scale must be in (0, 4]", nil)
+		return
+	}
+	if req.MaxClips < 0 || req.PaceMS < 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "max_clips and pace_ms must be non-negative", nil)
+		return
+	}
+	qs, err := loadWorkload(req.Workload, req.Scale)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_workload", err.Error(), nil)
+		return
+	}
+	objP, actP, err := modelProfiles(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_model", err.Error(), nil)
+		return
+	}
+	scene := qs.World.Scene()
+	det := detect.NewSimObjectDetector(scene, objP, nil)
+	rec := detect.NewSimActionRecognizer(scene, actP, nil)
+	meta := qs.World.Truth.Meta
+
+	total := meta.Clips()
+	if req.MaxClips > 0 {
+		total = req.MaxClips
+	}
+	dynamic := true
+	if req.Dynamic != nil {
+		dynamic = *req.Dynamic
+	}
+	cfg := vaq.StreamConfig{Dynamic: dynamic, HorizonClips: max(total, meta.Clips())}
+
+	var stream *vaq.Stream
+	if req.Query != "" {
+		plan, err := vaq.ParseQuery(req.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
+			return
+		}
+		if plan.Ranked {
+			writeErr(w, http.StatusBadRequest, "ranked_query",
+				"ORDER BY RANK queries are offline; use POST /v1/topk", nil)
+			return
+		}
+		stream, err = vaq.NewStream(plan, det, rec, meta.Geom, cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
+			return
+		}
+	} else {
+		// No query: run the workload's own Table 1/2 query, and echo the
+		// resolved query in the session status.
+		req.Query = qs.Query.String()
+		stream, err = vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, cfg)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+			return
+		}
+	}
+
+	sess, err := s.reg.Create(req, stream, total)
+	switch {
+	case errors.Is(err, errTooManySessions):
+		writeErr(w, http.StatusTooManyRequests, "too_many_sessions", err.Error(), nil)
+		return
+	case errors.Is(err, errShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err.Error(), nil)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionList{Sessions: s.reg.List()})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", fmt.Sprintf("no session %q", id), nil)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.Info())
+	}
+}
+
+func (s *Server) handleSessionResults(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_wait", "wait must be a non-negative duration (e.g. 5s)", nil)
+			return
+		}
+		wait = min(d, s.cfg.MaxWait)
+	}
+	since := -1 // default: any processed clip satisfies the poll
+	if ss := r.URL.Query().Get("since"); ss != "" {
+		n, err := strconv.Atoi(ss)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_since", "since must be a non-negative clip count", nil)
+			return
+		}
+		since = n
+	}
+	writeJSON(w, http.StatusOK, sess.WaitResults(r.Context(), since, wait))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", fmt.Sprintf("no session %q", id), nil)
+		return
+	}
+	info := sess.Info()
+	s.reg.Delete(id)
+	if info.State == StateRunning {
+		info.State = StateCancelled
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Repo == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no_repository",
+			"server started without -repo; offline top-k is unavailable", nil)
+		return
+	}
+	var req TopKRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_json", "malformed request body: "+err.Error(), nil)
+		return
+	}
+	q := vaq.Query{Action: vaq.Label(req.Action)}
+	for _, o := range req.Objects {
+		q.Objects = append(q.Objects, vaq.Label(o))
+	}
+	k := req.K
+	if req.Query != "" {
+		plan, err := vaq.ParseQuery(req.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
+			return
+		}
+		sq, ok := plan.SimpleQuery()
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "invalid_query",
+				"top-k requires a conjunctive query (one action, object predicates)", nil)
+			return
+		}
+		q = sq
+		if plan.K > 0 {
+			k = plan.K
+		}
+	}
+	if k <= 0 {
+		k = 5
+	}
+	if err := q.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), nil)
+		return
+	}
+
+	resp := TopKResponse{Results: []TopKEntry{}}
+	if req.Video != "" {
+		results, stats, err := s.cfg.Repo.TopK(req.Video, q, k)
+		if err != nil {
+			if errors.Is(err, ingest.ErrNotIngested) {
+				writeErr(w, http.StatusBadRequest, "unknown_label", err.Error(), nil)
+			} else {
+				writeErr(w, http.StatusNotFound, "unknown_video", err.Error(), nil)
+			}
+			return
+		}
+		for _, res := range results {
+			resp.Results = append(resp.Results, TopKEntry{
+				Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score,
+			})
+		}
+		resp.RuntimeUS = stats.Runtime.Microseconds()
+		resp.RandomAccesses = stats.Accesses.Random
+		resp.Candidates = stats.Candidates
+	} else {
+		results, stats, err := s.cfg.Repo.TopKGlobal(q, k)
+		if err != nil {
+			if errors.Is(err, ingest.ErrNotIngested) {
+				writeErr(w, http.StatusBadRequest, "unknown_label", err.Error(), nil)
+			} else {
+				writeErr(w, http.StatusInternalServerError, "topk_failed", err.Error(), nil)
+			}
+			return
+		}
+		for _, res := range results {
+			resp.Results = append(resp.Results, TopKEntry{
+				Video: res.Video, Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score,
+			})
+		}
+		resp.RuntimeUS = stats.Runtime.Microseconds()
+		resp.RandomAccesses = stats.Accesses.Random
+		resp.Candidates = stats.Candidates
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Routes:         s.met.snapshot(),
+		ActiveSessions: s.reg.Active(),
+		TotalSessions:  s.reg.Total(),
+	})
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"vaq"
+)
+
+// Session states.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateFailed    = "failed"
+)
+
+// Session is one standing online query: a stream engine driven clip by
+// clip by its own goroutine, throttled by the registry's shared worker
+// pool. All mutable state lives behind mu; the changed channel is
+// closed and replaced on every update so any number of long-pollers can
+// wait without polling loops.
+type Session struct {
+	id     string
+	req    CreateSessionRequest
+	stream *vaq.Stream
+	total  int // clips to process
+	pace   time.Duration
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	changed     chan struct{}
+	state       string
+	clips       int
+	invocations int
+	seqs        vaq.Sequences
+	critObj     map[string]int
+	critAct     int
+	failure     error
+
+	// done closes when the session goroutine has fully exited — the
+	// registry's drain and the leak tests key off it.
+	done chan struct{}
+}
+
+func newSession(id string, req CreateSessionRequest, stream *vaq.Stream, total int, cancel context.CancelFunc) *Session {
+	return &Session{
+		id:      id,
+		req:     req,
+		stream:  stream,
+		total:   total,
+		pace:    time.Duration(req.PaceMS) * time.Millisecond,
+		cancel:  cancel,
+		changed: make(chan struct{}),
+		state:   StateRunning,
+		done:    make(chan struct{}),
+	}
+}
+
+// run drives the engine to completion or cancellation. workers is the
+// registry's shared semaphore: a session holds a slot only while
+// evaluating one clip, so -workers bounds engine concurrency across all
+// sessions while every session still makes progress.
+func (s *Session) run(ctx context.Context, workers chan struct{}) {
+	defer close(s.done)
+	var ticker *time.Ticker
+	if s.pace > 0 {
+		ticker = time.NewTicker(s.pace)
+		defer ticker.Stop()
+	}
+	for c := 0; c < s.total; c++ {
+		if ticker != nil {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				s.finish(StateCancelled, nil)
+				return
+			}
+		}
+		select {
+		case workers <- struct{}{}:
+		case <-ctx.Done():
+			s.finish(StateCancelled, nil)
+			return
+		}
+		err := s.step(c)
+		<-workers
+		if err != nil {
+			s.finish(StateFailed, err)
+			return
+		}
+		if ctx.Err() != nil {
+			s.finish(StateCancelled, nil)
+			return
+		}
+	}
+	s.finish(StateDone, nil)
+}
+
+// step evaluates one clip and publishes the new snapshot. It is the
+// session hot path the serving-overhead benchmark measures against raw
+// engine calls.
+func (s *Session) step(c int) error {
+	if _, err := s.stream.ProcessClip(c); err != nil {
+		return err
+	}
+	// The stream is touched only by the session goroutine; the snapshot
+	// below is the sole bridge to concurrent readers.
+	obj, act := s.stream.CriticalValues()
+	s.mu.Lock()
+	s.clips = s.stream.ClipsProcessed()
+	s.invocations = s.stream.Invocations()
+	s.seqs = s.stream.Results()
+	if obj != nil {
+		if s.critObj == nil {
+			s.critObj = make(map[string]int, len(obj))
+		}
+		for l, k := range obj {
+			s.critObj[string(l)] = k
+		}
+	}
+	s.critAct = act
+	s.broadcastLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Session) finish(state string, err error) {
+	s.mu.Lock()
+	s.state = state
+	s.failure = err
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// broadcastLocked wakes every waiter; callers hold mu.
+func (s *Session) broadcastLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// snapshot returns the current results plus the channel that will close
+// on the next change.
+func (s *Session) snapshot() (ResultsResponse, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ResultsResponse{
+		ID:             s.id,
+		State:          s.state,
+		ClipsProcessed: s.clips,
+		Sequences:      Ranges(s.seqs),
+	}, s.changed
+}
+
+// WaitResults long-polls: it returns as soon as more than since clips
+// are processed, the session leaves the running state, the wait elapses,
+// or ctx is cancelled — whichever comes first — and always returns the
+// freshest snapshot.
+func (s *Session) WaitResults(ctx context.Context, since int, wait time.Duration) ResultsResponse {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		snap, changed := s.snapshot()
+		if snap.ClipsProcessed > since || snap.State != StateRunning || wait <= 0 {
+			return snap
+		}
+		select {
+		case <-changed:
+		case <-deadline.C:
+			snap, _ = s.snapshot()
+			return snap
+		case <-ctx.Done():
+			snap, _ = s.snapshot()
+			return snap
+		}
+	}
+}
+
+// Info reports session status, including the engine's current critical
+// values (the live view of §3.2's thresholds).
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	info := SessionInfo{
+		ID:             s.id,
+		Query:          s.req.Query,
+		Workload:       s.req.Workload,
+		State:          s.state,
+		ClipsTotal:     s.total,
+		ClipsProcessed: s.clips,
+		Invocations:    s.invocations,
+		Sequences:      len(s.seqs),
+	}
+	if s.failure != nil {
+		info.Error = s.failure.Error()
+	}
+	if s.critObj != nil || s.critAct != 0 {
+		cv := &CriticalValues{Objects: make(map[string]int, len(s.critObj)), Action: s.critAct}
+		for l, k := range s.critObj {
+			cv.Objects[l] = k
+		}
+		info.CriticalValues = cv
+	}
+	s.mu.Unlock()
+	return info
+}
+
+// Cancel requests cooperative termination; the session reaches a
+// terminal state promptly (it never blocks on the worker pool once
+// cancelled) and Done closes when the goroutine exits.
+func (s *Session) Cancel() { s.cancel() }
+
+// Done closes when the session goroutine has exited.
+func (s *Session) Done() <-chan struct{} { return s.done }

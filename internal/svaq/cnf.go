@@ -36,8 +36,9 @@ type CNFEngine struct {
 	objTrk map[annot.Label]*LabelTracker
 	actTrk map[annot.Label]*LabelTracker
 
-	nextClip   video.ClipIdx
-	indicators []bool
+	nextClip    video.ClipIdx
+	indicators  []bool
+	invocations int
 }
 
 // NewCNF builds an engine for the given clauses.
@@ -108,6 +109,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 	for o, lt := range e.objTrk {
 		count := 0
 		for v := frameLo; v < frameHi; v++ {
+			e.invocations++
 			for _, d := range e.det.Detect(v, []annot.Label{o}) {
 				if d.Label == o && d.Score >= e.cfg.Thresholds.Object {
 					count++
@@ -125,6 +127,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 	for a, lt := range e.actTrk {
 		count := 0
 		for s := shotLo; s < shotHi; s++ {
+			e.invocations++
 			for _, sc := range e.rec.Recognize(s, []annot.Label{a}) {
 				if sc.Label == a && sc.Score >= e.cfg.Thresholds.Action {
 					count++
@@ -170,3 +173,9 @@ func (e *CNFEngine) Run(nclips int) (interval.Set, error) {
 func (e *CNFEngine) Sequences() interval.Set {
 	return interval.FromIndicators(e.indicators)
 }
+
+// Invocations returns the total number of model invocations so far.
+func (e *CNFEngine) Invocations() int { return e.invocations }
+
+// ClipsProcessed returns the number of clips consumed so far.
+func (e *CNFEngine) ClipsProcessed() int { return int(e.nextClip) }

@@ -336,6 +336,10 @@ func (e *Engine) Sequences() interval.Set {
 // (frame detections plus shot recognitions).
 func (e *Engine) Invocations() int { return e.invocations }
 
+// ClipsProcessed returns the number of clips consumed so far (the next
+// clip expected by ProcessClip).
+func (e *Engine) ClipsProcessed() int { return int(e.nextClip) }
+
 // ObjectIndicators returns the recorded per-frame indicator stream of
 // an object predicate (nil unless Config.RecordIndicators was set).
 func (e *Engine) ObjectIndicators(o annot.Label) []bool { return e.objLog[o] }

@@ -54,10 +54,11 @@ type Plan struct {
 	Ranked bool
 }
 
-// Compile lowers a parsed statement to a Plan.
+// Compile lowers a parsed statement to a Plan. Semantic errors carry
+// the byte offset of the clause they complain about (see ErrPosition).
 func Compile(st *Statement) (*Plan, error) {
 	if st.Input == "" {
-		return nil, fmt.Errorf("vql: statement has no input video")
+		return nil, errf(0, "statement has no input video")
 	}
 	hasMerge := false
 	for _, it := range st.Select {
@@ -66,19 +67,19 @@ func Compile(st *Statement) (*Plan, error) {
 		}
 	}
 	if !hasMerge && len(st.Select) > 0 && st.Select[0].Func != "" {
-		return nil, fmt.Errorf("vql: SELECT must project MERGE(clipID) (or a bare column)")
+		return nil, errf(st.Select[0].Pos, "SELECT must project MERGE(clipID) (or a bare column)")
 	}
 	p := &Plan{Input: st.Input, K: st.Limit, Ranked: st.OrderByRank}
 	if st.Where != nil {
 		p.CNF = toCNF(st.Where)
 		for _, clause := range p.CNF {
 			if len(clause) == 0 {
-				return nil, fmt.Errorf("vql: empty clause after CNF lowering")
+				return nil, errf(max(st.WherePos, 0), "empty clause after CNF lowering")
 			}
 		}
 	}
 	if st.OrderByRank && st.Limit == 0 {
-		return nil, fmt.Errorf("vql: ORDER BY RANK requires LIMIT K")
+		return nil, errf(max(st.OrderPos, 0), "ORDER BY RANK requires LIMIT K")
 	}
 	return p, nil
 }

@@ -18,6 +18,22 @@ func FuzzParse(f *testing.F) {
 		`'`,
 		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) LIMIT 99999999999999999999`,
 		"SELECT \x00",
+		// Malformed shapes the HTTP API is most likely to receive:
+		// unquoted literals, doubled operators, wrong method names,
+		// smart quotes pasted from documents, truncated clauses,
+		// JSON-escaped newlines surviving into the query string, and
+		// ranked statements missing LIMIT.
+		`SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID, act USING A) WHERE act = blowing_leaves`,
+		`SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID) WHERE act == 'jumping'`,
+		`SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID) WHERE obj.includes('car')`,
+		"SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID) WHERE act = ‘jumping’",
+		`SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID) WHERE`,
+		`SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID) WHERE act = 'a' AND`,
+		"SELECT MERGE(clipID)\\nFROM (PROCESS cam PRODUCE clipID)\\nWHERE act = 'a'",
+		`SELECT MERGE(clipID), RANK(act) FROM (PROCESS v PRODUCE clipID) WHERE act = 'a' ORDER BY RANK(act)`,
+		`SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act = 'a' ORDER BY RANK(act) LIMIT 0`,
+		`SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE rel('a','near')`,
+		`{"query": "SELECT MERGE(clipID)"}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -25,9 +41,20 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		st, err := Parse(src)
 		if err != nil {
+			// Parse errors must carry an in-range position.
+			if pos, ok := ErrPosition(err); !ok {
+				t.Errorf("parse error without position: %v", err)
+			} else if pos < 0 || pos > len(src) {
+				t.Errorf("parse error position %d outside input of length %d: %v", pos, len(src), err)
+			}
 			return
 		}
 		if _, err := Compile(st); err != nil {
+			if pos, ok := ErrPosition(err); !ok {
+				t.Errorf("compile error without position: %v", err)
+			} else if pos < 0 || pos > len(src) {
+				t.Errorf("compile error position %d outside input of length %d: %v", pos, len(src), err)
+			}
 			return
 		}
 	})

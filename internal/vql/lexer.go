@@ -23,6 +23,7 @@
 package vql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -83,6 +84,18 @@ func (e *Error) Error() string { return fmt.Sprintf("vql: at offset %d: %s", e.P
 
 func errf(pos int, format string, args ...any) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrPosition extracts the byte offset of the offending token from a
+// lex, parse or compile error, so callers (the HTTP API's 400
+// responses, CLI diagnostics) can point at the problem in the query
+// text. The second return is false when err carries no position.
+func ErrPosition(err error) (int, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Pos, true
+	}
+	return 0, false
 }
 
 // lex tokenizes the query text.

@@ -20,6 +20,11 @@ type Statement struct {
 	OrderByRank bool
 	// Limit is the LIMIT K value; 0 means absent.
 	Limit int
+	// WherePos and OrderPos are the byte offsets of the WHERE and ORDER
+	// keywords (−1 when the clause is absent), carried through so
+	// Compile can report positioned semantic errors.
+	WherePos int
+	OrderPos int
 }
 
 // SelectItem is one projection item.
@@ -27,6 +32,7 @@ type SelectItem struct {
 	Func  string   // "MERGE" or "RANK" (empty for a bare column)
 	Args  []string // argument identifiers
 	Alias string   // AS alias, optional
+	Pos   int      // byte offset of the item's first token
 }
 
 // Binding is one PRODUCE item, optionally bound to a model with USING.
@@ -118,7 +124,7 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 }
 
 func (p *parser) statement() (*Statement, error) {
-	st := &Statement{}
+	st := &Statement{WherePos: -1, OrderPos: -1}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -165,14 +171,14 @@ func (p *parser) statement() (*Statement, error) {
 		return nil, err
 	}
 	if p.peek().keyword("WHERE") {
-		p.next()
+		st.WherePos = p.next().pos
 		st.Where, err = p.orExpr()
 		if err != nil {
 			return nil, err
 		}
 	}
 	if p.peek().keyword("ORDER") {
-		p.next()
+		st.OrderPos = p.next().pos
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
@@ -205,7 +211,7 @@ func (p *parser) selectItem() (SelectItem, error) {
 	if err != nil {
 		return SelectItem{}, err
 	}
-	item := SelectItem{}
+	item := SelectItem{Pos: t.pos}
 	if p.peek().kind == tokLParen {
 		item.Func = strings.ToUpper(t.text)
 		p.next()

@@ -1,6 +1,7 @@
 package vql
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -300,3 +301,37 @@ func TestRelationInsideDisjunction(t *testing.T) {
 		t.Fatal("disjunctive relation should not be simple")
 	}
 }
+
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos int // byte offset of the offending token
+	}{
+		// Lex error: '<' is not part of the grammar.
+		{`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act <`, 53},
+		// Lex error: unterminated string literal starts at the quote.
+		{`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act = 'oops`, 55},
+		// Compile error: ORDER BY RANK without LIMIT points at ORDER.
+		{`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act = 'a' ORDER BY RANK(act)`, 59},
+	}
+	for _, c := range cases {
+		_, err := ParseAndCompile(c.src)
+		if err == nil {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		pos, ok := ErrPosition(err)
+		if !ok {
+			t.Errorf("%q: error %v carries no position", c.src, err)
+			continue
+		}
+		if pos != c.wantPos {
+			t.Errorf("%q: position = %d, want %d (err %v)", c.src, pos, c.wantPos, err)
+		}
+	}
+	if _, ok := ErrPosition(errNoPos); ok {
+		t.Error("ErrPosition reported a position for a plain error")
+	}
+}
+
+var errNoPos = errors.New("plain")

@@ -172,6 +172,36 @@ func (s *Stream) Results() Sequences {
 	return s.cnf.Sequences()
 }
 
+// ClipsProcessed returns the number of clips consumed so far — the
+// next clip index ProcessClip expects. Serving layers use this to
+// report session progress without driving the stream.
+func (s *Stream) ClipsProcessed() int {
+	if s.simple != nil {
+		return s.simple.ClipsProcessed()
+	}
+	return s.cnf.ClipsProcessed()
+}
+
+// Invocations returns the total model invocations spent so far (frame
+// detections plus shot recognitions).
+func (s *Stream) Invocations() int {
+	if s.simple != nil {
+		return s.simple.Invocations()
+	}
+	return s.cnf.Invocations()
+}
+
+// CriticalValues returns the current per-object critical values and the
+// action critical value of the scan statistic (§3.2). For CNF plans —
+// which track per-label critical values internally — it returns
+// (nil, 0).
+func (s *Stream) CriticalValues() (map[Label]int, int) {
+	if s.simple == nil {
+		return nil, 0
+	}
+	return s.simple.CriticalValues()
+}
+
 // Engine exposes the underlying conjunctive engine for diagnostics
 // (critical values, background probabilities); nil for CNF plans.
 func (s *Stream) Engine() *svaq.Engine { return s.simple }
