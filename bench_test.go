@@ -2,7 +2,7 @@
 // evaluation (§5) at bench scale, one testing.B target per experiment.
 // `go test -bench=. -benchmem` reproduces the full grid;
 // `cmd/vaqbench` prints the paper-scale rows.
-package vaq
+package vaq_test
 
 import (
 	"testing"

@@ -134,3 +134,11 @@ func (s *csvSink) table8(rows []experiments.Table8Row) error {
 	}
 	return s.write("table8", []string{"movie", "k", "speedup"}, out)
 }
+
+func (s *csvSink) parallel(rows []experiments.ParallelRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Phase, fint(r.Workers), fint64(r.Wall.Microseconds()), fint64(r.CPU.Microseconds()), ffloat(r.Speedup)}
+	}
+	return s.write("parallel", []string{"phase", "workers", "wall_us", "cpu_us", "speedup"}, out)
+}

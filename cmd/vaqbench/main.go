@@ -5,7 +5,7 @@
 //	vaqbench -exp fig2,table6 -scale 0.2
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
-// fig45), runtime, drift, table6, table7, table8, ablation.
+// fig45), runtime, drift, table6, table7, table8, parallel, ablation.
 package main
 
 import (
@@ -120,6 +120,13 @@ func main() {
 				return err
 			}
 			return sink.table8(rows)
+		}},
+		{[]string{"parallel"}, func() error {
+			rows, err := ctx.ParallelSpeedup()
+			if err != nil {
+				return err
+			}
+			return sink.parallel(rows)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

@@ -34,7 +34,7 @@ func main() {
 		addrFlag     = flag.String("addr", ":8080", "listen address")
 		repoFlag     = flag.String("repo", "", "repository directory for /v1/topk (optional)")
 		sessionsFlag = flag.Int("max-sessions", 64, "maximum concurrently running sessions")
-		workersFlag  = flag.Int("workers", 0, "worker pool size shared by all sessions (0 = GOMAXPROCS)")
+		workersFlag  = flag.Int("workers", 0, "worker pool shared by all sessions and offline top-k queries (0 = GOMAXPROCS)")
 		timeoutFlag  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout for create/top-k")
 		waitFlag     = flag.Duration("max-wait", time.Minute, "cap on ?wait= long-poll duration")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets sessions finish before cancelling")

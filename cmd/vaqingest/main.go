@@ -22,10 +22,15 @@ import (
 func main() {
 	var (
 		dirFlag    = flag.String("dir", "vaq-repo", "repository directory")
-		videosFlag = flag.String("videos", "coffee_and_cigarettes,iron_man,star_wars_3,titanic", "comma-separated movie names (Table 2)")
-		scaleFlag  = flag.Float64("scale", 1.0, "workload scale")
+		videosFlag  = flag.String("videos", "coffee_and_cigarettes,iron_man,star_wars_3,titanic", "comma-separated movie names (Table 2)")
+		scaleFlag   = flag.Float64("scale", 1.0, "workload scale")
+		workersFlag = flag.Int("workers", 0, "parallel clip scorers per video (0 = NumCPU, 1 = serial)")
 	)
 	flag.Parse()
+	workers := *workersFlag
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 
 	repo, err := vaq.OpenRepository(*dirFlag)
 	if err != nil {
@@ -45,7 +50,7 @@ func main() {
 		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
 		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
 		truth := qs.World.Truth
-		vd, err := vaq.IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), vaq.IngestConfig{Workers: runtime.NumCPU()})
+		vd, err := vaq.IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), vaq.IngestConfig{Workers: workers})
 		if err != nil {
 			fatal(fmt.Errorf("ingest %s: %w", name, err))
 		}

@@ -29,8 +29,11 @@ func main() {
 		kFlag       = flag.Int("k", 5, "number of results")
 		compareFlag = flag.Bool("compare", false, "also run FA, RVAQ-noSkip and Pq-Traverse")
 		jsonFlag    = flag.Bool("json", false, "emit results as JSON in the server's /v1/topk response shape (skips -compare)")
+		workersFlag = flag.Int("workers", 0, "parallel per-video executions for all-video queries (0 = GOMAXPROCS, 1 = serial)")
+		globalFlag  = flag.Bool("global", false, "rank across the merged repository namespace instead of merging per-video top-ks")
 	)
 	flag.Parse()
+	eo := vaq.ExecOptions{Workers: *workersFlag}
 
 	q := vaq.Query{Action: vaq.Label(*actionFlag)}
 	for _, o := range strings.Split(*objectsFlag, ",") {
@@ -47,7 +50,11 @@ func main() {
 	}
 
 	if *videoFlag == "" {
-		results, stats, err := repo.TopKAll(q, *kFlag)
+		run := repo.TopKAllOpts
+		if *globalFlag {
+			run = repo.TopKGlobalOpts
+		}
+		results, stats, err := run(q, *kFlag, eo)
 		if err != nil {
 			fatal(err)
 		}
@@ -55,6 +62,7 @@ func main() {
 			out := server.TopKResponse{
 				Results:        []server.TopKEntry{},
 				RuntimeUS:      stats.Runtime.Microseconds(),
+				CPURuntimeUS:   stats.CPURuntime.Microseconds(),
 				RandomAccesses: stats.Accesses.Random,
 				Candidates:     stats.Candidates,
 			}
@@ -66,15 +74,16 @@ func main() {
 			emitJSON(out)
 			return
 		}
-		fmt.Printf("top-%d for %v across %v (%v, %d random accesses):\n",
-			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
+		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses):\n",
+			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond),
+			stats.CPURuntime.Round(time.Microsecond), stats.Accesses.Random)
 		for i, r := range results {
 			fmt.Printf("  %2d. %-24s clips %v  score %.2f\n", i+1, r.Video, r.Seq, r.Score)
 		}
 		return
 	}
 
-	results, stats, err := repo.TopK(*videoFlag, q, *kFlag)
+	results, stats, err := repo.TopKOpts(*videoFlag, q, *kFlag, eo)
 	if err != nil {
 		fatal(err)
 	}

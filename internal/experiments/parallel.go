@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"time"
+
+	"vaq"
+	"vaq/internal/detect"
+	"vaq/internal/ingest"
+	"vaq/internal/synth"
+)
+
+// ParallelRow is one cell of the parallel-speedup study: a phase run at
+// a worker count, with the wall clock of the parallel region, the
+// aggregate per-unit CPU time (zero where it is not meaningful), and
+// the wall-clock speedup over the same phase at one worker.
+type ParallelRow struct {
+	Phase   string // "ingest", "topk-all", "topk-global"
+	Workers int
+	Wall    time.Duration
+	CPU     time.Duration
+	Speedup float64
+}
+
+// ParallelSpeedup measures the bounded-parallelism execution layer:
+// repository ingestion with 1 vs NumCPU clip scorers, then the
+// repository-wide top-k paths with 1 vs NumCPU per-video executions
+// (the sharded path exchanges B_lo^K across shards). Results are
+// identical across worker counts — the tests assert that — so the rows
+// report pure wall-clock effects; on a single-core host the speedups
+// hover around 1x.
+func (c *Context) ParallelSpeedup() ([]ParallelRow, error) {
+	ncpu := runtime.NumCPU()
+	counts := []int{1, ncpu}
+	if ncpu == 1 {
+		counts = []int{1, 4} // still exercises the pooled path
+	}
+	var out []ParallelRow
+	c.printf("Parallel speedup (NumCPU=%d)\n", ncpu)
+
+	// Phase 1: ingestion of one movie, serial vs pooled clip scoring.
+	qs, err := synth.MovieScaled("coffee_and_cigarettes", c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	truth := qs.World.Truth
+	var base time.Duration
+	for _, w := range counts {
+		scene := qs.World.Scene()
+		det := detect.NewSimObjectDetector(scene, c.ObjProfile, nil)
+		rec := detect.NewSimActionRecognizer(scene, c.ActProfile, nil)
+		start := time.Now()
+		if _, err := ingest.Video(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(),
+			ingest.Config{Workers: w}); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if w == 1 {
+			base = wall
+		}
+		sp := float64(base) / float64(wall)
+		out = append(out, ParallelRow{Phase: "ingest", Workers: w, Wall: wall, Speedup: sp})
+		c.printf("  ingest      workers=%-2d wall %10v  %.2fx\n", w, wall.Round(time.Millisecond), sp)
+	}
+
+	// Phase 2: the repository fan-out paths over the Table 2 movies.
+	dir, err := os.MkdirTemp("", "vaq-parallel-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	repo, err := vaq.OpenRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Every video is ingested with the query's labels included, so the
+	// ad-hoc query has a (possibly empty) table in each of them.
+	q := qs.Query
+	for _, name := range []string{"coffee_and_cigarettes", "iron_man", "star_wars_3"} {
+		mqs, err := synth.MovieScaled(name, c.Scale)
+		if err != nil {
+			return nil, err
+		}
+		scene := mqs.World.Scene()
+		det := detect.NewSimObjectDetector(scene, c.ObjProfile, nil)
+		rec := detect.NewSimActionRecognizer(scene, c.ActProfile, nil)
+		mt := mqs.World.Truth
+		vd, err := ingest.Video(det, rec, mt.Meta,
+			unionLabels(mt.ObjectLabels(), q.Objects),
+			unionLabels(mt.ActionLabels(), []vaq.Label{q.Action}),
+			ingest.Config{Workers: ncpu})
+		if err != nil {
+			return nil, err
+		}
+		if err := repo.Add(name, vd); err != nil {
+			return nil, err
+		}
+	}
+	const k = 5
+	phases := []struct {
+		name string
+		run  func(eo vaq.ExecOptions) (vaq.TopKStats, error)
+	}{
+		{"topk-all", func(eo vaq.ExecOptions) (vaq.TopKStats, error) {
+			_, s, err := repo.TopKAllOpts(q, k, eo)
+			return s, err
+		}},
+		{"topk-global", func(eo vaq.ExecOptions) (vaq.TopKStats, error) {
+			_, s, err := repo.TopKGlobalOpts(q, k, eo)
+			return s, err
+		}},
+	}
+	for _, ph := range phases {
+		var base time.Duration
+		for _, w := range counts {
+			stats, err := ph.run(vaq.ExecOptions{Workers: w})
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				base = stats.Runtime
+			}
+			sp := float64(base) / float64(stats.Runtime)
+			out = append(out, ParallelRow{Phase: ph.name, Workers: w, Wall: stats.Runtime, CPU: stats.CPURuntime, Speedup: sp})
+			c.printf("  %-11s workers=%-2d wall %10v  cpu %10v  %.2fx\n",
+				ph.name, w, stats.Runtime.Round(time.Microsecond), stats.CPURuntime.Round(time.Microsecond), sp)
+		}
+	}
+	return out, nil
+}
+
+// unionLabels appends the extras not already present.
+func unionLabels(base, extra []vaq.Label) []vaq.Label {
+	have := make(map[vaq.Label]bool, len(base))
+	for _, l := range base {
+		have[l] = true
+	}
+	out := append([]vaq.Label{}, base...)
+	for _, l := range extra {
+		if !have[l] {
+			have[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

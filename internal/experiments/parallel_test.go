@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestParallelSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload experiment")
+	}
+	c := NewContext(nil)
+	c.Scale = 0.1
+	rows, err := c.ParallelSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three phases, two worker counts each; every row has a positive
+	// wall clock, and the serial rows anchor speedup at exactly 1.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	phases := map[string]int{}
+	for _, r := range rows {
+		phases[r.Phase]++
+		if r.Wall <= 0 {
+			t.Errorf("%s workers=%d: wall clock %v", r.Phase, r.Workers, r.Wall)
+		}
+		if r.Workers == 1 && r.Speedup != 1 {
+			t.Errorf("%s: serial speedup = %v, want 1", r.Phase, r.Speedup)
+		}
+		if r.Phase != "ingest" && r.CPU <= 0 {
+			t.Errorf("%s workers=%d: cpu clock %v", r.Phase, r.Workers, r.CPU)
+		}
+	}
+	for _, p := range []string{"ingest", "topk-all", "topk-global"} {
+		if phases[p] != 2 {
+			t.Errorf("phase %s has %d rows, want 2", p, phases[p])
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/video"
+)
+
+// benchScene is a larger world than the test scene, so the per-clip
+// model invocations dominate and the worker sweep is meaningful.
+func benchScene() *detect.Scene {
+	geom := video.DefaultGeometry()
+	meta := video.Meta{Name: "bench", Frames: 50000, Geom: geom} // 1000 clips
+	truth := annot.NewVideo(meta)
+	truth.AddAction("run", interval.Set{{Lo: 400, Hi: 2399}})
+	truth.AddObject("car", interval.Set{{Lo: 2000, Hi: 7999}})
+	truth.AddObject("dog", interval.Set{{Lo: 30000, Hi: 33999}})
+	return &detect.Scene{Truth: truth, Seed: 7}
+}
+
+// BenchmarkIngestWorkers sweeps the ingestion worker pool from serial
+// to NumCPU; the ratio of the ns/op columns is the ingestion speedup.
+func BenchmarkIngestWorkers(b *testing.B) {
+	scene := benchScene()
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+				rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+				if _, err := Video(det, rec, scene.Truth.Meta,
+					scene.Truth.ObjectLabels(), scene.Truth.ActionLabels(), Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -101,6 +102,13 @@ type VideoData struct {
 // recognizer on every shot (for all actLabels), and materializes the
 // per-label tables and individual sequences.
 func Video(det detect.ObjectDetector, rec detect.ActionRecognizer, meta video.Meta, objLabels, actLabels []annot.Label, cfg Config) (*VideoData, error) {
+	return VideoCtx(context.Background(), det, rec, meta, objLabels, actLabels, cfg)
+}
+
+// VideoCtx is Video with cancellation: the (possibly parallel) model-
+// invocation stage checks ctx between clips and the whole ingestion
+// returns ctx's error once it fires.
+func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionRecognizer, meta video.Meta, objLabels, actLabels []annot.Label, cfg Config) (*VideoData, error) {
 	if err := meta.Geom.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,8 +178,12 @@ func Video(det detect.ObjectDetector, rec detect.ActionRecognizer, meta video.Me
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// On cancellation workers keep draining the feed (without
+				// inferring) so the feeder never blocks on a dead pool.
 				for c := range next {
-					inferClip(c)
+					if ctx.Err() == nil {
+						inferClip(c)
+					}
 				}
 			}()
 		}
@@ -182,8 +194,14 @@ func Video(det detect.ObjectDetector, rec detect.ActionRecognizer, meta video.Me
 		wg.Wait()
 	} else {
 		for c := 0; c < nclips; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ingest: video %q: %w", meta.Name, err)
+			}
 			inferClip(c)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: video %q: %w", meta.Name, err)
 	}
 
 	// Stage 2 — sequential: the tracker (stateful across frames) and

@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -231,6 +233,21 @@ func TestSanitize(t *testing.T) {
 	}
 	if got := sanitize("ok_name-9"); got != "ok_name-9" {
 		t.Fatalf("sanitize mangled safe name: %q", got)
+	}
+}
+
+func TestIngestCancellation(t *testing.T) {
+	scene := ingestScene(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		_, err := VideoCtx(ctx, det, rec, scene.Truth.Meta,
+			scene.Truth.ObjectLabels(), scene.Truth.ActionLabels(), Config{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: VideoCtx on a cancelled context = %v, want context.Canceled", workers, err)
+		}
 	}
 }
 

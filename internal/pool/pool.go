@@ -1,0 +1,81 @@
+// Package pool provides the bounded-parallelism execution layer shared
+// by the serving daemon's online sessions and the offline query paths:
+// a context-aware counting semaphore. One Pool per process boundary
+// (e.g. the daemon's -workers flag) makes online clip evaluations and
+// offline per-video RVAQ runs compete for the same bounded concurrency
+// instead of oversubscribing the machine.
+package pool
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a counting semaphore with context-aware acquisition. The zero
+// value is not usable; build with New.
+type Pool struct {
+	slots chan struct{}
+}
+
+// New sizes a pool. Non-positive n falls back to runtime.GOMAXPROCS(0).
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the pool's slot count.
+func (p *Pool) Cap() int { return cap(p.slots) }
+
+// InUse returns the number of slots currently held.
+func (p *Pool) InUse() int { return len(p.slots) }
+
+// Acquire blocks until a slot is free or ctx is done, in which case it
+// returns ctx's error without holding a slot. A nil ctx never gives up.
+func (p *Pool) Acquire(ctx context.Context) error {
+	if ctx == nil {
+		p.slots <- struct{}{}
+		return nil
+	}
+	// Prefer the cancellation signal when both are ready, so a cancelled
+	// caller never grabs a slot it would release unused.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot if one is immediately free.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (p *Pool) Release() {
+	select {
+	case <-p.slots:
+	default:
+		panic("pool: Release without Acquire")
+	}
+}
+
+// Do runs f while holding a slot; it propagates the acquisition error
+// when ctx expires first.
+func (p *Pool) Do(ctx context.Context, f func() error) error {
+	if err := p.Acquire(ctx); err != nil {
+		return err
+	}
+	defer p.Release()
+	return f()
+}

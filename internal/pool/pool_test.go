@@ -1,0 +1,110 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCapDefaults(t *testing.T) {
+	if got := New(0).Cap(); got <= 0 {
+		t.Fatalf("New(0).Cap() = %d, want > 0", got)
+	}
+	if got := New(3).Cap(); got != 3 {
+		t.Fatalf("New(3).Cap() = %d, want 3", got)
+	}
+}
+
+func TestBoundsConcurrency(t *testing.T) {
+	const slots, tasks = 3, 32
+	p := New(slots)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Release()
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > slots {
+		t.Fatalf("peak concurrency %d exceeds pool cap %d", got, slots)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("%d slots leaked", p.InUse())
+	}
+}
+
+func TestAcquireHonoursCancellation(t *testing.T) {
+	p := New(1)
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire on an empty pool failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx); err == nil {
+		t.Fatal("Acquire with a cancelled context succeeded")
+	}
+	// The failed Acquire must not have consumed the waiting slot.
+	p.Release()
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+func TestAcquireUnblocksOnCancel(t *testing.T) {
+	p := New(1)
+	if err := p.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(ctx) }()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not unblock on cancellation")
+	}
+	p.Release()
+}
+
+func TestDoReleasesOnError(t *testing.T) {
+	p := New(1)
+	wantErr := context.DeadlineExceeded
+	if err := p.Do(context.Background(), func() error { return wantErr }); err != wantErr {
+		t.Fatalf("Do = %v, want %v", err, wantErr)
+	}
+	if p.InUse() != 0 {
+		t.Fatal("Do leaked its slot on error")
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on an idle pool did not panic")
+		}
+	}()
+	New(1).Release()
+}

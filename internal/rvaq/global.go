@@ -1,0 +1,71 @@
+package rvaq
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// GlobalBound coordinates the shards of a parallel multi-video top-k.
+// Each shard (one RVAQ execution per video) periodically publishes the
+// lower bounds of its current top-k sequences; the exchange maintains
+// the global B_lo^K — the k-th largest lower bound across every shard —
+// which each shard reads to prune candidates that cannot reach the
+// *global* top-k, not merely its local one.
+//
+// Safety: a published lower bound belongs to a concrete candidate
+// sequence, and sequences are distinct across shards (different videos)
+// and within a shard's published batch. If l is the k-th largest
+// published bound, at least k distinct sequences have exact score ≥ l,
+// so the k-th best global exact score is ≥ l; pruning any sequence
+// whose upper bound is strictly below l is conservative. Exact scores
+// never change, so the bound is kept monotonically non-decreasing and
+// stays valid even when a shard's local lower bounds later shift.
+type GlobalBound struct {
+	k int
+
+	mu     sync.Mutex
+	shards map[int][]float64 // shard id → its latest top-k lower bounds
+
+	// cur holds math.Float64bits of the current global B_lo^K; shards
+	// read it lock-free on every pruning pass.
+	cur atomic.Uint64
+}
+
+// NewGlobalBound builds an exchange for a top-k query.
+func NewGlobalBound(k int) *GlobalBound {
+	g := &GlobalBound{k: k, shards: map[int][]float64{}}
+	g.cur.Store(math.Float64bits(negInf))
+	return g
+}
+
+// Publish replaces shard's contribution with the lower bounds of its
+// current top-k sequences and refreshes the global bound.
+func (g *GlobalBound) Publish(shard int, los []float64) {
+	g.mu.Lock()
+	g.shards[shard] = append(g.shards[shard][:0], los...)
+	all := make([]float64, 0, len(g.shards)*g.k)
+	for _, s := range g.shards {
+		all = append(all, s...)
+	}
+	g.mu.Unlock()
+	if len(all) < g.k {
+		return // fewer than k sequences bounded so far: no global floor yet
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	kth := all[g.k-1]
+	// Monotone max: an older, higher bound remains valid forever.
+	for {
+		old := g.cur.Load()
+		if math.Float64frombits(old) >= kth || g.cur.CompareAndSwap(old, math.Float64bits(kth)) {
+			return
+		}
+	}
+}
+
+// Bound returns the current global B_lo^K (negInf until k sequences
+// have been published).
+func (g *GlobalBound) Bound() float64 {
+	return math.Float64frombits(g.cur.Load())
+}

@@ -138,18 +138,28 @@ func (it *tbClip) observe(cid int32) error {
 	if it.skip(cid) {
 		return nil
 	}
-	if _, known := it.scores[cid]; known {
-		return nil
+	_, err := it.scoreAndRecord(cid)
+	return err
+}
+
+// scoreAndRecord is the single gateway to the exact-score cache: it
+// returns cid's score, computing, memoizing and announcing it (through
+// onScored) on first use. Repeated calls never touch the tables again,
+// so Stats.Accesses counts each random access exactly once per clip no
+// matter how callers interleave.
+func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
+	if s, known := it.scores[cid]; known {
+		return s, nil
 	}
 	s, err := it.ScoreClip(cid)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	it.scores[cid] = s
 	if it.onScored != nil {
 		it.onScored(cid, s)
 	}
-	return nil
+	return s, nil
 }
 
 // ScoreClip computes the exact clip score S_q^(c) (Equation 9) with one

@@ -1,0 +1,227 @@
+package rvaq
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/ingest"
+	"vaq/internal/score"
+	"vaq/internal/tables"
+)
+
+// countingTable wraps a Table and tallies random accesses per clip, so
+// tests can assert that no clip is ever random-accessed twice through
+// the iterator's score cache.
+type countingTable struct {
+	tables.Table
+	random map[int32]int
+}
+
+func (t *countingTable) RandomGet(cid int32, c *tables.AccessCounter) (float64, bool, error) {
+	t.random[cid]++
+	return t.Table.RandomGet(cid, c)
+}
+
+// TestScoreAndRecordAccessesOnce is the regression test for the
+// exactScore encapsulation bug: every exact clip score must flow
+// through scoreAndRecord, which random-accesses each clip's tables at
+// most once and announces the score through onScored exactly once —
+// even when the finish phase re-requests clips the TBClip passes
+// already scored.
+func TestScoreAndRecordAccessesOnce(t *testing.T) {
+	rows := []tables.Row{{CID: 0, Score: 3}, {CID: 1, Score: 2}, {CID: 2, Score: 1}}
+	act := &countingTable{Table: tables.NewMemTable("a", rows), random: map[int32]int{}}
+	obj := &countingTable{Table: tables.NewMemTable("o", rows), random: map[int32]int{}}
+
+	var counter tables.AccessCounter
+	scored := map[int32]int{}
+	it := newTBClip(act, []tables.Table{obj}, score.Default(), &counter,
+		func(int32) bool { return false },
+		func(cid int32, _ float64) { scored[cid]++ })
+
+	for _, cid := range []int32{1, 1, 0, 1, 0} {
+		if _, err := it.scoreAndRecord(cid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counter.Random != 4 { // 2 distinct clips × 2 tables
+		t.Fatalf("Random accesses = %d, want 4 (each clip once per table)", counter.Random)
+	}
+	for cid, n := range scored {
+		if n != 1 {
+			t.Fatalf("onScored fired %d times for clip %d, want exactly 1", n, cid)
+		}
+	}
+	if len(scored) != 2 {
+		t.Fatalf("onScored covered %d clips, want 2", len(scored))
+	}
+}
+
+// TestTopKNeverDoubleAccessesAClip runs full RVAQ executions (exact
+// scores on) over random workloads and asserts each clip is random-
+// accessed at most once per table, finish phase included.
+func TestTopKNeverDoubleAccessesAClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		vd, q := synthVideoData(rng, 120, 8)
+		wrapped := map[int32]map[int32]int{} // table idx → cid → count
+		var idx int32
+		wrap := func(tab tables.Table) tables.Table {
+			m := map[int32]int{}
+			wrapped[idx] = m
+			idx++
+			return &countingTable{Table: tab, random: m}
+		}
+		for l, tab := range vd.ActTables {
+			vd.ActTables[l] = wrap(tab)
+		}
+		for l, tab := range vd.ObjTables {
+			vd.ObjTables[l] = wrap(tab)
+		}
+		for _, k := range []int{1, 3, 7} {
+			for _, m := range wrapped {
+				clear(m)
+			}
+			if _, _, err := TopK(vd, q, k, DefaultOptions()); err != nil {
+				t.Fatal(err)
+			}
+			for ti, m := range wrapped {
+				for cid, n := range m {
+					if n > 1 {
+						t.Fatalf("trial %d k=%d: clip %d random-accessed %d times in table %d", trial, k, cid, n, ti)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vd, q := synthVideoData(rng, 200, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := TopKCtx(ctx, vd, q, 3, DefaultOptions()); err != context.Canceled {
+		t.Fatalf("TopKCtx on a cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestGlobalBound(t *testing.T) {
+	g := NewGlobalBound(3)
+	if b := g.Bound(); b != negInf {
+		t.Fatalf("empty exchange bound = %v, want -inf", b)
+	}
+	g.Publish(0, []float64{5, 2}) // only two sequences: still no floor
+	if b := g.Bound(); b != negInf {
+		t.Fatalf("under-k bound = %v, want -inf", b)
+	}
+	g.Publish(1, []float64{4})
+	if b := g.Bound(); b != 2 {
+		t.Fatalf("bound = %v, want 2 (3rd largest of {5,4,2})", b)
+	}
+	g.Publish(1, []float64{4, 3, 1})
+	if b := g.Bound(); b != 3 {
+		t.Fatalf("bound = %v, want 3 (3rd largest of {5,4,3,2,1})", b)
+	}
+	// Monotone: a shard republishing weaker bounds cannot lower it.
+	g.Publish(0, []float64{0.5})
+	if b := g.Bound(); b != 3 {
+		t.Fatalf("bound regressed to %v after a weaker publish, want 3", b)
+	}
+}
+
+// globalEntry tags a per-video result for merging in the tests.
+type globalEntry struct {
+	video int
+	res   SeqResult
+}
+
+func mergeGlobal(perVideo [][]SeqResult, k int) []globalEntry {
+	var all []globalEntry
+	for v, res := range perVideo {
+		for _, r := range res {
+			all = append(all, globalEntry{video: v, res: r})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].res.Score != all[b].res.Score {
+			return all[a].res.Score > all[b].res.Score
+		}
+		if all[a].video != all[b].video {
+			return all[a].video < all[b].video
+		}
+		return all[a].res.Seq.Lo < all[b].res.Seq.Lo
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestBoundExchangePreservesResults runs shard-per-video executions
+// with the cross-shard exchange (concurrently, exercising the atomics
+// under -race) and asserts the merged global top-k matches the
+// exchange-free sequential runs, across ks and exchange periods.
+func TestBoundExchangePreservesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		nvideos := 2 + rng.Intn(3)
+		vds := make([]*videoCase, nvideos)
+		for i := range vds {
+			vd, q := synthVideoData(rng, 80+rng.Intn(120), 6+rng.Intn(6))
+			vds[i] = &videoCase{vd: vd, q: q}
+		}
+		q := vds[0].q
+		for _, k := range []int{1, 3, 5} {
+			seq := make([][]SeqResult, nvideos)
+			for i, vc := range vds {
+				res, _, err := TopK(vc.vd, q, k, DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq[i] = res
+			}
+			for _, every := range []int{1, 8} {
+				par := make([][]SeqResult, nvideos)
+				gb := NewGlobalBound(k)
+				var wg sync.WaitGroup
+				errs := make([]error, nvideos)
+				for i, vc := range vds {
+					wg.Add(1)
+					go func(i int, vc *videoCase) {
+						defer wg.Done()
+						opts := DefaultOptions()
+						opts.Bound, opts.Shard, opts.ExchangeEvery = gb, i, every
+						par[i], _, errs[i] = TopK(vc.vd, q, k, opts)
+					}(i, vc)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, got := mergeGlobal(seq, k), mergeGlobal(par, k)
+				if len(want) != len(got) {
+					t.Fatalf("trial %d k=%d every=%d: %d results vs %d sequential", trial, k, every, len(got), len(want))
+				}
+				for i := range want {
+					if want[i].video != got[i].video || want[i].res.Seq != got[i].res.Seq ||
+						math.Abs(want[i].res.Score-got[i].res.Score) > 1e-9 {
+						t.Fatalf("trial %d k=%d every=%d: result %d = %+v, want %+v", trial, k, every, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+type videoCase struct {
+	vd *ingest.VideoData
+	q  annot.Query
+}

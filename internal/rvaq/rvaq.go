@@ -9,6 +9,7 @@
 package rvaq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -27,12 +28,26 @@ type SeqResult struct {
 	Score float64           // exact when Options.ExactScores, else the lower bound
 }
 
-// Stats reports the cost of one query execution.
+// Stats reports the cost of one query execution. For a single
+// execution Runtime and CPURuntime coincide; aggregated over a
+// parallel multi-video run, Runtime is the wall clock of the parallel
+// region while CPURuntime sums the per-video runtimes, so
+// CPURuntime/Runtime measures the effective speedup.
 type Stats struct {
 	Accesses   tables.AccessCounter
-	Runtime    time.Duration
-	Candidates int // |P_q|
-	Iterations int // TBClip steps (RVAQ variants only)
+	Runtime    time.Duration // wall clock
+	CPURuntime time.Duration // aggregate per-execution runtime
+	Candidates int           // |P_q|
+	Iterations int           // TBClip steps (RVAQ variants only)
+}
+
+// Merge accumulates another execution's cost into s (wall-clock Runtime
+// is left to the caller, who knows the parallel region's extent).
+func (s *Stats) Merge(o Stats) {
+	s.Accesses.Add(o.Accesses)
+	s.CPURuntime += o.CPURuntime
+	s.Candidates += o.Candidates
+	s.Iterations += o.Iterations
 }
 
 // Options tunes a TopK execution.
@@ -47,6 +62,17 @@ type Options struct {
 	// is decided). Off, the returned scores are the lower bounds at the
 	// stopping point.
 	ExactScores bool
+	// Bound, when non-nil, joins the execution to a cross-shard bound
+	// exchange (one shard per video of a parallel multi-video top-k):
+	// the run periodically publishes its top-k lower bounds and prunes
+	// with the global B_lo^K, so shards prune each other. The exchanged
+	// bounds are conservative — results are identical to a run without
+	// the exchange.
+	Bound *GlobalBound
+	// Shard identifies this execution in the exchange.
+	Shard int
+	// ExchangeEvery is the iteration period of the exchange (default 8).
+	ExchangeEvery int
 }
 
 // DefaultOptions returns the standard RVAQ configuration.
@@ -73,6 +99,12 @@ type seqState struct {
 // TopK runs RVAQ (Algorithm 4): top-K result sequences of query q over
 // the ingested video vd.
 func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult, Stats, error) {
+	return TopKCtx(context.Background(), vd, q, k, opts)
+}
+
+// TopKCtx is TopK with cancellation: the run checks ctx between TBClip
+// iterations and returns ctx's error once it fires.
+func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult, Stats, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if k <= 0 {
@@ -85,6 +117,7 @@ func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult
 	stats := Stats{Candidates: len(pq)}
 	if len(pq) == 0 {
 		stats.Runtime = time.Since(start)
+		stats.CPURuntime = stats.Runtime
 		return nil, stats, nil
 	}
 	act, objs, err := vd.QueryTables(q)
@@ -122,6 +155,11 @@ func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult
 	it := newTBClip(act, objs, fns, &stats.Accesses, skip, onScored)
 
 	for {
+		if err := ctx.Err(); err != nil {
+			stats.Runtime = time.Since(start)
+			stats.CPURuntime = stats.Runtime
+			return nil, stats, err
+		}
 		tauTop, tauBtm, err := it.Step()
 		if err != nil {
 			return nil, stats, err
@@ -148,11 +186,32 @@ func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult
 			s.lo = fns.F.Merge(s.knownScore, fns.F.MergeN(tauBtm, unknown))
 		}
 		topK, bloK, bupRest := selectTopK(seqs, k)
+		// Cross-shard exchange: periodically publish this shard's top-k
+		// lower bounds and prune with the global B_lo^K, which is at
+		// least as tight as the local one once other shards have
+		// stronger candidates.
+		pruneAt := bloK
+		if opts.Bound != nil {
+			every := opts.ExchangeEvery
+			if every <= 0 {
+				every = defaultExchangeEvery
+			}
+			if stats.Iterations%every == 0 || exhausted {
+				los := make([]float64, 0, len(topK))
+				for _, i := range topK {
+					los = append(los, seqs[i].lo)
+				}
+				opts.Bound.Publish(opts.Shard, los)
+			}
+			if g := opts.Bound.Bound(); g > pruneAt {
+				pruneAt = g
+			}
+		}
 		// Grow the skip set: sequences that can no longer reach the
 		// top-K (Algorithm 4 lines 13–14).
 		if opts.Skip {
 			for _, s := range seqs {
-				if !s.pruned && s.up < bloK {
+				if !s.pruned && s.up < pruneAt {
 					s.pruned = true
 				}
 			}
@@ -219,6 +278,12 @@ func selectTopK(seqs []*seqState, k int) (topK []int, bloK, bupRest float64) {
 
 const negInf = -1e308
 
+// defaultExchangeEvery is the default iteration period of the
+// cross-shard bound exchange: frequent enough that shards see each
+// other's progress early, sparse enough that the shared atomic and
+// mutex stay off the per-row hot path.
+const defaultExchangeEvery = 8
+
 // finish materializes the final ranking; with ExactScores it completes
 // the top-K sequences' scores by random access to their remaining clips.
 func finish(it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int, opts Options, stats *Stats, start time.Time) ([]SeqResult, Stats, error) {
@@ -245,23 +310,20 @@ func finish(it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int
 		results = results[:k]
 	}
 	stats.Runtime = time.Since(start)
+	stats.CPURuntime = stats.Runtime
 	return results, *stats, nil
 }
 
-// exactScore completes a sequence's exact score, random-accessing any
-// clip not already scored by the iterator.
+// exactScore completes a sequence's exact score through the iterator's
+// scoreAndRecord, so clips already scored are never random-accessed
+// again and every newly scored clip is recorded (and announced) exactly
+// like the ones the TBClip passes saw.
 func exactScore(it *tbClip, fns score.Functions, s *seqState) (float64, error) {
 	total := fns.F.Zero()
 	for c := s.iv.Lo; c <= s.iv.Hi; c++ {
-		cid := int32(c)
-		v, ok := it.Known(cid)
-		if !ok {
-			sv, err := it.ScoreClip(cid)
-			if err != nil {
-				return 0, err
-			}
-			it.scores[cid] = sv
-			v = sv
+		v, err := it.scoreAndRecord(int32(c))
+		if err != nil {
+			return 0, err
 		}
 		total = fns.F.Merge(total, v)
 	}

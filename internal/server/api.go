@@ -122,8 +122,11 @@ type TopKEntry struct {
 // same shape.
 type TopKResponse struct {
 	Results []TopKEntry `json:"results"`
-	// RuntimeUS is the engine-side runtime in microseconds.
-	RuntimeUS int64 `json:"runtime_us"`
+	// RuntimeUS is the engine-side wall-clock runtime in microseconds;
+	// CPURuntimeUS sums the per-video runtimes, so their ratio is the
+	// effective fan-out speedup.
+	RuntimeUS    int64 `json:"runtime_us"`
+	CPURuntimeUS int64 `json:"cpu_runtime_us,omitempty"`
 	// RandomAccesses counts score-table random accesses (the paper's
 	// primary cost metric); Candidates is |Pq|.
 	RandomAccesses int64 `json:"random_accesses"`

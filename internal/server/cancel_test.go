@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"vaq"
+	"vaq/internal/detect"
+	"vaq/internal/synth"
+)
+
+// TestCancelRacingFinalClipReportsDone is the regression test for the
+// cancellation race: a Cancel that lands after the final clip has been
+// evaluated must not demote the fully processed session to "cancelled".
+// The stepHook seam fires the cancel deterministically in that window —
+// after the last step returns, before run consults the context.
+func TestCancelRacingFinalClipReportsDone(t *testing.T) {
+	qs, err := synth.YouTubeScaled("q2", vaq.DefaultGeometry(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := qs.World.Scene()
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	meta := qs.World.Truth.Meta
+	total := meta.Clips()
+
+	reg := NewRegistry(4, 2)
+	stepHook = func(s *Session, c int) {
+		if c == s.total-1 {
+			s.Cancel()
+		}
+	}
+	defer func() { stepHook = nil }()
+
+	stream, err := vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, vaq.StreamConfig{HorizonClips: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sess.Done()
+	info := sess.Info()
+	if info.State != StateDone {
+		t.Fatalf("state = %q after cancel raced the final clip, want %q (all %d clips processed)",
+			info.State, StateDone, total)
+	}
+	if info.ClipsProcessed != total {
+		t.Fatalf("ClipsProcessed = %d, want %d", info.ClipsProcessed, total)
+	}
+
+	// A cancel with work remaining still reports cancelled.
+	stepHook = func(s *Session, c int) {
+		if c == 0 {
+			s.Cancel()
+		}
+	}
+	stream2, err := vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, vaq.StreamConfig{HorizonClips: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream2, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sess2.Done()
+	if info := sess2.Info(); info.State != StateCancelled {
+		t.Fatalf("state = %q after early cancel, want %q", info.State, StateCancelled)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := reg.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKReportsClocks: the endpoint surfaces both the wall clock of
+// the fan-out region and the aggregate per-video runtime.
+func TestTopKReportsClocks(t *testing.T) {
+	repo := buildRepo(t)
+	_, ts := startServer(t, Config{Repo: repo, Workers: 4})
+	var resp TopKResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+		TopKRequest{Action: "blowing_leaves", Objects: []string{"car"}, K: 3}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if resp.RuntimeUS <= 0 || resp.CPURuntimeUS <= 0 {
+		t.Fatalf("clocks not populated: runtime_us=%d cpu_runtime_us=%d", resp.RuntimeUS, resp.CPURuntimeUS)
+	}
+}

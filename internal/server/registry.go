@@ -3,18 +3,18 @@ package server
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"vaq"
+	"vaq/internal/pool"
 )
 
 // Registry owns the live sessions, the shared worker pool, and the
 // lifecycle from admission to drain.
 type Registry struct {
 	maxSessions int
-	workers     chan struct{}
+	workers     *pool.Pool
 
 	mu       sync.Mutex
 	seq      int
@@ -33,18 +33,20 @@ func NewRegistry(maxSessions, workers int) *Registry {
 	if maxSessions <= 0 {
 		maxSessions = 64
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Registry{
 		maxSessions: maxSessions,
-		workers:     make(chan struct{}, workers),
+		workers:     pool.New(workers),
 		sessions:    map[string]*Session{},
 		ctx:         ctx,
 		cancelAll:   cancel,
 	}
 }
+
+// Pool exposes the shared worker semaphore so the offline query paths
+// (POST /v1/topk) draw from the same concurrency budget as the online
+// sessions.
+func (r *Registry) Pool() *pool.Pool { return r.workers }
 
 // errTooManySessions maps to 429.
 var errTooManySessions = fmt.Errorf("server: session limit reached")

@@ -16,6 +16,10 @@ import (
 	"vaq/internal/vql"
 )
 
+// httpStatusClientClosedRequest is nginx's non-standard 499: the client
+// went away before the offline query finished.
+const httpStatusClientClosedRequest = 499
+
 // Config tunes a Server. The zero value serves sessions with defaults
 // and rejects top-k requests (no repository).
 type Config struct {
@@ -335,13 +339,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Offline queries honour the request context and draw worker slots
+	// from the registry's session pool, so online and offline work
+	// compete for the same concurrency budget.
+	eo := vaq.ExecOptions{Ctx: r.Context(), Pool: s.reg.Pool()}
 	resp := TopKResponse{Results: []TopKEntry{}}
 	if req.Video != "" {
-		results, stats, err := s.cfg.Repo.TopK(req.Video, q, k)
+		results, stats, err := s.cfg.Repo.TopKOpts(req.Video, q, k, eo)
 		if err != nil {
-			if errors.Is(err, ingest.ErrNotIngested) {
+			switch {
+			case errors.Is(err, ingest.ErrNotIngested):
 				writeErr(w, http.StatusBadRequest, "unknown_label", err.Error(), nil)
-			} else {
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
+			default:
 				writeErr(w, http.StatusNotFound, "unknown_video", err.Error(), nil)
 			}
 			return
@@ -352,14 +363,20 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.RuntimeUS = stats.Runtime.Microseconds()
+		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
 	} else {
-		results, stats, err := s.cfg.Repo.TopKGlobal(q, k)
+		results, stats, err := s.cfg.Repo.TopKGlobalOpts(q, k, eo)
 		if err != nil {
-			if errors.Is(err, ingest.ErrNotIngested) {
+			switch {
+			case errors.Is(err, ingest.ErrNotIngested):
 				writeErr(w, http.StatusBadRequest, "unknown_label", err.Error(), nil)
-			} else {
+			case errors.Is(err, vaq.ErrVideoNotFound):
+				writeErr(w, http.StatusNotFound, "unknown_video", err.Error(), nil)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
+			default:
 				writeErr(w, http.StatusInternalServerError, "topk_failed", err.Error(), nil)
 			}
 			return
@@ -370,6 +387,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.RuntimeUS = stats.Runtime.Microseconds()
+		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
 	}

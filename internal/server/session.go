@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vaq"
+	"vaq/internal/pool"
 )
 
 // Session states.
@@ -58,11 +59,17 @@ func newSession(id string, req CreateSessionRequest, stream *vaq.Stream, total i
 	}
 }
 
+// stepHook, when non-nil, runs after every completed step. It is a test
+// seam: the cancellation-race regression test uses it to cancel the
+// session deterministically right after the final clip. Set it before
+// any session starts and clear it after they drain.
+var stepHook func(s *Session, c int)
+
 // run drives the engine to completion or cancellation. workers is the
 // registry's shared semaphore: a session holds a slot only while
 // evaluating one clip, so -workers bounds engine concurrency across all
 // sessions while every session still makes progress.
-func (s *Session) run(ctx context.Context, workers chan struct{}) {
+func (s *Session) run(ctx context.Context, workers *pool.Pool) {
 	defer close(s.done)
 	var ticker *time.Ticker
 	if s.pace > 0 {
@@ -78,19 +85,23 @@ func (s *Session) run(ctx context.Context, workers chan struct{}) {
 				return
 			}
 		}
-		select {
-		case workers <- struct{}{}:
-		case <-ctx.Done():
+		if workers.Acquire(ctx) != nil {
 			s.finish(StateCancelled, nil)
 			return
 		}
 		err := s.step(c)
-		<-workers
+		workers.Release()
+		if stepHook != nil {
+			stepHook(s, c)
+		}
 		if err != nil {
 			s.finish(StateFailed, err)
 			return
 		}
-		if ctx.Err() != nil {
+		// Consult ctx only if there is more work to do: a cancellation
+		// that races the final clip must not demote a fully processed
+		// session to "cancelled".
+		if c+1 < s.total && ctx.Err() != nil {
 			s.finish(StateCancelled, nil)
 			return
 		}

@@ -1,0 +1,304 @@
+package vaq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/synth"
+)
+
+// multiRepo builds a repository of n distinct synthetic videos that all
+// carry the q2 labels (blowing_leaves; car, plant), so one query has
+// candidates in every video. Each video is the q2 world regenerated
+// under a different seed.
+func multiRepo(tb testing.TB, n int, scale float64) (*Repository, Query) {
+	tb.Helper()
+	spec, q, err := synth.YouTubeSpec("q2", DefaultGeometry())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec = spec.Scaled(scale)
+	repo, err := OpenRepository(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Name = fmt.Sprintf("v%02d", i)
+		s.Seed = spec.Seed + int64(1+97*i)
+		w, err := synth.Generate(s)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		scene := w.Scene()
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		vd, err := IngestVideo(det, rec, w.Truth.Meta, w.Truth.ObjectLabels(), w.Truth.ActionLabels(), IngestConfig{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := repo.Add(s.Name, vd); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return repo, q
+}
+
+func sameResults(tb testing.TB, label string, want, got []VideoTopKResult, tol float64) {
+	tb.Helper()
+	if len(want) != len(got) {
+		tb.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Video != g.Video || w.Seq != g.Seq {
+			tb.Fatalf("%s: rank %d = %s %v, want %s %v", label, i, g.Video, g.Seq, w.Video, w.Seq)
+		}
+		if math.Abs(w.Score-g.Score) > tol {
+			tb.Fatalf("%s: rank %d score %v, want %v", label, i, g.Score, w.Score)
+		}
+	}
+}
+
+// TestTopKAllParallelMatchesSequential asserts the fan-out path is a
+// pure performance change: per-video runs are independent, so any
+// worker count must reproduce the 1-worker ranking bit for bit.
+func TestTopKAllParallelMatchesSequential(t *testing.T) {
+	repo, q := multiRepo(t, 3, 0.12)
+	for _, k := range []int{1, 4, 9} {
+		seq, seqStats, err := repo.TopKAllOpts(q, k, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) == 0 {
+			t.Fatalf("k=%d: no sequential results", k)
+		}
+		for _, workers := range []int{2, 4} {
+			par, parStats, err := repo.TopKAllOpts(q, k, ExecOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, fmt.Sprintf("k=%d workers=%d", k, workers), seq, par, 0)
+			if par := parStats.Candidates; par != seqStats.Candidates {
+				t.Fatalf("k=%d workers=%d: %d candidates, want %d", k, workers, par, seqStats.Candidates)
+			}
+		}
+		// A shared pool (the daemon's configuration) changes nothing.
+		p := NewWorkerPool(3)
+		pooled, _, err := repo.TopKAllOpts(q, k, ExecOptions{Pool: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("k=%d pooled", k), seq, pooled, 0)
+		if p.InUse() != 0 {
+			t.Fatalf("k=%d: %d pool slots leaked", k, p.InUse())
+		}
+	}
+}
+
+// TestTopKAllMoviesParallelMatchesSequential repeats the identity check
+// on the Table 2 movie workloads: two movies ingested with a shared
+// label universe, queried with the first movie's query.
+func TestTopKAllMoviesParallelMatchesSequential(t *testing.T) {
+	repo, err := OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Query
+	for i, name := range []string{"coffee_and_cigarettes", "iron_man"} {
+		qs, err := synth.MovieScaled(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			q = qs.Query
+		}
+		scene := qs.World.Scene()
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		truth := qs.World.Truth
+		objs := append(truth.ObjectLabels(), q.Objects...)
+		acts := append(truth.ActionLabels(), q.Action)
+		vd, err := IngestVideo(det, rec, truth.Meta, dedupLabels(objs), dedupLabels(acts), IngestConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.Add(name, vd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, _, err := repo.TopKAllOpts(q, 5, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no sequential results")
+	}
+	par, _, err := repo.TopKAllOpts(q, 5, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "movies", seq, par, 0)
+	merged, _, err := repo.TopKGlobalOpts(q, 5, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := repo.TopKGlobalOpts(q, 5, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "movies-global", merged, sharded, 1e-9)
+}
+
+func dedupLabels(ls []Label) []Label {
+	seen := make(map[Label]bool, len(ls))
+	out := ls[:0]
+	for _, l := range ls {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestTopKGlobalShardedMatchesMerged pits the parallel sharded path
+// (per-video iterators exchanging B_lo^K) against the sequential
+// merged-namespace reference. The exchange only prunes sequences whose
+// upper bound lies strictly below a proven global lower bound, so the
+// rankings must coincide.
+func TestTopKGlobalShardedMatchesMerged(t *testing.T) {
+	repo, q := multiRepo(t, 3, 0.12)
+	for _, k := range []int{1, 4, 9} {
+		merged, mergedStats, err := repo.TopKGlobalOpts(q, k, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) == 0 {
+			t.Fatalf("k=%d: no merged results", k)
+		}
+		sharded, shardedStats, err := repo.TopKGlobalOpts(q, k, ExecOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("k=%d", k), merged, sharded, 1e-9)
+		if mergedStats.Candidates == 0 || shardedStats.Candidates == 0 {
+			t.Fatalf("k=%d: empty stats %+v %+v", k, mergedStats, shardedStats)
+		}
+	}
+}
+
+// TestTopKGlobalStaleNames is the regression test for the discarded
+// Video() ok: a names snapshot can go stale when a concurrent Remove
+// wins the race, and both global paths must fail with ErrVideoNotFound
+// instead of handing a nil *VideoData to the merge layer.
+func TestTopKGlobalStaleNames(t *testing.T) {
+	repo, q := multiRepo(t, 2, 0.05)
+	stale := append(repo.Videos(), "zz-removed")
+	if _, _, err := repo.topKGlobalMerged(stale, q, 3, context.Background()); !errors.Is(err, ErrVideoNotFound) {
+		t.Fatalf("merged path with stale names: err = %v, want ErrVideoNotFound", err)
+	}
+	if _, _, err := repo.topKGlobalSharded(stale, q, 3, ExecOptions{Workers: 4}); !errors.Is(err, ErrVideoNotFound) {
+		t.Fatalf("sharded path with stale names: err = %v, want ErrVideoNotFound", err)
+	}
+	if _, _, err := repo.TopKOpts("zz-removed", q, 3, ExecOptions{}); !errors.Is(err, ErrVideoNotFound) {
+		t.Fatalf("TopKOpts on unknown video: err = %v, want ErrVideoNotFound", err)
+	}
+}
+
+// TestSortVideoResultsDeterministic asserts the merge order that
+// replaced the insertion sort: score descending, ties broken by video
+// name then sequence start — the order the merged clip-id namespace
+// induces.
+func TestSortVideoResultsDeterministic(t *testing.T) {
+	mk := func(video string, lo int, score float64) VideoTopKResult {
+		return VideoTopKResult{Video: video, TopKResult: TopKResult{Seq: interval.Interval{Lo: lo, Hi: lo + 3}, Score: score}}
+	}
+	all := []VideoTopKResult{
+		mk("v02", 10, 0.5), mk("v00", 40, 0.5), mk("v01", 7, 0.9),
+		mk("v00", 5, 0.5), mk("v00", 5, 0.7), mk("v02", 2, 0.9),
+	}
+	want := []VideoTopKResult{
+		mk("v01", 7, 0.9), mk("v02", 2, 0.9), mk("v00", 5, 0.7),
+		mk("v00", 5, 0.5), mk("v00", 40, 0.5), mk("v02", 10, 0.5),
+	}
+	// Any starting permutation must land on the same order.
+	for shift := 0; shift < len(all); shift++ {
+		perm := append(append([]VideoTopKResult{}, all[shift:]...), all[:shift]...)
+		sortVideoResults(perm)
+		for i := range want {
+			if perm[i] != want[i] {
+				t.Fatalf("shift %d rank %d = %+v, want %+v", shift, i, perm[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKCancellation: a cancelled context aborts the fan-out paths
+// between iterations.
+func TestTopKCancellation(t *testing.T) {
+	repo, q := multiRepo(t, 2, 0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := repo.TopKAllOpts(q, 3, ExecOptions{Ctx: ctx, Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKAllOpts: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := repo.TopKGlobalOpts(q, 3, ExecOptions{Ctx: ctx, Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKGlobalOpts: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := repo.TopKOpts(repo.Videos()[0], q, 3, ExecOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKOpts: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTopKAllStatsClocks: the aggregate stats separate the wall clock
+// of the parallel region (Runtime) from the summed per-video runtimes
+// (CPURuntime); their ratio is the effective speedup.
+func TestTopKAllStatsClocks(t *testing.T) {
+	repo, q := multiRepo(t, 3, 0.08)
+	_, stats, err := repo.TopKAllOpts(q, 5, ExecOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runtime <= 0 || stats.CPURuntime <= 0 {
+		t.Fatalf("clocks not populated: %+v", stats)
+	}
+}
+
+// BenchmarkTopKAllWorkers sweeps the repository fan-out; on a
+// multi-core machine the ns/op ratio between workers=1 and workers=4 is
+// the offline speedup (the CI bench smoke step compiles and runs it
+// once per configuration).
+func BenchmarkTopKAllWorkers(b *testing.B) {
+	repo, q := multiRepo(b, 4, 0.25)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repo.TopKAllOpts(q, 5, ExecOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKGlobalWorkers compares the merged-namespace sequential
+// run against the sharded parallel run with the cross-shard bound
+// exchange.
+func BenchmarkTopKGlobalWorkers(b *testing.B) {
+	repo, q := multiRepo(b, 4, 0.25)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := repo.TopKGlobalOpts(q, 5, ExecOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -30,12 +30,19 @@
 package vaq
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/ingest"
 	"vaq/internal/interval"
+	"vaq/internal/pool"
 	"vaq/internal/rvaq"
 	"vaq/internal/svaq"
 	"vaq/internal/temporal"
@@ -269,13 +276,82 @@ func (r *Repository) Remove(name string) error { return r.repo.Remove(name) }
 // Videos lists the repository's video names.
 func (r *Repository) Videos() []string { return r.repo.Names() }
 
+// ErrVideoNotFound reports that a named video has no metadata in the
+// repository — either it was never added, or a concurrent Remove won
+// the race after the video list was snapshotted.
+var ErrVideoNotFound = errors.New("vaq: video not in repository")
+
+// WorkerPool is a bounded, context-aware worker semaphore. The serving
+// daemon shares one pool between its online sessions and the offline
+// query paths so both compete for the same concurrency budget.
+type WorkerPool = pool.Pool
+
+// NewWorkerPool sizes a pool; n <= 0 picks runtime.GOMAXPROCS(0).
+func NewWorkerPool(n int) *WorkerPool { return pool.New(n) }
+
+// ExecOptions tunes the offline execution layer: which context bounds
+// a query and how its per-video work fans out.
+type ExecOptions struct {
+	// Ctx cancels the query between algorithm iterations; nil means
+	// context.Background().
+	Ctx context.Context
+	// Workers bounds the fan-out when Pool is nil: 0 picks
+	// runtime.GOMAXPROCS(0); 1 runs sequentially.
+	Workers int
+	// Pool, when non-nil, draws worker slots from a shared semaphore
+	// instead of a private one, so offline queries compete with other
+	// work for the same bounded concurrency (the serving daemon passes
+	// its session pool here).
+	Pool *WorkerPool
+}
+
+func (eo ExecOptions) ctx() context.Context {
+	if eo.Ctx == nil {
+		return context.Background()
+	}
+	return eo.Ctx
+}
+
+// workers resolves the effective fan-out width.
+func (eo ExecOptions) workers() int {
+	if eo.Pool != nil {
+		return eo.Pool.Cap()
+	}
+	if eo.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return eo.Workers
+}
+
+func (eo ExecOptions) pool() *WorkerPool {
+	if eo.Pool != nil {
+		return eo.Pool
+	}
+	return pool.New(eo.workers())
+}
+
 // TopK runs RVAQ against one video of the repository.
 func (r *Repository) TopK(videoName string, q Query, k int) ([]TopKResult, TopKStats, error) {
+	return r.TopKOpts(videoName, q, k, ExecOptions{})
+}
+
+// TopKOpts is TopK under an execution context: the run holds one slot
+// of the worker pool (if any) and honours cancellation.
+func (r *Repository) TopKOpts(videoName string, q Query, k int, eo ExecOptions) ([]TopKResult, TopKStats, error) {
 	vd, ok := r.repo.Video(videoName)
 	if !ok {
-		return nil, TopKStats{}, fmt.Errorf("vaq: video %q not in repository", videoName)
+		return nil, TopKStats{}, fmt.Errorf("%w: %q", ErrVideoNotFound, videoName)
 	}
-	return rvaq.TopK(vd, q, k, rvaq.DefaultOptions())
+	var (
+		res   []TopKResult
+		stats TopKStats
+	)
+	err := eo.pool().Do(eo.ctx(), func() error {
+		var err error
+		res, stats, err = rvaq.TopKCtx(eo.ctx(), vd, q, k, rvaq.DefaultOptions())
+		return err
+	})
+	return res, stats, err
 }
 
 // VideoTopKResult tags a result with its video.
@@ -284,22 +360,45 @@ type VideoTopKResult struct {
 	TopKResult
 }
 
-// TopKGlobal merges every video's metadata into one clip-id namespace
-// (§4.2: "associating a video identifier to each clip identifier") and
-// runs RVAQ once across the whole repository, so its bounds and skip
-// set prune globally. Results are mapped back to (video, local range).
+// TopKGlobal ranks result sequences across the whole repository (§4.2:
+// "associating a video identifier to each clip identifier") and maps
+// them back to (video, local range). It is TopKGlobalOpts with the
+// default execution options (GOMAXPROCS-wide fan-out).
 func (r *Repository) TopKGlobal(q Query, k int) ([]VideoTopKResult, TopKStats, error) {
+	return r.TopKGlobalOpts(q, k, ExecOptions{})
+}
+
+// TopKGlobalOpts runs the repository-wide ranked query. Sequentially
+// (Workers == 1) it merges every video's metadata into one clip-id
+// namespace and runs RVAQ once, so bounds and skip set prune globally.
+// In parallel it runs one shard-local TBClip iterator per video with a
+// periodic cross-shard exchange of the global B_lo^K, so shards prune
+// each other; the exchanged bounds are conservative and the merged
+// ranking is identical to the sequential run's.
+func (r *Repository) TopKGlobalOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
 	names := r.repo.Names()
+	if eo.workers() <= 1 || len(names) <= 1 {
+		return r.topKGlobalMerged(names, q, k, eo.ctx())
+	}
+	return r.topKGlobalSharded(names, q, k, eo)
+}
+
+// topKGlobalMerged is the sequential reference: one RVAQ execution over
+// the merged clip-id namespace.
+func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx context.Context) ([]VideoTopKResult, TopKStats, error) {
 	videos := make([]*ingest.VideoData, 0, len(names))
 	for _, n := range names {
-		vd, _ := r.repo.Video(n)
+		vd, ok := r.repo.Video(n)
+		if !ok {
+			return nil, TopKStats{}, fmt.Errorf("%w: %q", ErrVideoNotFound, n)
+		}
 		videos = append(videos, vd)
 	}
 	merged, err := ingest.Merge(videos, names)
 	if err != nil {
 		return nil, TopKStats{}, err
 	}
-	res, stats, err := rvaq.TopK(merged.VideoData, q, k, rvaq.DefaultOptions())
+	res, stats, err := rvaq.TopKCtx(ctx, merged.VideoData, q, k, rvaq.DefaultOptions())
 	if err != nil {
 		return nil, stats, err
 	}
@@ -314,32 +413,157 @@ func (r *Repository) TopKGlobal(q Query, k int) ([]VideoTopKResult, TopKStats, e
 	return out, stats, nil
 }
 
-// TopKAll runs RVAQ against every video in the repository and merges
-// the per-video rankings into a global top-k (the paper's multi-video
-// setting: each clip identifier is namespaced by its video).
-func (r *Repository) TopKAll(q Query, k int) ([]VideoTopKResult, TopKStats, error) {
-	var all []VideoTopKResult
-	var total TopKStats
-	for _, name := range r.repo.Names() {
-		res, stats, err := r.TopK(name, q, k)
-		if err != nil {
-			return nil, total, fmt.Errorf("vaq: video %q: %w", name, err)
+// topKGlobalSharded fans one RVAQ shard per video over the worker pool,
+// wired together by an rvaq.GlobalBound. A video missing one of the
+// query's labels contributes no candidates (exactly as its span would
+// in the merged namespace); only when every video misses them does the
+// query fail with the first shard's error.
+func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
+	ctx, p := eo.ctx(), eo.pool()
+	gb := rvaq.NewGlobalBound(k)
+	type shardOut struct {
+		res   []TopKResult
+		stats TopKStats
+		err   error
+	}
+	start := time.Now()
+	outs := make([]shardOut, len(names))
+	videos := make([]*ingest.VideoData, len(names))
+	for i, n := range names {
+		vd, ok := r.repo.Video(n)
+		if !ok {
+			return nil, TopKStats{}, fmt.Errorf("%w: %q", ErrVideoNotFound, n)
 		}
-		total.Accesses.Add(stats.Accesses)
-		total.Runtime += stats.Runtime
-		total.Candidates += stats.Candidates
-		for _, sr := range res {
+		videos[i] = vd
+	}
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i].err = p.Do(ctx, func() error {
+				opts := rvaq.DefaultOptions()
+				opts.Bound, opts.Shard = gb, i
+				res, stats, err := rvaq.TopKCtx(ctx, videos[i], q, k, opts)
+				outs[i].res, outs[i].stats = res, stats
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var total TopKStats
+	var all []VideoTopKResult
+	notIngested := 0
+	var firstMissing error
+	for i, name := range names {
+		o := &outs[i]
+		if errors.Is(o.err, ingest.ErrNotIngested) {
+			// This video's span would simply be empty in the merged
+			// namespace; remember the error in case no video has the
+			// queried labels at all.
+			notIngested++
+			if firstMissing == nil {
+				firstMissing = o.err
+			}
+			continue
+		}
+		if o.err != nil {
+			return nil, total, fmt.Errorf("vaq: video %q: %w", name, o.err)
+		}
+		total.Merge(o.stats)
+		for _, sr := range o.res {
 			all = append(all, VideoTopKResult{Video: name, TopKResult: sr})
 		}
 	}
-	// Merge by score.
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && all[j].Score > all[j-1].Score; j-- {
-			all[j], all[j-1] = all[j-1], all[j]
-		}
+	if notIngested == len(names) {
+		return nil, total, firstMissing
 	}
+	sortVideoResults(all)
 	if len(all) > k {
 		all = all[:k]
 	}
+	total.Runtime = time.Since(start)
+	return all, total, nil
+}
+
+// sortVideoResults orders merged per-video results deterministically:
+// score descending, then video name, then sequence start — the same
+// order the merged clip-id namespace induces (videos are laid out in
+// sorted-name order there).
+func sortVideoResults(all []VideoTopKResult) {
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		if all[a].Video != all[b].Video {
+			return all[a].Video < all[b].Video
+		}
+		return all[a].Seq.Lo < all[b].Seq.Lo
+	})
+}
+
+// TopKAll runs RVAQ against every video in the repository and merges
+// the per-video rankings into a global top-k (the paper's multi-video
+// setting: each clip identifier is namespaced by its video). It is
+// TopKAllOpts with the default execution options.
+func (r *Repository) TopKAll(q Query, k int) ([]VideoTopKResult, TopKStats, error) {
+	return r.TopKAllOpts(q, k, ExecOptions{})
+}
+
+// TopKAllOpts fans the independent per-video RVAQ runs out over the
+// worker pool and merges the rankings deterministically (score
+// descending, then video name, then sequence start). The aggregate
+// stats report the wall clock of the parallel region in Runtime and the
+// summed per-video runtimes in CPURuntime, so CPURuntime/Runtime is the
+// effective speedup. Results are identical to a sequential run.
+func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
+	ctx, p := eo.ctx(), eo.pool()
+	names := r.repo.Names()
+	type videoOut struct {
+		res   []TopKResult
+		stats TopKStats
+		err   error
+	}
+	start := time.Now()
+	outs := make([]videoOut, len(names))
+	videos := make([]*ingest.VideoData, len(names))
+	for i, n := range names {
+		vd, ok := r.repo.Video(n)
+		if !ok {
+			return nil, TopKStats{}, fmt.Errorf("%w: %q", ErrVideoNotFound, n)
+		}
+		videos[i] = vd
+	}
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i].err = p.Do(ctx, func() error {
+				res, stats, err := rvaq.TopKCtx(ctx, videos[i], q, k, rvaq.DefaultOptions())
+				outs[i].res, outs[i].stats = res, stats
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var total TopKStats
+	var all []VideoTopKResult
+	for i, name := range names {
+		if err := outs[i].err; err != nil {
+			return nil, total, fmt.Errorf("vaq: video %q: %w", name, err)
+		}
+		total.Merge(outs[i].stats)
+		for _, sr := range outs[i].res {
+			all = append(all, VideoTopKResult{Video: name, TopKResult: sr})
+		}
+	}
+	sortVideoResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	total.Runtime = time.Since(start)
 	return all, total, nil
 }
