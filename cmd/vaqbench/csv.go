@@ -142,3 +142,11 @@ func (s *csvSink) parallel(rows []experiments.ParallelRow) error {
 	}
 	return s.write("parallel", []string{"phase", "workers", "wall_us", "cpu_us", "speedup"}, out)
 }
+
+func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mode, fint(r.Clips), fint(r.Reps), ffloat(r.USPerClip), fint64(int64(r.Spans))}
+	}
+	return s.write("trace_overhead", []string{"mode", "clips", "reps", "us_per_clip", "spans"}, out)
+}

@@ -5,7 +5,8 @@
 //	vaqbench -exp fig2,table6 -scale 0.2
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
-// fig45), runtime, drift, table6, table7, table8, parallel, ablation.
+// fig45), runtime, drift, table6, table7, table8, parallel, ablation,
+// trace-overhead.
 package main
 
 import (
@@ -127,6 +128,13 @@ func main() {
 				return err
 			}
 			return sink.parallel(rows)
+		}},
+		{[]string{"trace-overhead", "traceoverhead"}, func() error {
+			rows, err := ctx.TraceOverhead()
+			if err != nil {
+				return err
+			}
+			return sink.traceOverhead(rows)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

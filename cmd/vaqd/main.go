@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +28,7 @@ import (
 
 	"vaq"
 	"vaq/internal/server"
+	"vaq/internal/trace"
 )
 
 func main() {
@@ -38,14 +40,22 @@ func main() {
 		timeoutFlag  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout for create/top-k")
 		waitFlag     = flag.Duration("max-wait", time.Minute, "cap on ?wait= long-poll duration")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets sessions finish before cancelling")
+		spansFlag    = flag.Int("trace-spans", trace.DefaultCapacity, "span retention of the /tracez ring buffer")
+		slowFlag     = flag.Duration("slow-query", 0, "log root spans slower than this to stderr as one-line JSON (0 = off)")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	topts := []trace.Option{trace.WithCapacity(*spansFlag)}
+	if *slowFlag > 0 {
+		topts = append(topts, trace.WithSlowLog(*slowFlag, os.Stderr))
+	}
 	cfg := server.Config{
 		MaxSessions:    *sessionsFlag,
 		Workers:        *workersFlag,
 		RequestTimeout: *timeoutFlag,
 		MaxWait:        *waitFlag,
+		Tracer:         trace.New(topts...),
 	}
 	if *repoFlag != "" {
 		repo, err := vaq.OpenRepository(*repoFlag)
@@ -56,9 +66,23 @@ func main() {
 		fmt.Printf("vaqd: repository %s: videos %v\n", *repoFlag, repo.Videos())
 	}
 	srv := server.New(cfg)
+	handler := srv.Handler()
+	if *pprofFlag {
+		// Profiling rides on the API listener behind an explicit opt-in;
+		// the API mux keeps its routes and pprof takes /debug/pprof/.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("vaqd: pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

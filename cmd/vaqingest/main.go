@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		dirFlag    = flag.String("dir", "vaq-repo", "repository directory")
+		dirFlag     = flag.String("dir", "vaq-repo", "repository directory")
 		videosFlag  = flag.String("videos", "coffee_and_cigarettes,iron_man,star_wars_3,titanic", "comma-separated movie names (Table 2)")
 		scaleFlag   = flag.Float64("scale", 1.0, "workload scale")
 		workersFlag = flag.Int("workers", 0, "parallel clip scorers per video (0 = NumCPU, 1 = serial)")

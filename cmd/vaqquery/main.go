@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vaq"
@@ -20,6 +21,7 @@ import (
 	"vaq/internal/metrics"
 	"vaq/internal/server"
 	"vaq/internal/synth"
+	"vaq/internal/trace"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		scaleFlag = flag.Float64("scale", 1.0, "workload scale")
 		modelFlag = flag.String("model", "maskrcnn", "object detector profile: maskrcnn, yolov3, ideal")
 		jsonFlag  = flag.Bool("json", false, "emit the result sequences as JSON in the server's response shape")
+		traceFlag = flag.Bool("trace", false, "record a span per clip and predicate; print the span tree, counters and stage quantiles after the run")
 	)
 	flag.Parse()
 
@@ -71,6 +74,17 @@ func main() {
 		}
 	}
 
+	var tr *vaq.Tracer
+	var root *trace.Span
+	if *traceFlag {
+		// Size the ring to the whole run: one span per clip plus one per
+		// evaluated predicate (at most 8 predicates is generous here).
+		tr = trace.New(trace.WithCapacity((meta.Clips() + 1) * 9))
+		root = tr.StartSpan("vaqquery", 0)
+		root.SetAttr("workload", *setFlag)
+		stream.AttachTrace(tr, root.ID())
+	}
+
 	if !*jsonFlag {
 		fmt.Printf("streaming %s (%d clips), query %v\n", meta.Name, meta.Clips(), query)
 	}
@@ -93,6 +107,17 @@ func main() {
 		}
 	}
 	seqs := stream.Results()
+	if tr != nil {
+		root.SetInt("clips", int64(stream.ClipsProcessed()))
+		root.End()
+		// With -json the trace goes to stderr so the JSON document on
+		// stdout stays parseable.
+		traceOut := io.Writer(os.Stdout)
+		if *jsonFlag {
+			traceOut = os.Stderr
+		}
+		defer printTrace(tr, traceOut)
+	}
 	if *jsonFlag {
 		// The same shape GET /v1/sessions/{id}/results serves, so
 		// scripted consumers can switch between CLI and API freely.
@@ -115,6 +140,15 @@ func main() {
 		fmt.Printf("vs ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
 			prf.Precision, prf.Recall, prf.F1)
 	}
+}
+
+// printTrace dumps the span trees and the sorted counter/stage
+// exposition.
+func printTrace(tr *vaq.Tracer, out io.Writer) {
+	fmt.Fprintln(out, "--- trace ---")
+	trace.RenderTrees(out, tr.Trees())
+	fmt.Fprintln(out, "--- metrics ---")
+	tr.WriteVarz(out)
 }
 
 func loadSet(name string, scale float64) (*synth.QuerySet, error) {

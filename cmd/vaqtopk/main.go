@@ -4,20 +4,32 @@
 //
 //	vaqtopk -dir vaq-repo -video coffee_and_cigarettes \
 //	        -action smoking -objects wine_glass,cup -k 5 -compare
+//
+// With -synth it skips -dir and ingests the named synthetic movies into
+// a temporary repository in-process first — combined with -trace the
+// span tree covers the full offline path, ingestion included:
+//
+//	vaqtopk -synth coffee_and_cigarettes,iron_man -scale 0.25 -global -trace
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"vaq"
+	"vaq/internal/detect"
 	"vaq/internal/ingest"
 	"vaq/internal/rvaq"
 	"vaq/internal/server"
+	"vaq/internal/synth"
+	"vaq/internal/trace"
 )
 
 func main() {
@@ -31,9 +43,33 @@ func main() {
 		jsonFlag    = flag.Bool("json", false, "emit results as JSON in the server's /v1/topk response shape (skips -compare)")
 		workersFlag = flag.Int("workers", 0, "parallel per-video executions for all-video queries (0 = GOMAXPROCS, 1 = serial)")
 		globalFlag  = flag.Bool("global", false, "rank across the merged repository namespace instead of merging per-video top-ks")
+		synthFlag   = flag.String("synth", "", "comma-separated synthetic movie names to ingest in-process into a temporary repository (skips -dir)")
+		scaleFlag   = flag.Float64("scale", 0.25, "workload scale for -synth ingestion")
+		traceFlag   = flag.Bool("trace", false, "record spans across ingestion and the query; print the tree, counters and stage quantiles at exit")
 	)
 	flag.Parse()
-	eo := vaq.ExecOptions{Workers: *workersFlag}
+
+	ctx := context.Background()
+	var tr *vaq.Tracer
+	var root *trace.Span
+	if *traceFlag {
+		tr = trace.New(trace.WithCapacity(1 << 16))
+		ctx = trace.NewContext(ctx, tr)
+		root = tr.StartSpan("vaqtopk", 0)
+		ctx = trace.ContextWithSpan(ctx, root)
+		defer func() {
+			root.End()
+			out := io.Writer(os.Stdout)
+			if *jsonFlag {
+				out = os.Stderr
+			}
+			fmt.Fprintln(out, "--- trace ---")
+			trace.RenderTrees(out, tr.Trees())
+			fmt.Fprintln(out, "--- metrics ---")
+			tr.WriteVarz(out)
+		}()
+	}
+	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx}
 
 	q := vaq.Query{Action: vaq.Label(*actionFlag)}
 	for _, o := range strings.Split(*objectsFlag, ",") {
@@ -41,11 +77,18 @@ func main() {
 			q.Objects = append(q.Objects, vaq.Label(o))
 		}
 	}
-	if err := q.Validate(); err != nil {
+
+	var repo *vaq.Repository
+	var err error
+	if *synthFlag != "" {
+		repo, err = ingestSynth(ctx, *synthFlag, *scaleFlag, &q)
+	} else {
+		repo, err = vaq.OpenRepository(*dirFlag)
+	}
+	if err != nil {
 		fatal(err)
 	}
-	repo, err := vaq.OpenRepository(*dirFlag)
-	if err != nil {
+	if err := q.Validate(); err != nil {
 		fatal(err)
 	}
 
@@ -139,6 +182,49 @@ func main() {
 		fmt.Printf("  %-12s %10v  %6d random accesses\n",
 			b.name, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random)
 	}
+}
+
+// ingestSynth builds a temporary repository by ingesting the named
+// synthetic movies in-process; with a tracer in ctx the ingestion spans
+// land in the same tree as the query's. An empty query is filled from
+// the first movie's own Table 2 query. The backing directory is removed
+// before returning — the repository keeps every video in memory.
+func ingestSynth(ctx context.Context, names string, scale float64, q *vaq.Query) (*vaq.Repository, error) {
+	tmp, err := os.MkdirTemp("", "vaqtopk-synth-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	repo, err := vaq.OpenRepository(tmp)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		qs, err := synth.MovieScaled(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		if q.Action == "" && len(q.Objects) == 0 {
+			*q = qs.Query
+		}
+		scene := qs.World.Scene()
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		truth := qs.World.Truth
+		vd, err := vaq.IngestVideoCtx(ctx, det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(),
+			vaq.IngestConfig{Workers: runtime.NumCPU()})
+		if err != nil {
+			return nil, fmt.Errorf("ingest %s: %w", name, err)
+		}
+		if err := repo.Add(name, vd); err != nil {
+			return nil, err
+		}
+	}
+	return repo, nil
 }
 
 func emitJSON(v any) {

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"vaq/internal/detect"
+	"vaq/internal/svaq"
+	"vaq/internal/trace"
+)
+
+// TraceOverheadResult is one row of the trace-overhead experiment.
+type TraceOverheadResult struct {
+	Mode      string  // "off" (no tracer attached) or "on" (full tracer)
+	Clips     int     // clips per run
+	Reps      int     // repetitions (the median is reported)
+	USPerClip float64 // median microseconds per clip
+	Spans     uint64  // spans recorded per run (0 when off)
+}
+
+// TraceOverhead measures what the observability layer costs on the
+// online hot path. "off" runs the engine exactly as production callers
+// without a tracer do — every counter and span handle is a nil no-op —
+// so its delta against the pre-instrumentation engine is the price of
+// the nil checks, which this experiment exists to show is within noise.
+// "on" attaches a full tracer (spans per clip and predicate, counters,
+// stage sketches) and shows the cost of actually recording.
+func (c *Context) TraceOverhead() ([]TraceOverheadResult, error) {
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	meta := qs.World.Truth.Meta
+	nclips := meta.Clips()
+
+	run := func(tr *trace.Tracer) (time.Duration, error) {
+		det := detect.NewSimObjectDetector(scene, c.ObjProfile, nil)
+		rec := detect.NewSimActionRecognizer(scene, c.ActProfile, nil)
+		eng, err := svaq.New(qs.Query, det, rec, meta.Geom, svaq.Config{
+			Dynamic: true, HorizonClips: nclips,
+		})
+		if err != nil {
+			return 0, err
+		}
+		var root *trace.Span
+		if tr != nil {
+			root = tr.StartSpan("bench", 0)
+			eng.AttachTrace(tr, root.ID())
+		}
+		start := time.Now()
+		if _, err := eng.Run(nclips); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		root.End()
+		return d, nil
+	}
+
+	const reps = 5
+	measure := func(mkTracer func() *trace.Tracer) (float64, uint64, error) {
+		durs := make([]time.Duration, 0, reps)
+		var spans uint64
+		for i := 0; i < reps; i++ {
+			tr := mkTracer()
+			d, err := run(tr)
+			if err != nil {
+				return 0, 0, err
+			}
+			durs = append(durs, d)
+			if tr != nil {
+				spans = tr.TotalSpans()
+			}
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		median := durs[reps/2]
+		return float64(median.Microseconds()) / float64(nclips), spans, nil
+	}
+
+	c.printf("Trace overhead (online path, %d clips, median of %d runs):\n", nclips, reps)
+	offUS, _, err := measure(func() *trace.Tracer { return nil })
+	if err != nil {
+		return nil, err
+	}
+	onUS, spans, err := measure(func() *trace.Tracer {
+		return trace.New(trace.WithCapacity((nclips + 1) * 9))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []TraceOverheadResult{
+		{Mode: "off", Clips: nclips, Reps: reps, USPerClip: offUS},
+		{Mode: "on", Clips: nclips, Reps: reps, USPerClip: onUS, Spans: spans},
+	}
+	for _, r := range rows {
+		c.printf("  tracing %-3s  %10.1f µs/clip  (%d spans/run)\n", r.Mode, r.USPerClip, r.Spans)
+	}
+	if offUS > 0 {
+		c.printf("  traced/untraced ratio: %.3f\n", onUS/offUS)
+	}
+	return rows, nil
+}

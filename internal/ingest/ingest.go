@@ -26,6 +26,7 @@ import (
 	"vaq/internal/score"
 	"vaq/internal/svaq"
 	"vaq/internal/tables"
+	"vaq/internal/trace"
 	"vaq/internal/video"
 )
 
@@ -125,6 +126,16 @@ func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionR
 		return nil, fmt.Errorf("ingest: video %q has no whole clip", meta.Name)
 	}
 
+	tr := trace.FromContext(ctx)
+	ctx, vspan := trace.Start(ctx, "ingest.video")
+	vspan.SetAttr("video", meta.Name)
+	vspan.SetInt("clips", int64(nclips))
+	defer vspan.End()
+	cFrames := tr.Counter("detect.frame_invocations")
+	cShots := tr.Counter("detect.shot_invocations")
+	tr.Counter("ingest.videos").Add(1)
+	tr.Counter("ingest.clips").Add(int64(nclips))
+
 	// Per-label scan-statistics trackers (dynamic, as §4.2 prescribes:
 	// "utilizing algorithm SVAQD ... determine the positive clips").
 	objTrk := map[annot.Label]*svaq.LabelTracker{}
@@ -166,11 +177,14 @@ func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionR
 		for v := frameLo; v < frameHi; v++ {
 			w.frameDets = append(w.frameDets, det.Detect(v, objLabels))
 		}
+		cFrames.Add(int64(frameHi-frameLo) * int64(len(objLabels)))
 		shotLo, shotHi := geom.ShotRangeOfClip(video.ClipIdx(c))
 		for s := shotLo; s < shotHi; s++ {
 			w.shotScores = append(w.shotScores, rec.Recognize(s, actLabels))
 		}
+		cShots.Add(int64(shotHi-shotLo) * int64(len(actLabels)))
 	}
+	_, inferSpan := trace.Start(ctx, "ingest.infer")
 	if cfg.Workers > 1 {
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -195,17 +209,21 @@ func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionR
 	} else {
 		for c := 0; c < nclips; c++ {
 			if err := ctx.Err(); err != nil {
+				inferSpan.End()
 				return nil, fmt.Errorf("ingest: video %q: %w", meta.Name, err)
 			}
 			inferClip(c)
 		}
 	}
+	inferSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("ingest: video %q: %w", meta.Name, err)
 	}
 
 	// Stage 2 — sequential: the tracker (stateful across frames) and
 	// the per-label statistics (stateful across clips).
+	_, statsSpan := trace.Start(ctx, "ingest.stats")
+	defer statsSpan.End()
 	tracker := detect.NewTracker(cfg.TrackerIoU, cfg.TrackerMaxAge)
 	objRows := map[annot.Label][]tables.Row{}
 	actRows := map[annot.Label][]tables.Row{}

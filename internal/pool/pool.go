@@ -9,6 +9,9 @@ package pool
 import (
 	"context"
 	"runtime"
+	"time"
+
+	"vaq/internal/trace"
 )
 
 // Pool is a counting semaphore with context-aware acquisition. The zero
@@ -33,10 +36,16 @@ func (p *Pool) InUse() int { return len(p.slots) }
 
 // Acquire blocks until a slot is free or ctx is done, in which case it
 // returns ctx's error without holding a slot. A nil ctx never gives up.
+// When ctx carries a tracer, the time spent waiting is recorded in the
+// "pool.wait" stage sketch (including cancelled waits).
 func (p *Pool) Acquire(ctx context.Context) error {
 	if ctx == nil {
 		p.slots <- struct{}{}
 		return nil
+	}
+	if st := trace.FromContext(ctx).Stage("pool.wait"); st != nil {
+		start := time.Now()
+		defer func() { st.Observe(time.Since(start)) }()
 	}
 	// Prefer the cancellation signal when both are ready, so a cancelled
 	// caller never grabs a slot it would release unused.

@@ -5,6 +5,7 @@ import (
 
 	"vaq/internal/score"
 	"vaq/internal/tables"
+	"vaq/internal/trace"
 )
 
 // tbClip is the TBClip iterator of §4.4 (Algorithm 5). Each Step
@@ -40,6 +41,9 @@ type tbClip struct {
 	// onScored is invoked exactly once per clip when its exact score
 	// becomes known (RVAQ attributes it to the clip's sequence).
 	onScored func(cid int32, s float64)
+	// cacheHits, when set by a traced run, counts scoreAndRecord calls
+	// answered from the exact-score cache (nil-safe).
+	cacheHits *trace.Counter
 }
 
 func newTBClip(act tables.Table, objs []tables.Table, fns score.Functions, counter *tables.AccessCounter, skip func(int32) bool, onScored func(int32, float64)) *tbClip {
@@ -149,6 +153,7 @@ func (it *tbClip) observe(cid int32) error {
 // matter how callers interleave.
 func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
 	if s, known := it.scores[cid]; known {
+		it.cacheHits.Add(1)
 		return s, nil
 	}
 	s, err := it.ScoreClip(cid)

@@ -20,6 +20,7 @@ import (
 	"vaq/internal/pqueue"
 	"vaq/internal/score"
 	"vaq/internal/tables"
+	"vaq/internal/trace"
 )
 
 // SeqResult is one ranked result sequence.
@@ -103,18 +104,47 @@ func TopK(vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult
 }
 
 // TopKCtx is TopK with cancellation: the run checks ctx between TBClip
-// iterations and returns ctx's error once it fires.
-func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, opts Options) ([]SeqResult, Stats, error) {
+// iterations and returns ctx's error once it fires. When ctx carries a
+// trace.Tracer, the run opens an "rvaq.topk" span (nested under ctx's
+// current span) with child spans for the candidate computation, the
+// TBClip iteration and the finishing pass, and feeds the rvaq.* counter
+// catalogue (see docs/OBSERVABILITY.md).
+func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, opts Options) (_ []SeqResult, _ Stats, err error) {
 	start := time.Now()
 	opts = opts.withDefaults()
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("rvaq: k must be positive, got %d", k)
 	}
-	pq, err := vd.CandidateSequences(q) // Equation 12
-	if err != nil {
-		return nil, Stats{}, err
+	tr := trace.FromContext(ctx)
+	ctx, qspan := trace.Start(ctx, "rvaq.topk")
+	stats := Stats{}
+	if tr != nil {
+		qspan.SetAttr("video", vd.Meta.Name)
+		qspan.SetInt("k", int64(k))
+		if opts.Bound != nil {
+			qspan.SetInt("shard", int64(opts.Shard))
+		}
+		tr.Counter("rvaq.queries").Add(1)
+		defer func() {
+			qspan.SetInt("iterations", int64(stats.Iterations))
+			qspan.SetInt("random_accesses", stats.Accesses.Random)
+			if err != nil {
+				qspan.SetAttr("error", err.Error())
+			}
+			qspan.End()
+			tr.Counter("rvaq.iterations").Add(int64(stats.Iterations))
+			tr.Counter("rvaq.candidates").Add(int64(stats.Candidates))
+			tr.Counter("rvaq.random_accesses").Add(stats.Accesses.Random)
+			tr.Counter("rvaq.sorted_accesses").Add(stats.Accesses.Sorted + stats.Accesses.Reverse)
+		}()
 	}
-	stats := Stats{Candidates: len(pq)}
+	_, cspan := trace.Start(ctx, "rvaq.candidates")
+	pq, err := vd.CandidateSequences(q) // Equation 12
+	cspan.End()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Candidates = len(pq)
 	if len(pq) == 0 {
 		stats.Runtime = time.Since(start)
 		stats.CPURuntime = stats.Runtime
@@ -153,15 +183,31 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	}
 
 	it := newTBClip(act, objs, fns, &stats.Accesses, skip, onScored)
+	var cSeqsPruned, cClipsPruned, cExchange *trace.Counter
+	var stStep *trace.Stage
+	if tr != nil {
+		it.cacheHits = tr.Counter("rvaq.score_cache_hits")
+		cSeqsPruned = tr.Counter("rvaq.seqs_pruned")
+		cClipsPruned = tr.Counter("rvaq.clips_pruned")
+		cExchange = tr.Counter("rvaq.exchange_rounds")
+		stStep = tr.Stage("rvaq.step")
+	}
+	ictx, iterSpan := trace.Start(ctx, "rvaq.iterate")
 
 	for {
 		if err := ctx.Err(); err != nil {
+			iterSpan.End()
 			stats.Runtime = time.Since(start)
 			stats.CPURuntime = stats.Runtime
 			return nil, stats, err
 		}
+		var stepStart time.Time
+		if stStep != nil {
+			stepStart = time.Now()
+		}
 		tauTop, tauBtm, err := it.Step()
 		if err != nil {
+			iterSpan.End()
 			return nil, stats, err
 		}
 		stats.Iterations++
@@ -197,11 +243,15 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 				every = defaultExchangeEvery
 			}
 			if stats.Iterations%every == 0 || exhausted {
+				_, exSpan := trace.Start(ictx, "rvaq.exchange")
 				los := make([]float64, 0, len(topK))
 				for _, i := range topK {
 					los = append(los, seqs[i].lo)
 				}
 				opts.Bound.Publish(opts.Shard, los)
+				cExchange.Add(1)
+				exSpan.SetInt("iteration", int64(stats.Iterations))
+				exSpan.End()
 			}
 			if g := opts.Bound.Bound(); g > pruneAt {
 				pruneAt = g
@@ -213,12 +263,20 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 			for _, s := range seqs {
 				if !s.pruned && s.up < pruneAt {
 					s.pruned = true
+					// Every still-unknown clip of a pruned sequence is a
+					// random access B_lo^K saved the query.
+					cSeqsPruned.Add(1)
+					cClipsPruned.Add(int64(s.iv.Len() - s.knownCount))
 				}
 			}
 		}
+		if stStep != nil {
+			stStep.Observe(time.Since(stepStart))
+		}
 		// Stopping condition (Equation 15).
 		if bloK >= bupRest || exhausted {
-			return finish(it, fns, seqs, topK, k, opts, &stats, start)
+			iterSpan.End()
+			return finish(ctx, it, fns, seqs, topK, k, opts, &stats, start)
 		}
 	}
 }
@@ -286,7 +344,9 @@ const defaultExchangeEvery = 8
 
 // finish materializes the final ranking; with ExactScores it completes
 // the top-K sequences' scores by random access to their remaining clips.
-func finish(it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int, opts Options, stats *Stats, start time.Time) ([]SeqResult, Stats, error) {
+func finish(ctx context.Context, it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int, opts Options, stats *Stats, start time.Time) ([]SeqResult, Stats, error) {
+	_, fspan := trace.Start(ctx, "rvaq.finish")
+	defer fspan.End()
 	results := make([]SeqResult, 0, len(topK))
 	for _, i := range topK {
 		s := seqs[i]

@@ -19,10 +19,13 @@
 //	POST   /v1/topk                   offline RVAQ top-k against a repository
 //	GET    /healthz                   liveness
 //	GET    /metricsz                  per-endpoint counts and latency quantiles
+//	GET    /tracez                    recent spans as JSON trees, plus counters
+//	GET    /varz                      Prometheus-style counter/stage exposition
 package server
 
 import (
 	"vaq"
+	"vaq/internal/trace"
 )
 
 // Range is one result sequence: an inclusive clip-id interval. It is
@@ -131,6 +134,18 @@ type TopKResponse struct {
 	// primary cost metric); Candidates is |Pq|.
 	RandomAccesses int64 `json:"random_accesses"`
 	Candidates     int   `json:"candidates"`
+}
+
+// TracezResponse is the GET /tracez payload: the tracer's retained
+// spans as trees plus the pipeline counter snapshot taken in the same
+// request (so trees and counters describe one moment).
+type TracezResponse struct {
+	// TotalSpans counts every span ever ended; Retained is how many the
+	// bounded ring still holds.
+	TotalSpans uint64           `json:"total_spans"`
+	Retained   int              `json:"retained"`
+	Counters   map[string]int64 `json:"counters"`
+	Trees      []*trace.Node    `json:"trees"`
 }
 
 // ErrorBody is the structured error payload of every non-2xx response.

@@ -9,14 +9,28 @@ import (
 )
 
 // RouteMetrics is the per-endpoint slice of the /metricsz payload.
-// Latencies are milliseconds from handler entry to last byte.
+// Latencies are milliseconds from handler entry to last byte. The
+// status-class counters partition Count: 2xx (anything below 400), 4xx
+// (client errors other than 499), 499 (client went away mid-request)
+// and 5xx. CPU quantiles appear only for routes that report engine CPU
+// time (POST /v1/topk folds rvaq's Stats.CPURuntime in), so the ratio
+// of cpu_p50_ms to p50_ms shows the fan-out speedup at the median.
 type RouteMetrics struct {
-	Count  int64   `json:"count"`
-	Errors int64   `json:"errors"` // responses with status >= 400
-	P50MS  float64 `json:"p50_ms"`
-	P90MS  float64 `json:"p90_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"` // responses with status >= 400
+	Status2xx int64   `json:"status_2xx"`
+	Status4xx int64   `json:"status_4xx"`
+	Status499 int64   `json:"status_499"`
+	Status5xx int64   `json:"status_5xx"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	CPUCount  int64   `json:"cpu_count,omitempty"`
+	CPUP50MS  float64 `json:"cpu_p50_ms,omitempty"`
+	CPUP90MS  float64 `json:"cpu_p90_ms,omitempty"`
+	CPUP99MS  float64 `json:"cpu_p99_ms,omitempty"`
+	CPUMaxMS  float64 `json:"cpu_max_ms,omitempty"`
 }
 
 // MetricsResponse is the GET /metricsz payload.
@@ -33,9 +47,12 @@ type metrics struct {
 }
 
 type routeState struct {
-	count  int64
-	errors int64
-	sketch *quantile.Sketch
+	count                  int64
+	errors                 int64
+	s2xx, s4xx, s499, s5xx int64
+	sketch                 *quantile.Sketch
+	cpuCount               int64
+	cpu                    *quantile.Sketch // lazily built on first observeCPU
 }
 
 func newMetrics() *metrics {
@@ -54,7 +71,35 @@ func (m *metrics) observe(route string, status int, d time.Duration) {
 	if status >= 400 {
 		st.errors++
 	}
+	switch {
+	case status < 400:
+		st.s2xx++
+	case status == httpStatusClientClosedRequest:
+		st.s499++
+	case status < 500:
+		st.s4xx++
+	default:
+		st.s5xx++
+	}
 	st.sketch.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// observeCPU folds an engine-reported CPU time into the route's CPU
+// sketch (kept apart from the wall-clock one: under fan-out, CPU time
+// exceeds the handler latency).
+func (m *metrics) observeCPU(route string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.routes[route]
+	if st == nil {
+		st = &routeState{sketch: quantile.New()}
+		m.routes[route] = st
+	}
+	if st.cpu == nil {
+		st.cpu = quantile.New()
+	}
+	st.cpuCount++
+	st.cpu.Observe(float64(d) / float64(time.Millisecond))
 }
 
 func (m *metrics) snapshot() map[string]RouteMetrics {
@@ -62,14 +107,26 @@ func (m *metrics) snapshot() map[string]RouteMetrics {
 	defer m.mu.Unlock()
 	out := make(map[string]RouteMetrics, len(m.routes))
 	for route, st := range m.routes {
-		out[route] = RouteMetrics{
-			Count:  st.count,
-			Errors: st.errors,
-			P50MS:  st.sketch.Query(0.50),
-			P90MS:  st.sketch.Query(0.90),
-			P99MS:  st.sketch.Query(0.99),
-			MaxMS:  st.sketch.Max(),
+		rm := RouteMetrics{
+			Count:     st.count,
+			Errors:    st.errors,
+			Status2xx: st.s2xx,
+			Status4xx: st.s4xx,
+			Status499: st.s499,
+			Status5xx: st.s5xx,
+			P50MS:     st.sketch.Query(0.50),
+			P90MS:     st.sketch.Query(0.90),
+			P99MS:     st.sketch.Query(0.99),
+			MaxMS:     st.sketch.Max(),
 		}
+		if st.cpu != nil {
+			rm.CPUCount = st.cpuCount
+			rm.CPUP50MS = st.cpu.Query(0.50)
+			rm.CPUP90MS = st.cpu.Query(0.90)
+			rm.CPUP99MS = st.cpu.Query(0.99)
+			rm.CPUMaxMS = st.cpu.Max()
+		}
+		out[route] = rm
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"vaq"
 	"vaq/internal/pool"
+	"vaq/internal/trace"
 )
 
 // Registry owns the live sessions, the shared worker pool, and the
@@ -15,6 +16,7 @@ import (
 type Registry struct {
 	maxSessions int
 	workers     *pool.Pool
+	tr          *trace.Tracer // nil records nothing
 
 	mu       sync.Mutex
 	seq      int
@@ -48,6 +50,17 @@ func NewRegistry(maxSessions, workers int) *Registry {
 // sessions.
 func (r *Registry) Pool() *pool.Pool { return r.workers }
 
+// SetTracer wires the registry to a tracer: every subsequent session
+// gets a root "session" span with its clip evaluations underneath, and
+// session contexts carry the tracer so pool waits feed the "pool.wait"
+// stage. Call before the first Create.
+func (r *Registry) SetTracer(tr *trace.Tracer) {
+	r.tr = tr
+	if tr != nil {
+		r.ctx = trace.NewContext(r.ctx, tr)
+	}
+}
+
 // errTooManySessions maps to 429.
 var errTooManySessions = fmt.Errorf("server: session limit reached")
 
@@ -77,6 +90,13 @@ func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total in
 	id := fmt.Sprintf("s%d", r.seq)
 	ctx, cancel := context.WithCancel(r.ctx)
 	sess := newSession(id, req, stream, total, cancel)
+	if r.tr != nil {
+		root := r.tr.StartSpan("session", 0)
+		root.SetAttr("id", id)
+		root.SetAttr("workload", req.Workload)
+		stream.AttachTrace(r.tr, root.ID())
+		sess.span = root
+	}
 	r.sessions[id] = sess
 	r.wg.Add(1)
 	go func() {

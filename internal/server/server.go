@@ -13,6 +13,7 @@ import (
 	"vaq/internal/detect"
 	"vaq/internal/ingest"
 	"vaq/internal/synth"
+	"vaq/internal/trace"
 	"vaq/internal/vql"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxWait caps the ?wait= long-poll duration (default 60s).
 	MaxWait time.Duration
+	// Tracer records spans, pipeline counters and stage latencies for
+	// GET /tracez and GET /varz. Nil gets a default tracer; vaqd passes
+	// one built with a slow-query log when -slow-query is set.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 60 * time.Second
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New()
 	}
 	return c
 }
@@ -69,6 +77,7 @@ func New(cfg Config) *Server {
 		met: newMetrics(),
 		mux: http.NewServeMux(),
 	}
+	s.reg.SetTracer(cfg.Tracer)
 	route := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.met.instrument(pattern, h))
 	}
@@ -80,8 +89,13 @@ func New(cfg Config) *Server {
 	route("POST /v1/topk", s.timed(s.handleTopK))
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metricsz", s.handleMetricsz)
+	route("GET /tracez", s.handleTracez)
+	route("GET /varz", s.handleVarz)
 	return s
 }
+
+// Tracer returns the server's tracer (never nil after New).
+func (s *Server) Tracer() *trace.Tracer { return s.cfg.Tracer }
 
 // Handler returns the routed handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -341,8 +355,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 	// Offline queries honour the request context and draw worker slots
 	// from the registry's session pool, so online and offline work
-	// compete for the same concurrency budget.
-	eo := vaq.ExecOptions{Ctx: r.Context(), Pool: s.reg.Pool()}
+	// compete for the same concurrency budget. The context carries the
+	// server tracer: the whole run records under one "http.topk" span.
+	ctx := trace.NewContext(r.Context(), s.cfg.Tracer)
+	ctx, qspan := trace.Start(ctx, "http.topk")
+	qspan.SetAttr("video", req.Video)
+	qspan.SetInt("k", int64(k))
+	defer qspan.End()
+	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool()}
 	resp := TopKResponse{Results: []TopKEntry{}}
 	if req.Video != "" {
 		results, stats, err := s.cfg.Repo.TopKOpts(req.Video, q, k, eo)
@@ -366,6 +386,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
+		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	} else {
 		results, stats, err := s.cfg.Repo.TopKGlobalOpts(q, k, eo)
 		if err != nil {
@@ -390,8 +411,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
+		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cpuOrWall picks the engine CPU time when the run fanned out, falling
+// back to the wall clock for single-shard runs (where they coincide).
+func cpuOrWall(stats vaq.TopKStats) time.Duration {
+	if stats.CPURuntime > 0 {
+		return stats.CPURuntime
+	}
+	return stats.Runtime
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -404,4 +435,24 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		ActiveSessions: s.reg.Active(),
 		TotalSessions:  s.reg.Total(),
 	})
+}
+
+// handleTracez dumps the tracer's retained spans as parent-linked trees,
+// newest-rooted last (ring order), plus the counter snapshot so a tree
+// and the numbers it explains come from one endpoint.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Tracer
+	writeJSON(w, http.StatusOK, TracezResponse{
+		TotalSpans: tr.TotalSpans(),
+		Retained:   len(tr.Spans()),
+		Counters:   tr.Counters(),
+		Trees:      tr.Trees(),
+	})
+}
+
+// handleVarz emits the Prometheus-style text exposition of every
+// counter and stage sketch.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Tracer.WriteVarz(w)
 }

@@ -7,6 +7,7 @@ import (
 
 	"vaq"
 	"vaq/internal/pool"
+	"vaq/internal/trace"
 )
 
 // Session states.
@@ -29,6 +30,9 @@ type Session struct {
 	total  int // clips to process
 	pace   time.Duration
 	cancel context.CancelFunc
+	// span is the session's root trace span (nil when the registry has
+	// no tracer); every clip evaluation parents under it and run ends it.
+	span *trace.Span
 
 	mu          sync.Mutex
 	changed     chan struct{}
@@ -71,6 +75,14 @@ var stepHook func(s *Session, c int)
 // sessions while every session still makes progress.
 func (s *Session) run(ctx context.Context, workers *pool.Pool) {
 	defer close(s.done)
+	defer func() {
+		s.mu.Lock()
+		clips, state := s.clips, s.state
+		s.mu.Unlock()
+		s.span.SetInt("clips", int64(clips))
+		s.span.SetAttr("state", state)
+		s.span.End()
+	}()
 	var ticker *time.Ticker
 	if s.pace > 0 {
 		ticker = time.NewTicker(s.pace)

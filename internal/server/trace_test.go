@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"vaq/internal/trace"
+)
+
+// varzCounters fetches GET /varz and parses the plain `vaq_<name> <v>`
+// counter lines (stage summaries and the spans-total gauge excluded).
+func varzCounters(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /varz: status %d", resp.StatusCode)
+	}
+	out := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "vaq_") || strings.Contains(line, "{") ||
+			strings.HasPrefix(line, "vaq_trace_spans_total") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bad /varz line %q: %v", line, err)
+		}
+		out[strings.TrimPrefix(name, "vaq_")] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// metricName mirrors the /varz name folding for cross-endpoint checks.
+func foldName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '.' || r == '-' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// TestTraceConcurrentSessionsAndTopK drives N online sessions and M
+// offline top-k queries through the shared worker pool under -race and
+// then checks the tracer's global invariants: every retained span's
+// parent is retained and started no later than the child, the detector
+// counters agree exactly with the sessions' own invocation accounting,
+// and /tracez and /varz report the same counter values.
+func TestTraceConcurrentSessionsAndTopK(t *testing.T) {
+	tr := trace.New(trace.WithCapacity(1 << 15))
+	repo := buildRepo(t)
+	_, ts := startServer(t, Config{Repo: repo, MaxSessions: 16, Workers: 2, Tracer: tr})
+
+	const nSessions = 6
+	const nTopK = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, nSessions+nTopK)
+	ids := make([]string, nSessions)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var created SessionInfo
+			wl := fmt.Sprintf("q%d", i+1)
+			code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+				CreateSessionRequest{Workload: wl, Scale: 0.02}, &created)
+			if code != http.StatusCreated {
+				errs <- fmt.Errorf("create %s: status %d", wl, code)
+				return
+			}
+			ids[i] = created.ID
+			if res := pollDone(t, ts.URL, created.ID); res.State != StateDone {
+				errs <- fmt.Errorf("session %s finished %s", created.ID, res.State)
+			}
+		}(i)
+	}
+	for i := 0; i < nTopK; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out TopKResponse
+			code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+				TopKRequest{Action: "blowing_leaves", Objects: []string{"car"}, K: 3}, &out)
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("topk: status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Span integrity: the ring was sized to hold everything, so every
+	// child's parent must be retained, have started first, and every
+	// root must be a session or top-k request span.
+	spans := tr.Spans()
+	byID := make(map[trace.SpanID]trace.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	if tr.TotalSpans() != uint64(len(spans)) {
+		t.Fatalf("ring evicted spans (%d total, %d retained); grow the test capacity", tr.TotalSpans(), len(spans))
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			if s.Name != "session" && s.Name != "http.topk" {
+				t.Errorf("unexpected root span %q", s.Name)
+			}
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Errorf("span %d (%s) has unretained parent %d", s.ID, s.Name, s.Parent)
+			continue
+		}
+		if p.Start.After(s.Start) {
+			t.Errorf("span %d (%s) starts before its parent %d (%s)", s.ID, s.Name, p.ID, p.Name)
+		}
+	}
+
+	// Counter exactness: the tracer's detector counters must equal the
+	// sum of the sessions' own invocation counts, and the clip counter
+	// the sum of clips processed.
+	var wantInvocations, wantClips int64
+	var list SessionList
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+		t.Fatalf("list sessions: status %d", code)
+	}
+	if len(list.Sessions) != nSessions {
+		t.Fatalf("listed %d sessions, want %d", len(list.Sessions), nSessions)
+	}
+	for _, info := range list.Sessions {
+		wantInvocations += int64(info.Invocations)
+		wantClips += int64(info.ClipsProcessed)
+	}
+	counters := tr.Counters()
+	if got := counters["detect.frame_invocations"] + counters["detect.shot_invocations"]; got != wantInvocations {
+		t.Errorf("detector counters sum to %d, sessions report %d", got, wantInvocations)
+	}
+	if got := counters["svaq.clips"]; got != wantClips {
+		t.Errorf("svaq.clips = %d, sessions processed %d", got, wantClips)
+	}
+	// Each top-k request fans out one rvaq execution per video (2 videos
+	// in buildRepo's repository, sharded mode).
+	if got := counters["rvaq.queries"]; got != int64(nTopK*len(repo.Videos())) {
+		t.Errorf("rvaq.queries = %d, want %d", got, nTopK*len(repo.Videos()))
+	}
+	roots := map[string]int{}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots[s.Name]++
+		}
+	}
+	if roots["session"] != nSessions || roots["http.topk"] != nTopK {
+		t.Errorf("root spans %v, want %d sessions and %d http.topk", roots, nSessions, nTopK)
+	}
+
+	// Cross-endpoint agreement: /tracez's counter snapshot and /varz's
+	// text exposition must round-trip the same numbers (nothing runs
+	// between the two reads).
+	var tz TracezResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/tracez", nil, &tz); code != http.StatusOK {
+		t.Fatalf("GET /tracez: status %d", code)
+	}
+	vz := varzCounters(t, ts.URL)
+	for name, v := range tz.Counters {
+		if got, ok := vz[foldName(name)]; !ok || got != v {
+			t.Errorf("counter %q: /tracez %d, /varz %d (present %v)", name, v, got, ok)
+		}
+	}
+	if tz.TotalSpans != tr.TotalSpans() {
+		t.Errorf("/tracez total_spans %d, tracer %d", tz.TotalSpans, tr.TotalSpans())
+	}
+	if len(tz.Trees) == 0 {
+		t.Error("/tracez returned no span trees")
+	}
+
+	// The shared pool was contended (2 workers, 6 sessions + 4 top-k),
+	// so the pool.wait stage must have observations.
+	stages := tr.Stages()
+	if st, ok := stages["pool.wait"]; !ok || st.Count == 0 {
+		t.Errorf("pool.wait stage has no observations: %+v", stages)
+	}
+}

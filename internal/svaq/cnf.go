@@ -2,10 +2,12 @@ package svaq
 
 import (
 	"fmt"
+	"time"
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/interval"
+	"vaq/internal/trace"
 	"vaq/internal/video"
 )
 
@@ -39,6 +41,25 @@ type CNFEngine struct {
 	nextClip    video.ClipIdx
 	indicators  []bool
 	invocations int
+
+	// tracing (AttachTrace); nil-safe handles, see Engine.AttachTrace.
+	tr        *trace.Tracer
+	traceRoot trace.SpanID
+	cFrames   *trace.Counter
+	cShots    *trace.Counter
+	cClips    *trace.Counter
+	stClip    *trace.Stage
+}
+
+// AttachTrace wires the CNF engine to a tracer: per-clip spans with one
+// child span per evaluated label, plus the shared invocation counters.
+// Call before the first ProcessClip.
+func (e *CNFEngine) AttachTrace(tr *trace.Tracer, parent trace.SpanID) {
+	e.tr, e.traceRoot = tr, parent
+	e.cFrames = tr.Counter("detect.frame_invocations")
+	e.cShots = tr.Counter("detect.shot_invocations")
+	e.cClips = tr.Counter("svaq.clips")
+	e.stClip = tr.Stage("svaq.clip")
 }
 
 // NewCNF builds an engine for the given clauses.
@@ -103,10 +124,26 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 		return false, fmt.Errorf("svaq: clips must be processed in order: got %d, want %d", c, e.nextClip)
 	}
 	e.nextClip++
+	var clipSpan *trace.Span
+	var clipStart time.Time
+	if e.tr != nil {
+		clipSpan = e.tr.StartSpan("svaq.clip", e.traceRoot)
+		clipSpan.SetInt("clip", int64(c))
+		clipStart = time.Now()
+		defer func() {
+			e.cClips.Add(1)
+			e.stClip.Observe(time.Since(clipStart))
+			clipSpan.End()
+		}()
+	}
 	objPos := map[annot.Label]bool{}
 	actPos := map[annot.Label]bool{}
 	frameLo, frameHi := e.geom.FrameRangeOfClip(c)
 	for o, lt := range e.objTrk {
+		var predSpan *trace.Span
+		if e.tr != nil {
+			predSpan = e.tr.StartSpan("obj:"+string(o), clipSpan.ID())
+		}
 		count := 0
 		for v := frameLo; v < frameHi; v++ {
 			e.invocations++
@@ -117,6 +154,8 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 				}
 			}
 		}
+		e.cFrames.Add(int64(frameHi - frameLo))
+		predSpan.End()
 		pos, err := lt.ObserveClip(count)
 		if err != nil {
 			return false, fmt.Errorf("svaq: object %q: %w", o, err)
@@ -125,6 +164,10 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 	}
 	shotLo, shotHi := e.geom.ShotRangeOfClip(c)
 	for a, lt := range e.actTrk {
+		var predSpan *trace.Span
+		if e.tr != nil {
+			predSpan = e.tr.StartSpan("act:"+string(a), clipSpan.ID())
+		}
 		count := 0
 		for s := shotLo; s < shotHi; s++ {
 			e.invocations++
@@ -135,6 +178,8 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 				}
 			}
 		}
+		e.cShots.Add(int64(shotHi - shotLo))
+		predSpan.End()
 		pos, err := lt.ObserveClip(count)
 		if err != nil {
 			return false, fmt.Errorf("svaq: action %q: %w", a, err)

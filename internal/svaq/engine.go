@@ -13,10 +13,12 @@ package svaq
 
 import (
 	"fmt"
+	"time"
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/interval"
+	"vaq/internal/trace"
 	"vaq/internal/video"
 )
 
@@ -168,6 +170,29 @@ type Engine struct {
 	actLog []bool
 
 	invocations int
+
+	// tracing (AttachTrace); nil when untraced, and every handle is
+	// nil-safe, so the stepping path pays only nil checks.
+	tr        *trace.Tracer
+	traceRoot trace.SpanID
+	cFrames   *trace.Counter
+	cShots    *trace.Counter
+	cClips    *trace.Counter
+	stClip    *trace.Stage
+}
+
+// AttachTrace wires the engine to a tracer: every subsequent clip
+// evaluation opens a span (parented under parent, e.g. a session or CLI
+// root span) with one child span per evaluated predicate stage, and the
+// engine bumps the detect.*_invocations and svaq.clips counters. Call
+// before the first ProcessClip; the engine is single-goroutine, so no
+// synchronization is involved.
+func (e *Engine) AttachTrace(tr *trace.Tracer, parent trace.SpanID) {
+	e.tr, e.traceRoot = tr, parent
+	e.cFrames = tr.Counter("detect.frame_invocations")
+	e.cShots = tr.Counter("detect.shot_invocations")
+	e.cClips = tr.Counter("svaq.clips")
+	e.stClip = tr.Stage("svaq.clip")
 }
 
 // New builds an engine for query q over a stream with the given
@@ -267,6 +292,18 @@ func (e *Engine) evaluateClip(c video.ClipIdx) (ClipResult, error) {
 	if e.cfg.AdaptiveOrder {
 		e.reorder()
 	}
+	var clipSpan *trace.Span
+	var clipStart time.Time
+	if e.tr != nil {
+		clipSpan = e.tr.StartSpan("svaq.clip", e.traceRoot)
+		clipSpan.SetInt("clip", int64(c))
+		clipStart = time.Now()
+		defer func() {
+			e.cClips.Add(1)
+			e.stClip.Observe(time.Since(clipStart))
+			clipSpan.End()
+		}()
+	}
 	res := ClipResult{
 		Clip:         c,
 		Positive:     true,
@@ -283,7 +320,12 @@ func (e *Engine) evaluateClip(c video.ClipIdx) (ClipResult, error) {
 		if !res.Positive && shortCircuit {
 			return res, nil
 		}
+		var predSpan *trace.Span
+		if e.tr != nil {
+			predSpan = e.tr.StartSpan(e.predName(ref), clipSpan.ID())
+		}
 		positive, err := e.evalPredicate(ref, c, &res)
+		predSpan.End()
 		if err != nil {
 			return res, err
 		}

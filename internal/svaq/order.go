@@ -128,6 +128,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 			}
 		}
 		res.Invocations += int(frameHi - frameLo)
+		e.cFrames.Add(int64(frameHi - frameLo))
 		res.ObjectCounts[o] = count
 		positive, err := e.objTrk[o].ObserveClip(count)
 		if err != nil {
@@ -145,6 +146,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 			}
 		}
 		res.Invocations += int(frameHi - frameLo)
+		e.cFrames.Add(int64(frameHi - frameLo))
 		if res.RelationCounts == nil {
 			res.RelationCounts = map[string]int{}
 		}
@@ -168,6 +170,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 			}
 		}
 		res.Invocations += int(shotHi - shotLo)
+		e.cShots.Add(int64(shotHi - shotLo))
 		res.ActionCount = count
 		positive, err := e.actTrk.ObserveClip(count)
 		if err != nil {
@@ -177,20 +180,26 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 	}
 }
 
+// predName is the human-readable name of one predicate stage, shared by
+// the diagnostics listing and the per-stage trace spans.
+func (e *Engine) predName(r predRef) string {
+	switch r.kind {
+	case predObject:
+		return "obj:" + string(e.query.Objects[r.idx])
+	case predRelation:
+		return "rel:" + e.relations[r.idx].rd.Relation().String()
+	default:
+		return "act:" + string(e.query.Action)
+	}
+}
+
 // Order reports the current pipeline as human-readable predicate names,
 // for diagnostics and the ordering ablation.
 func (e *Engine) Order() []string {
 	e.initOrder()
 	out := make([]string, len(e.order))
 	for i, r := range e.order {
-		switch r.kind {
-		case predObject:
-			out[i] = "obj:" + string(e.query.Objects[r.idx])
-		case predRelation:
-			out[i] = "rel:" + e.relations[r.idx].rd.Relation().String()
-		default:
-			out[i] = "act:" + string(e.query.Action)
-		}
+		out[i] = e.predName(r)
 	}
 	return out
 }

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span with its retained children, the unit of the /tracez
+// payload and of the slow-query log.
+type Node struct {
+	SpanRecord
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Trees assembles the retained spans into trees: one root per span
+// whose parent is 0 or has been evicted from the ring. Roots and
+// children are ordered by start time.
+func (t *Tracer) Trees() []*Node {
+	return buildTrees(t.Spans())
+}
+
+func buildTrees(recs []SpanRecord) []*Node {
+	byID := make(map[SpanID]*Node, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &Node{SpanRecord: recs[i]}
+	}
+	var roots []*Node
+	for _, rec := range recs {
+		n := byID[rec.ID]
+		if p, ok := byID[rec.Parent]; ok && rec.Parent != 0 {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*Node) {
+		sort.SliceStable(ns, func(a, b int) bool {
+			if !ns[a].Start.Equal(ns[b].Start) {
+				return ns[a].Start.Before(ns[b].Start)
+			}
+			return ns[a].ID < ns[b].ID
+		})
+	}
+	order(roots)
+	for _, n := range byID {
+		order(n.Children)
+	}
+	return roots
+}
+
+// Walk visits n and its descendants depth-first.
+func (n *Node) Walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// RenderTrees writes the span trees as an indented text listing — the
+// shape the CLIs print after a -trace run:
+//
+//	rvaq.topk 1.204ms video=iron_man k=5
+//	  rvaq.candidates 80µs
+//	  rvaq.iterate 1.1ms
+//	    rvaq.exchange 3µs iteration=20
+func RenderTrees(w io.Writer, roots []*Node) {
+	for _, r := range roots {
+		renderNode(w, r, 0)
+	}
+}
+
+func renderNode(w io.Writer, n *Node, depth int) {
+	var attrs strings.Builder
+	for _, a := range n.Attrs {
+		attrs.WriteString(" ")
+		attrs.WriteString(a.Key)
+		attrs.WriteString("=")
+		attrs.WriteString(a.Value)
+	}
+	fmt.Fprintf(w, "%s%s %s%s\n", strings.Repeat("  ", depth), n.Name, n.Dur.Round(durRound(n.Dur)), attrs.String())
+	for _, c := range n.Children {
+		renderNode(w, c, depth+1)
+	}
+}
+
+// durRound picks a rounding unit that keeps the listing readable across
+// nanosecond spans and second-long queries.
+func durRound(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return time.Millisecond
+	case d >= time.Millisecond:
+		return time.Microsecond
+	default:
+		return time.Nanosecond
+	}
+}
+
+// WriteVarz writes the flat counter and stage snapshot in
+// Prometheus-style text exposition: one `vaq_<counter>` gauge line per
+// counter and `vaq_stage_us{stage=...,q=...}` summaries per stage.
+// Names are lower-cased with [.-] folded to '_'.
+func (t *Tracer) WriteVarz(w io.Writer) {
+	if t == nil {
+		return
+	}
+	counters := t.Counters()
+	fmt.Fprintf(w, "# counters\n")
+	for _, name := range sortedKeys(counters) {
+		fmt.Fprintf(w, "vaq_%s %d\n", metricName(name), counters[name])
+	}
+	stages := t.Stages()
+	if len(stages) > 0 {
+		fmt.Fprintf(w, "# stage latencies (microseconds)\n")
+	}
+	for _, name := range sortedKeys(stages) {
+		st := stages[name]
+		mn := metricName(name)
+		fmt.Fprintf(w, "vaq_stage_us_count{stage=%q} %d\n", mn, st.Count)
+		fmt.Fprintf(w, "vaq_stage_us_sum{stage=%q} %d\n", mn, st.SumUS)
+		fmt.Fprintf(w, "vaq_stage_us{stage=%q,q=\"0.50\"} %g\n", mn, st.P50US)
+		fmt.Fprintf(w, "vaq_stage_us{stage=%q,q=\"0.90\"} %g\n", mn, st.P90US)
+		fmt.Fprintf(w, "vaq_stage_us{stage=%q,q=\"0.99\"} %g\n", mn, st.P99US)
+		fmt.Fprintf(w, "vaq_stage_us_max{stage=%q} %g\n", mn, st.MaxUS)
+	}
+	fmt.Fprintf(w, "vaq_trace_spans_total %d\n", t.TotalSpans())
+}
+
+// metricName folds a dotted stage/counter name into the exposition
+// charset.
+func metricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// slowEntry is the one-line JSON shape of the slow-query log.
+type slowEntry struct {
+	Slow  string `json:"slow"`
+	DurUS int64  `json:"dur_us"`
+	Spans int    `json:"spans"`
+	Tree  *Node  `json:"tree"`
+}
+
+// logSlow dumps the finished root span and its retained descendants as
+// one structured JSON line. Called outside t.mu (End released it, and
+// the root record is already in the ring).
+func (t *Tracer) logSlow(root SpanRecord) {
+	var tree *Node
+	nspans := 0
+	for _, n := range buildTrees(t.Spans()) {
+		if n.ID == root.ID {
+			tree = n
+			n.Walk(func(*Node) { nspans++ })
+			break
+		}
+	}
+	if tree == nil {
+		tree = &Node{SpanRecord: root}
+		nspans = 1
+	}
+	line, err := json.Marshal(slowEntry{Slow: root.Name, DurUS: root.DurUS, Spans: nspans, Tree: tree})
+	if err != nil {
+		return
+	}
+	t.slowMu.Lock()
+	fmt.Fprintf(t.slowW, "%s\n", line)
+	t.slowMu.Unlock()
+}

@@ -1,0 +1,300 @@
+// Package trace is the observability substrate of the query paths: a
+// lightweight, allocation-conscious span layer plus a pipeline-stage
+// counter/latency registry, threaded through the full online and
+// offline paths (server handler → session → svaq stepping /
+// rvaq.TopKCtx → ingest table reads → detect invocations).
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. Every entry point is nil-safe: a nil
+//     *Tracer hands out nil *Span, *Counter and *Stage handles whose
+//     methods are no-ops, so instrumented code never branches on a
+//     "tracing enabled" flag — it just calls through.
+//   - Bounded retention. Finished spans land in a fixed-capacity ring
+//     buffer; a long-running daemon keeps the most recent window and
+//     forgets the rest. Counters and stage sketches are cumulative.
+//   - Monotonic timing. Spans time with time.Since on the monotonic
+//     clock reading Go embeds in time.Now.
+//
+// Spans carry an ID, a parent link, a name and small attribute lists;
+// GET /tracez serves the retained spans as JSON trees, GET /varz the
+// counter/stage snapshot in Prometheus-style text exposition, and a
+// threshold-gated slow-query log dumps root span trees to a writer as
+// structured one-line JSON. See docs/OBSERVABILITY.md for the span
+// model and the counter catalogue.
+package trace
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer; 0 means "no span" (the
+// parent of a root span).
+type SpanID uint64
+
+// Attr is one span attribute. Values are strings; use the SetInt helper
+// for numeric attributes.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one in-flight timed operation. It is owned by the goroutine
+// that started it until End, which publishes an immutable SpanRecord
+// into the tracer's ring buffer. All methods are nil-receiver-safe so
+// untraced code paths pay nothing.
+type Span struct {
+	tr     *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// SpanRecord is a finished span as retained by the ring buffer.
+type SpanRecord struct {
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"-"`
+	DurUS  int64         `json:"dur_us"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer owns span identity, the bounded ring of finished spans, the
+// counter registry and the per-stage latency sketches. A nil *Tracer is
+// a valid, disabled tracer.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanRecord // fixed capacity once full
+	next  int          // ring insertion point
+	total uint64       // spans ever finished
+	cap   int
+
+	counters sync.Map // string → *Counter
+	stages   sync.Map // string → *Stage
+
+	slowThresh time.Duration
+	slowMu     sync.Mutex
+	slowW      io.Writer
+}
+
+// DefaultCapacity is the ring-buffer size used when no option overrides
+// it: enough for several full traced queries without unbounded growth.
+const DefaultCapacity = 4096
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithCapacity sets the finished-span ring capacity (minimum 16).
+func WithCapacity(n int) Option {
+	return func(t *Tracer) {
+		if n < 16 {
+			n = 16
+		}
+		t.cap = n
+	}
+}
+
+// WithSlowLog enables the slow-query log: every root span whose
+// duration reaches threshold is dumped, with its retained descendants,
+// as one line of JSON to w.
+func WithSlowLog(threshold time.Duration, w io.Writer) Option {
+	return func(t *Tracer) {
+		t.slowThresh = threshold
+		t.slowW = w
+	}
+}
+
+// New builds an enabled tracer.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{cap: DefaultCapacity}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// StartSpan opens a span under the given parent (0 for a root span).
+// On a nil tracer it returns nil, which every Span method accepts.
+func (t *Tracer) StartSpan(name string, parent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tr:     t,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// ID returns the span's identifier (0 for a nil span), for parenting
+// spans across API layers that do not share a context.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: itoa(v)})
+}
+
+// End finishes the span and publishes it to the ring buffer. Repeated
+// End calls are idempotent; End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.start)
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    dur,
+		DurUS:  dur.Microseconds(),
+		Attrs:  s.attrs,
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.next = (t.next + 1) % t.cap
+	}
+	t.total++
+	t.mu.Unlock()
+	if s.parent == 0 && t.slowW != nil && dur >= t.slowThresh {
+		t.logSlow(rec)
+	}
+}
+
+// Spans returns the retained finished spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < t.cap {
+		out = append(out, t.ring...)
+	} else {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	}
+	return out
+}
+
+// TotalSpans reports how many spans have finished since the tracer was
+// built (retained or evicted).
+func (t *Tracer) TotalSpans() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// itoa is a minimal integer formatter kept local so the hot span path
+// does not pull strconv's generic machinery into profiles.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ctxKey types keep the context values private to this package.
+type tracerKey struct{}
+type spanKey struct{}
+
+// NewContext returns ctx carrying the tracer.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext extracts the tracer from ctx (nil when absent).
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext extracts the current span from ctx (nil when absent).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start opens a span named name under ctx's current span, using ctx's
+// tracer. Without a tracer it returns (ctx, nil) unchanged — one map
+// lookup, no allocation — so instrumented paths call it
+// unconditionally.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.StartSpan(name, SpanFromContext(ctx).ID())
+	return ContextWithSpan(ctx, s), s
+}

@@ -46,6 +46,7 @@ import (
 	"vaq/internal/rvaq"
 	"vaq/internal/svaq"
 	"vaq/internal/temporal"
+	"vaq/internal/trace"
 	"vaq/internal/video"
 	"vaq/internal/vql"
 )
@@ -153,6 +154,27 @@ func NewStreamQuery(q Query, det ObjectDetector, rec ActionRecognizer, geom Geom
 	return &Stream{simple: eng}, nil
 }
 
+// Tracer re-exports the observability tracer (package internal/trace):
+// bounded span retention, named counters and per-stage latency sketches.
+// A nil *Tracer is valid everywhere and records nothing.
+type Tracer = trace.Tracer
+
+// NewTracer builds a tracer with the default span capacity.
+func NewTracer() *Tracer { return trace.New() }
+
+// AttachTrace wires the stream to a tracer: every subsequent clip
+// evaluation records an "svaq.clip" span (with one child span per
+// evaluated predicate) under the given parent, bumps the detector
+// invocation counters and feeds the "svaq.clip" stage sketch. A nil
+// tracer detaches nothing and records nothing. Call before ProcessClip.
+func (s *Stream) AttachTrace(tr *Tracer, parent trace.SpanID) {
+	if s.simple != nil {
+		s.simple.AttachTrace(tr, parent)
+		return
+	}
+	s.cnf.AttachTrace(tr, parent)
+}
+
 // ProcessClip evaluates the next clip (fed in order from 0) and reports
 // whether it satisfies the query.
 func (s *Stream) ProcessClip(c int) (bool, error) {
@@ -244,6 +266,14 @@ type VideoData = ingest.VideoData
 // the models support.
 func IngestVideo(det ObjectDetector, rec ActionRecognizer, meta video.Meta, objLabels, actLabels []Label, cfg IngestConfig) (*VideoData, error) {
 	return ingest.Video(det, rec, meta, objLabels, actLabels, cfg)
+}
+
+// IngestVideoCtx is IngestVideo with cancellation and tracing: when ctx
+// carries a tracer (trace.NewContext), the run records "ingest.video" /
+// "ingest.infer" / "ingest.stats" spans and the detector invocation
+// counters.
+func IngestVideoCtx(ctx context.Context, det ObjectDetector, rec ActionRecognizer, meta video.Meta, objLabels, actLabels []Label, cfg IngestConfig) (*VideoData, error) {
+	return ingest.VideoCtx(ctx, det, rec, meta, objLabels, actLabels, cfg)
 }
 
 // TopKVideo runs RVAQ directly against one ingested video's metadata
@@ -386,6 +416,10 @@ func (r *Repository) TopKGlobalOpts(q Query, k int, eo ExecOptions) ([]VideoTopK
 // topKGlobalMerged is the sequential reference: one RVAQ execution over
 // the merged clip-id namespace.
 func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx context.Context) ([]VideoTopKResult, TopKStats, error) {
+	ctx, gspan := trace.Start(ctx, "topk.global")
+	gspan.SetAttr("mode", "merged")
+	gspan.SetInt("videos", int64(len(names)))
+	defer gspan.End()
 	videos := make([]*ingest.VideoData, 0, len(names))
 	for _, n := range names {
 		vd, ok := r.repo.Video(n)
@@ -420,6 +454,11 @@ func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx contex
 // query fail with the first shard's error.
 func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
 	ctx, p := eo.ctx(), eo.pool()
+	ctx, gspan := trace.Start(ctx, "topk.global")
+	gspan.SetAttr("mode", "sharded")
+	gspan.SetInt("videos", int64(len(names)))
+	gspan.SetInt("k", int64(k))
+	defer gspan.End()
 	gb := rvaq.NewGlobalBound(k)
 	type shardOut struct {
 		res   []TopKResult
@@ -441,10 +480,14 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i].err = p.Do(ctx, func() error {
+			sctx, sspan := trace.Start(ctx, "topk.shard")
+			sspan.SetAttr("video", names[i])
+			sspan.SetInt("shard", int64(i))
+			defer sspan.End()
+			outs[i].err = p.Do(sctx, func() error {
 				opts := rvaq.DefaultOptions()
 				opts.Bound, opts.Shard = gb, i
-				res, stats, err := rvaq.TopKCtx(ctx, videos[i], q, k, opts)
+				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, opts)
 				outs[i].res, outs[i].stats = res, stats
 				return err
 			})
@@ -479,10 +522,13 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 	if notIngested == len(names) {
 		return nil, total, firstMissing
 	}
+	_, mspan := trace.Start(ctx, "topk.merge")
+	mspan.SetInt("results", int64(len(all)))
 	sortVideoResults(all)
 	if len(all) > k {
 		all = all[:k]
 	}
+	mspan.End()
 	total.Runtime = time.Since(start)
 	return all, total, nil
 }
@@ -519,6 +565,10 @@ func (r *Repository) TopKAll(q Query, k int) ([]VideoTopKResult, TopKStats, erro
 // effective speedup. Results are identical to a sequential run.
 func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
 	ctx, p := eo.ctx(), eo.pool()
+	ctx, aspan := trace.Start(ctx, "topk.all")
+	aspan.SetInt("videos", int64(len(r.repo.Names())))
+	aspan.SetInt("k", int64(k))
+	defer aspan.End()
 	names := r.repo.Names()
 	type videoOut struct {
 		res   []TopKResult
@@ -540,8 +590,11 @@ func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKRes
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i].err = p.Do(ctx, func() error {
-				res, stats, err := rvaq.TopKCtx(ctx, videos[i], q, k, rvaq.DefaultOptions())
+			sctx, sspan := trace.Start(ctx, "topk.video")
+			sspan.SetAttr("video", names[i])
+			defer sspan.End()
+			outs[i].err = p.Do(sctx, func() error {
+				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, rvaq.DefaultOptions())
 				outs[i].res, outs[i].stats = res, stats
 				return err
 			})
