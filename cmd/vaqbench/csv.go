@@ -143,6 +143,17 @@ func (s *csvSink) parallel(rows []experiments.ParallelRow) error {
 	return s.write("parallel", []string{"phase", "workers", "wall_us", "cpu_us", "speedup"}, out)
 }
 
+func (s *csvSink) chaos(res *experiments.ChaosResult) error {
+	out := make([][]string, len(res.Curve))
+	for i, r := range res.Curve {
+		out[i] = []string{
+			ffloat(r.Rate), ffloat(r.F1), ffloat(r.USPerClip),
+			fint64(r.Retries), fint64(r.Fallbacks), fint(r.DegradedUnits),
+		}
+	}
+	return s.write("chaos", []string{"rate", "f1", "us_per_clip", "retries", "fallbacks", "degraded_units"}, out)
+}
+
 func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {

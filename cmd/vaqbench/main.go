@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead.
+// trace-overhead, chaos.
 package main
 
 import (
@@ -135,6 +135,13 @@ func main() {
 				return err
 			}
 			return sink.traceOverhead(rows)
+		}},
+		{[]string{"chaos"}, func() error {
+			res, err := ctx.Chaos()
+			if err != nil {
+				return err
+			}
+			return sink.chaos(res)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

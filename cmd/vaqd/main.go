@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"vaq"
+	"vaq/internal/fault"
+	"vaq/internal/resilience"
 	"vaq/internal/server"
 	"vaq/internal/trace"
 )
@@ -43,6 +45,12 @@ func main() {
 		spansFlag    = flag.Int("trace-spans", trace.DefaultCapacity, "span retention of the /tracez ring buffer")
 		slowFlag     = flag.Duration("slow-query", 0, "log root spans slower than this to stderr as one-line JSON (0 = off)")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		shedFlag     = flag.Duration("shed-wait", 0, "shed create/top-k requests (503 + Retry-After) when the p90 worker-queue wait reaches this (0 = off)")
+		retriesFlag  = flag.Int("retries", resilience.DefaultPolicy().MaxRetries, "detector retry budget per invocation")
+		brkFailFlag  = flag.Int("breaker-failures", resilience.DefaultPolicy().BreakerFailures, "consecutive detector failures that open the circuit breaker (0 = off)")
+		brkCoolFlag  = flag.Duration("breaker-cooldown", resilience.DefaultPolicy().BreakerCooldown, "how long an open breaker rejects before a half-open probe")
+		faultFlag    = flag.String("fault", "", "deterministic fault schedule for session detectors, e.g. 'error:0-999:0.1,latency:500-:0.2:20ms' (chaos testing)")
+		seedFlag     = flag.Int64("fault-seed", 1, "seed for the fault schedule and resilience jitter")
 	)
 	flag.Parse()
 
@@ -50,12 +58,27 @@ func main() {
 	if *slowFlag > 0 {
 		topts = append(topts, trace.WithSlowLog(*slowFlag, os.Stderr))
 	}
+	pol := resilience.DefaultPolicy()
+	pol.MaxRetries = *retriesFlag
+	pol.BreakerFailures = *brkFailFlag
+	pol.BreakerCooldown = *brkCoolFlag
+	pol.Seed = *seedFlag
 	cfg := server.Config{
 		MaxSessions:    *sessionsFlag,
 		Workers:        *workersFlag,
 		RequestTimeout: *timeoutFlag,
 		MaxWait:        *waitFlag,
 		Tracer:         trace.New(topts...),
+		Resilience:     &pol,
+		ShedWait:       *shedFlag,
+	}
+	if *faultFlag != "" {
+		sched, err := fault.Parse(*seedFlag, *faultFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FaultSchedule = sched
+		fmt.Printf("vaqd: fault injection armed: %s\n", sched)
 	}
 	if *repoFlag != "" {
 		repo, err := vaq.OpenRepository(*repoFlag)

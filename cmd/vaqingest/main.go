@@ -16,6 +16,8 @@ import (
 
 	"vaq"
 	"vaq/internal/detect"
+	"vaq/internal/fault"
+	"vaq/internal/resilience"
 	"vaq/internal/synth"
 )
 
@@ -25,11 +27,21 @@ func main() {
 		videosFlag  = flag.String("videos", "coffee_and_cigarettes,iron_man,star_wars_3,titanic", "comma-separated movie names (Table 2)")
 		scaleFlag   = flag.Float64("scale", 1.0, "workload scale")
 		workersFlag = flag.Int("workers", 0, "parallel clip scorers per video (0 = NumCPU, 1 = serial)")
+		faultFlag   = flag.String("fault", "", "deterministic fault schedule for the ingest detectors, e.g. 'error:0-999:0.1,latency:500-:0.2:20ms'")
+		seedFlag    = flag.Int64("fault-seed", 1, "seed for the fault schedule and resilience jitter")
 	)
 	flag.Parse()
 	workers := *workersFlag
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	var sched fault.Schedule
+	if *faultFlag != "" {
+		var err error
+		if sched, err = fault.Parse(*seedFlag, *faultFlag); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vaqingest: fault injection armed: %s\n", sched)
 	}
 
 	repo, err := vaq.OpenRepository(*dirFlag)
@@ -46,9 +58,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The offline path consumes detectors through the resilience
+		// wrapper exactly like the serving path: faults (injected here
+		// only when -fault is set) are retried and, past the budget,
+		// degraded to the prior with the affected units counted.
 		scene := qs.World.Scene()
-		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
-		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		var det detect.ObjectDetector = detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		var rec detect.ActionRecognizer = detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		fdet, frec := detect.AsFallibleObject(det), detect.AsFallibleAction(rec)
+		if !sched.Empty() {
+			fdet = fault.NewObject(fdet, sched)
+			frec = fault.NewAction(frec, sched)
+		}
+		pol := resilience.DefaultPolicy()
+		pol.Seed = *seedFlag
+		models := resilience.WrapFallible(fdet, frec, pol, resilience.Options{})
+		det, rec = models.Det, models.Rec
 		truth := qs.World.Truth
 		vd, err := vaq.IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), vaq.IngestConfig{Workers: workers})
 		if err != nil {
@@ -57,9 +82,13 @@ func main() {
 		if err := repo.Add(name, vd); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("ingested %s: %d clips, %d object tables, %d action tables, %d tracks (%v)\n",
+		degraded := ""
+		if st := models.Stats(); st.Fallbacks > 0 {
+			degraded = fmt.Sprintf(" [DEGRADED: %d units via fallback, %d retries]", st.DegradedUnits, st.Retries)
+		}
+		fmt.Printf("ingested %s: %d clips, %d object tables, %d action tables, %d tracks (%v)%s\n",
 			name, truth.Meta.Clips(), len(vd.ObjTables), len(vd.ActTables),
-			vd.TracksOpened, time.Since(start).Round(time.Millisecond))
+			vd.TracksOpened, time.Since(start).Round(time.Millisecond), degraded)
 	}
 	fmt.Printf("repository %s now holds: %v\n", *dirFlag, repo.Videos())
 }

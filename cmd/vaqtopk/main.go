@@ -34,18 +34,20 @@ import (
 
 func main() {
 	var (
-		dirFlag     = flag.String("dir", "vaq-repo", "repository directory")
-		videoFlag   = flag.String("video", "", "video name (empty = all videos)")
-		actionFlag  = flag.String("action", "", "queried action label")
-		objectsFlag = flag.String("objects", "", "comma-separated object labels")
-		kFlag       = flag.Int("k", 5, "number of results")
-		compareFlag = flag.Bool("compare", false, "also run FA, RVAQ-noSkip and Pq-Traverse")
-		jsonFlag    = flag.Bool("json", false, "emit results as JSON in the server's /v1/topk response shape (skips -compare)")
-		workersFlag = flag.Int("workers", 0, "parallel per-video executions for all-video queries (0 = GOMAXPROCS, 1 = serial)")
-		globalFlag  = flag.Bool("global", false, "rank across the merged repository namespace instead of merging per-video top-ks")
-		synthFlag   = flag.String("synth", "", "comma-separated synthetic movie names to ingest in-process into a temporary repository (skips -dir)")
-		scaleFlag   = flag.Float64("scale", 0.25, "workload scale for -synth ingestion")
-		traceFlag   = flag.Bool("trace", false, "record spans across ingestion and the query; print the tree, counters and stage quantiles at exit")
+		dirFlag      = flag.String("dir", "vaq-repo", "repository directory")
+		videoFlag    = flag.String("video", "", "video name (empty = all videos)")
+		actionFlag   = flag.String("action", "", "queried action label")
+		objectsFlag  = flag.String("objects", "", "comma-separated object labels")
+		kFlag        = flag.Int("k", 5, "number of results")
+		compareFlag  = flag.Bool("compare", false, "also run FA, RVAQ-noSkip and Pq-Traverse")
+		jsonFlag     = flag.Bool("json", false, "emit results as JSON in the server's /v1/topk response shape (skips -compare)")
+		workersFlag  = flag.Int("workers", 0, "parallel per-video executions for all-video queries (0 = GOMAXPROCS, 1 = serial)")
+		globalFlag   = flag.Bool("global", false, "rank across the merged repository namespace instead of merging per-video top-ks")
+		synthFlag    = flag.String("synth", "", "comma-separated synthetic movie names to ingest in-process into a temporary repository (skips -dir)")
+		scaleFlag    = flag.Float64("scale", 0.25, "workload scale for -synth ingestion")
+		traceFlag    = flag.Bool("trace", false, "record spans across ingestion and the query; print the tree, counters and stage quantiles at exit")
+		deadlineFlag = flag.Duration("deadline", 0, "bound the whole query (0 = none)")
+		partialFlag  = flag.Bool("partial", false, "on deadline expiry return the best-so-far ranking flagged incomplete instead of failing")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 			tr.WriteVarz(out)
 		}()
 	}
-	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx}
+	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx, Deadline: *deadlineFlag, Partial: *partialFlag}
 
 	q := vaq.Query{Action: vaq.Label(*actionFlag)}
 	for _, o := range strings.Split(*objectsFlag, ",") {
@@ -108,6 +110,7 @@ func main() {
 				CPURuntimeUS:   stats.CPURuntime.Microseconds(),
 				RandomAccesses: stats.Accesses.Random,
 				Candidates:     stats.Candidates,
+				Incomplete:     stats.Incomplete,
 			}
 			for _, r := range results {
 				out.Results = append(out.Results, server.TopKEntry{
@@ -117,9 +120,10 @@ func main() {
 			emitJSON(out)
 			return
 		}
-		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses):\n",
+		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses)%s:\n",
 			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond),
-			stats.CPURuntime.Round(time.Microsecond), stats.Accesses.Random)
+			stats.CPURuntime.Round(time.Microsecond), stats.Accesses.Random,
+			incompleteMark(stats))
 		for i, r := range results {
 			fmt.Printf("  %2d. %-24s clips %v  score %.2f\n", i+1, r.Video, r.Seq, r.Score)
 		}
@@ -136,6 +140,7 @@ func main() {
 			RuntimeUS:      stats.Runtime.Microseconds(),
 			RandomAccesses: stats.Accesses.Random,
 			Candidates:     stats.Candidates,
+			Incomplete:     stats.Incomplete,
 		}
 		for _, r := range results {
 			out.Results = append(out.Results, server.TopKEntry{
@@ -145,8 +150,9 @@ func main() {
 		emitJSON(out)
 		return
 	}
-	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d):\n",
-		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates)
+	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d)%s:\n",
+		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates,
+		incompleteMark(stats))
 	for i, r := range results {
 		fmt.Printf("  %2d. clips %v  score %.2f\n", i+1, r.Seq, r.Score)
 	}
@@ -225,6 +231,14 @@ func ingestSynth(ctx context.Context, names string, scale float64, q *vaq.Query)
 		}
 	}
 	return repo, nil
+}
+
+// incompleteMark flags a deadline-truncated ranking in the text output.
+func incompleteMark(stats vaq.TopKStats) string {
+	if stats.Incomplete {
+		return " [INCOMPLETE: deadline fired, scores are lower bounds]"
+	}
+	return ""
 }
 
 func emitJSON(v any) {

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vaq/internal/detect"
+	"vaq/internal/fault"
+	"vaq/internal/resilience"
+	"vaq/internal/svaq"
+)
+
+// ChaosRow is one point on the degradation curve: the online engine run
+// through a transient-error fault schedule at the given rate, with the
+// resilience layer absorbing what it can.
+type ChaosRow struct {
+	Rate          float64 // per-attempt transient error probability
+	F1            float64 // sequence F1 against ground truth
+	USPerClip     float64
+	Retries       int64 // attempts beyond the first
+	Fallbacks     int64 // units served by the degradation fallback
+	DegradedUnits int   // distinct degraded frames/shots
+}
+
+// ChaosResult bundles the chaos experiment: the overhead of the
+// resilience wrapper on a healthy backend (budgeted at ratio <= 1.02)
+// and the accuracy/latency degradation curve under increasing fault
+// rates.
+type ChaosResult struct {
+	Clips            int
+	Reps             int
+	BareUSPerClip    float64 // engine on unwrapped detectors
+	WrappedUSPerClip float64 // resilience wrapper, no faults
+	OverheadRatio    float64 // wrapped / bare
+	Curve            []ChaosRow
+}
+
+// chaosRates is the transient-error sweep of the degradation curve.
+var chaosRates = []float64{0, 0.05, 0.1, 0.2, 0.4}
+
+// chaosPolicy keeps the full retry/breaker machinery armed but with
+// zero backoff: at the sweep's fault rates tens of thousands of units
+// retry, and even microsecond sleeps are timer-granularity bound — the
+// curve would measure the clock, not the policy.
+func chaosPolicy() resilience.Policy {
+	return resilience.Policy{
+		Deadline:        50 * time.Millisecond,
+		MaxRetries:      2,
+		Seed:            7,
+		BreakerFailures: 8,
+		BreakerCooldown: 2 * time.Millisecond,
+	}
+}
+
+// Chaos measures what resilience costs when nothing fails and what it
+// buys when things do. The overhead leg runs the online engine bare and
+// behind the wrapper (no faults, median of 5 reps); the curve leg
+// injects transient detector errors at increasing rates and reports F1,
+// latency and the retry/fallback counters — accuracy should fall
+// gracefully (retries absorb most faults; fallbacks degrade the rest to
+// the prior) rather than the run failing.
+func (c *Context) Chaos() (*ChaosResult, error) {
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	meta := qs.World.Truth.Meta
+	nclips := meta.Clips()
+	truth, err := qs.World.Truth.GroundTruthClips(qs.Query)
+	if err != nil {
+		return nil, err
+	}
+
+	// run executes one engine pass; wrap decorates the sim detectors
+	// (identity for the bare leg).
+	type models struct {
+		det detect.ObjectDetector
+		rec detect.ActionRecognizer
+	}
+	run := func(mk func(detect.ObjectDetector, detect.ActionRecognizer) models) (float64, time.Duration, *resilience.Models, error) {
+		det := detect.NewSimObjectDetector(scene, c.ObjProfile, nil)
+		rec := detect.NewSimActionRecognizer(scene, c.ActProfile, nil)
+		m := mk(det, rec)
+		eng, err := svaq.New(qs.Query, m.det, m.rec, meta.Geom, svaq.Config{
+			Dynamic: true, HorizonClips: nclips,
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		start := time.Now()
+		seqs, err := eng.Run(nclips)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		d := time.Since(start)
+		var rm *resilience.Models
+		if rd, ok := m.det.(*resilience.Detector); ok {
+			rm = &resilience.Models{Det: rd, Rec: m.rec.(*resilience.Recognizer)}
+		}
+		return f1(seqs, truth), d, rm, nil
+	}
+
+	const reps = 5
+	median := func(mk func(detect.ObjectDetector, detect.ActionRecognizer) models) (float64, error) {
+		durs := make([]time.Duration, 0, reps)
+		for i := 0; i < reps; i++ {
+			_, d, _, err := run(mk)
+			if err != nil {
+				return 0, err
+			}
+			durs = append(durs, d)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		return float64(durs[reps/2].Microseconds()) / float64(nclips), nil
+	}
+
+	c.printf("Chaos (online path, %d clips, overhead as median of %d runs):\n", nclips, reps)
+	bare := func(det detect.ObjectDetector, rec detect.ActionRecognizer) models {
+		return models{det, rec}
+	}
+	pol := chaosPolicy()
+	wrapped := func(sched fault.Schedule) func(detect.ObjectDetector, detect.ActionRecognizer) models {
+		return func(det detect.ObjectDetector, rec detect.ActionRecognizer) models {
+			fdet, frec := detect.AsFallibleObject(det), detect.AsFallibleAction(rec)
+			if !sched.Empty() {
+				fdet = fault.NewObject(fdet, sched)
+				frec = fault.NewAction(frec, sched)
+			}
+			m := resilience.WrapFallible(fdet, frec, pol, resilience.Options{})
+			return models{m.Det, m.Rec}
+		}
+	}
+
+	bareUS, err := median(bare)
+	if err != nil {
+		return nil, err
+	}
+	wrappedUS, err := median(wrapped(fault.Schedule{}))
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{
+		Clips:            nclips,
+		Reps:             reps,
+		BareUSPerClip:    bareUS,
+		WrappedUSPerClip: wrappedUS,
+		OverheadRatio:    wrappedUS / bareUS,
+	}
+	c.printf("  bare            %10.1f µs/clip\n", bareUS)
+	c.printf("  wrapped (no fault) %7.1f µs/clip  (ratio %.3f, budget 1.02)\n",
+		wrappedUS, res.OverheadRatio)
+
+	c.printf("  degradation curve (transient errors, %d retries):\n", pol.MaxRetries)
+	for _, rate := range chaosRates {
+		sched := fault.Schedule{Seed: 42}
+		if rate > 0 {
+			var perr error
+			sched, perr = fault.Parse(42, fmt.Sprintf("error:0-:%g", rate))
+			if perr != nil {
+				return nil, perr
+			}
+		}
+		f1v, d, rm, err := run(wrapped(sched))
+		if err != nil {
+			return nil, err
+		}
+		row := ChaosRow{
+			Rate:      rate,
+			F1:        f1v,
+			USPerClip: float64(d.Microseconds()) / float64(nclips),
+		}
+		if rm != nil {
+			st := rm.Stats()
+			row.Retries = st.Retries
+			row.Fallbacks = st.Fallbacks
+			row.DegradedUnits = st.DegradedUnits
+		}
+		res.Curve = append(res.Curve, row)
+		c.printf("    rate %4.2f  F1 %.3f  %8.1f µs/clip  retries %6d  fallbacks %5d  degraded %5d\n",
+			row.Rate, row.F1, row.USPerClip, row.Retries, row.Fallbacks, row.DegradedUnits)
+	}
+	return res, nil
+}

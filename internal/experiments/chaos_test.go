@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestChaosQuick runs the chaos experiment at test scale and checks its
+// invariants: the wrapper is near-free on a healthy backend, the
+// zero-rate curve point matches the clean F1 with no resilience
+// activity, and higher fault rates produce retries (and, at the top
+// rate, fallbacks) without the run failing.
+func TestChaosQuick(t *testing.T) {
+	res, err := Quick(nil).Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverheadRatio > 1.10 {
+		// The acceptance budget is 1.02 at paper scale; at test scale a
+		// single run is noisier, so the gate here is looser.
+		t.Errorf("resilience wrapper overhead ratio %.3f too high", res.OverheadRatio)
+	}
+	if len(res.Curve) != len(chaosRates) {
+		t.Fatalf("curve has %d points, want %d", len(res.Curve), len(chaosRates))
+	}
+	clean := res.Curve[0]
+	if clean.Retries != 0 || clean.Fallbacks != 0 || clean.DegradedUnits != 0 {
+		t.Errorf("zero-rate point shows resilience activity: %+v", clean)
+	}
+	if clean.F1 <= 0 {
+		t.Errorf("zero-rate F1 = %v, want > 0", clean.F1)
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.Retries == 0 {
+		t.Errorf("top-rate point saw no retries: %+v", last)
+	}
+	if last.Fallbacks == 0 {
+		t.Errorf("top-rate point saw no fallbacks: %+v", last)
+	}
+	for _, row := range res.Curve {
+		if row.F1 < 0 || row.F1 > 1 {
+			t.Errorf("rate %v: F1 %v out of range", row.Rate, row.F1)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -80,13 +81,94 @@ func TestAcquireUnblocksOnCancel(t *testing.T) {
 	cancel()
 	select {
 	case err := <-errc:
-		if err != context.Canceled {
+		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("Acquire = %v, want context.Canceled", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Acquire did not unblock on cancellation")
 	}
 	p.Release()
+}
+
+// TestAcquireErrorClassification is the satellite's contract: callers
+// can tell a queue timeout (overload — shed) from a client that went
+// away (not overload), while errors.Is on the raw context errors keeps
+// working.
+func TestAcquireErrorClassification(t *testing.T) {
+	p := New(1)
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire failed on empty pool")
+	}
+	defer p.Release()
+
+	// Queue timeout: the wait outlives the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.Acquire(ctx)
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("deadline wait: err = %v, want ErrQueueTimeout", err)
+	}
+	if errors.Is(err, ErrQueueCancelled) {
+		t.Fatalf("deadline wait misclassified as cancelled: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrQueueTimeout does not wrap DeadlineExceeded: %v", err)
+	}
+
+	// Client cancel: the caller goes away mid-wait.
+	cctx, ccancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(cctx) }()
+	time.Sleep(5 * time.Millisecond)
+	ccancel()
+	err = <-errc
+	if !errors.Is(err, ErrQueueCancelled) {
+		t.Fatalf("cancelled wait: err = %v, want ErrQueueCancelled", err)
+	}
+	if errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("cancelled wait misclassified as timeout: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrQueueCancelled does not wrap Canceled: %v", err)
+	}
+}
+
+func TestWaitingGaugeAndObserver(t *testing.T) {
+	p := New(1)
+	if p.Waiting() != 0 {
+		t.Fatalf("idle pool Waiting() = %d", p.Waiting())
+	}
+	var observed atomic.Int64
+	p.SetObserver(func(time.Duration) { observed.Add(1) })
+
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire failed")
+	}
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		done <- p.Acquire(context.Background())
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiting() never reached 1 (got %d)", p.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if p.Waiting() != 0 {
+		t.Fatalf("Waiting() = %d after drain", p.Waiting())
+	}
+	if observed.Load() == 0 {
+		t.Fatal("observer saw no acquisitions")
+	}
 }
 
 func TestDoReleasesOnError(t *testing.T) {

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// StateClosed — traffic flows; consecutive failures are counted.
+	StateClosed State = iota
+	// StateOpen — traffic is rejected until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen — one probe call is in flight; its outcome decides
+	// whether the circuit closes again or re-opens.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker: after a run of consecutive
+// failures it opens, rejecting calls outright (so a dead backend costs
+// nothing instead of a deadline per call); after a cooldown it admits a
+// single half-open probe, and only a successful probe closes the
+// circuit again. Safe for concurrent use.
+//
+// The caller contract is Allow → call → Success/Failure. Calls rejected
+// by Allow must not be reported.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // seam for tests
+
+	mu       sync.Mutex
+	state    State
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // times the circuit has opened (monotonic)
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and admits a probe after cooldown. A threshold
+// <= 0 disables the breaker (Allow always admits).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed, transitioning open →
+// half-open when the cooldown has elapsed (the admitted call is the
+// probe).
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: single probe already in flight
+		return false
+	}
+}
+
+// Success reports a successful call: resets the failure run and closes
+// the circuit (a successful half-open probe heals the backend).
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consec = 0
+	b.state = StateClosed
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure reports a failed call. While closed it extends the failure
+// run, opening at the threshold; a failed half-open probe re-opens
+// immediately and restarts the cooldown.
+func (b *Breaker) Failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.open()
+	case StateClosed:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to StateOpen; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.consec = 0
+	b.opens++
+}
+
+// State returns the current position.
+func (b *Breaker) State() State {
+	if b == nil || b.threshold <= 0 {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the circuit has opened.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

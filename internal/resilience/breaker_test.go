@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second)
+	b.now = func() time.Time { return clock }
+
+	if b.State() != StateClosed {
+		t.Fatalf("new breaker state = %v", b.State())
+	}
+	// Failures below the threshold keep it closed.
+	b.Failure()
+	b.Failure()
+	if !b.Allow() || b.State() != StateClosed {
+		t.Fatalf("breaker opened before threshold: %v", b.State())
+	}
+	// A success resets the run.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("success did not reset the failure run")
+	}
+	// Third consecutive failure opens.
+	b.Failure()
+	if b.State() != StateOpen || b.Opens() != 1 {
+		t.Fatalf("state = %v, opens = %d after threshold", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	// After the cooldown exactly one probe is admitted.
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after probe admission = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second call during the probe")
+	}
+	// Failed probe re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != StateOpen || b.Opens() != 2 {
+		t.Fatalf("failed probe: state = %v, opens = %d", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call immediately")
+	}
+	// Successful probe closes.
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatalf("successful probe left state %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	b := NewBreaker(0, time.Second)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+	}
+	if !b.Allow() || b.State() != StateClosed {
+		t.Error("disabled breaker tripped")
+	}
+	var nb *Breaker
+	if !nb.Allow() || nb.State() != StateClosed || nb.Opens() != 0 {
+		t.Error("nil breaker misbehaved")
+	}
+	nb.Success()
+	nb.Failure()
+}
+
+func TestWorseState(t *testing.T) {
+	if s := worseState(StateClosed, StateOpen); s != StateOpen {
+		t.Errorf("worse(closed, open) = %v", s)
+	}
+	if s := worseState(StateHalfOpen, StateClosed); s != StateHalfOpen {
+		t.Errorf("worse(half-open, closed) = %v", s)
+	}
+}

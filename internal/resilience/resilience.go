@@ -1,0 +1,587 @@
+// Package resilience is the policy layer between the query engines and
+// fallible detection backends: per-invocation deadlines, bounded retry
+// with exponential backoff and decorrelated jitter, a per-backend
+// circuit breaker with half-open probing, and graceful degradation.
+//
+// The wrappers consume the fallible, context-aware interfaces of
+// package detect (which real backends — and the fault injector —
+// implement) and present the *infallible* interfaces the svaq/rvaq
+// engines and the ingest path were written against. Faults are absorbed
+// here: a failing call is retried under its deadline; a backend that
+// keeps failing trips its breaker so subsequent calls shed instantly;
+// and when the budget is exhausted the wrapper falls back to the
+// background-probability prior (sampling detections at a fixed low rate
+// p0, the same prior package bgprob starts from) or, when configured, a
+// cheaper detector profile — recording exactly which frames/shots were
+// served degraded so results can be flagged instead of silently skewed.
+//
+// Determinism: with a deterministic backend (the simulators, or the
+// fault injector wrapping them) a fixed policy seed makes every output
+// byte — including fallback detections and retry/fallback counters —
+// identical across runs. Backoff jitter is drawn from the same seeded
+// hash and affects only wall-clock time.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/trace"
+	"vaq/internal/video"
+)
+
+// DefaultFallbackP is the prior event probability used by the
+// degradation fallback when none is configured: the same "rare by
+// default" prior the bgprob estimator starts from.
+const DefaultFallbackP = 1e-4
+
+// Policy bundles the resilience knobs. The zero value retries nothing,
+// sets no deadline and never breaks — equivalent to calling the backend
+// directly (plus fallback on error).
+type Policy struct {
+	// Deadline bounds each backend invocation (per attempt, not per
+	// unit); 0 means no deadline.
+	Deadline time.Duration
+	// MaxRetries is how many times a failed invocation is retried
+	// (total attempts = MaxRetries + 1).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff bound the exponential backoff with
+	// decorrelated jitter between retries.
+	BaseBackoff, MaxBackoff time.Duration
+	// Seed drives backoff jitter and fallback sampling; fix it for
+	// reproducible runs.
+	Seed int64
+	// BreakerFailures consecutive failures open the per-backend circuit
+	// breaker; 0 disables it.
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting a half-open probe.
+	BreakerCooldown time.Duration
+	// FallbackP is the prior event probability of the degradation
+	// fallback; 0 means DefaultFallbackP.
+	FallbackP float64
+}
+
+// DefaultPolicy returns the production defaults: 250ms per-call
+// deadline, 2 retries with 5ms..250ms decorrelated-jitter backoff, and
+// a breaker opening after 8 consecutive failures with a 500ms cooldown.
+func DefaultPolicy() Policy {
+	return Policy{
+		Deadline:        250 * time.Millisecond,
+		MaxRetries:      2,
+		BaseBackoff:     5 * time.Millisecond,
+		MaxBackoff:      250 * time.Millisecond,
+		BreakerFailures: 8,
+		BreakerCooldown: 500 * time.Millisecond,
+	}
+}
+
+func (p Policy) fallbackP() float64 {
+	if p.FallbackP > 0 {
+		return p.FallbackP
+	}
+	return DefaultFallbackP
+}
+
+// Stats is a snapshot of one wrapper's resilience counters.
+type Stats struct {
+	Calls            int64  `json:"calls"`
+	Errors           int64  `json:"errors"`            // failed attempts (incl. deadline)
+	Retries          int64  `json:"retries"`           // attempts beyond the first
+	Fallbacks        int64  `json:"fallbacks"`         // units served degraded
+	DeadlineExceeded int64  `json:"deadline_exceeded"` // attempts cut by the per-call deadline
+	BreakerRejects   int64  `json:"breaker_rejects"`   // calls shed by an open circuit
+	BreakerOpens     int64  `json:"breaker_opens"`     // times the circuit opened
+	BreakerState     string `json:"breaker_state"`     // closed / open / half-open
+	DegradedUnits    int    `json:"degraded_units"`    // distinct frames/shots served degraded
+}
+
+// Add accumulates other's counters into s and keeps the worse of the
+// two breaker states; the serving daemon uses it to aggregate stats
+// across sessions for /metricsz.
+func (s *Stats) Add(other Stats) {
+	s.Calls += other.Calls
+	s.Errors += other.Errors
+	s.Retries += other.Retries
+	s.Fallbacks += other.Fallbacks
+	s.DeadlineExceeded += other.DeadlineExceeded
+	s.BreakerRejects += other.BreakerRejects
+	s.BreakerOpens += other.BreakerOpens
+	s.DegradedUnits += other.DegradedUnits
+	if stateRank(other.BreakerState) > stateRank(s.BreakerState) {
+		s.BreakerState = other.BreakerState
+	}
+}
+
+func stateRank(s string) int {
+	switch s {
+	case StateOpen.String():
+		return 2
+	case StateHalfOpen.String():
+		return 1
+	}
+	return 0
+}
+
+// invoker is the retry/breaker/fallback core shared by the object and
+// action wrappers.
+type invoker struct {
+	policy  Policy
+	breaker *Breaker
+	salt    string // distinguishes obj/act streams under one seed
+	fast    bool   // backend is an infallible adapter; see fastPath
+
+	calls, errs, retries, fallbacks, deadlines, rejects atomic.Int64
+
+	mu       sync.Mutex
+	degraded map[int]struct{} // units served by the fallback
+
+	// trace counter handles; all nil-safe.
+	cRetries, cFallbacks, cDeadline, cFaults *trace.Counter
+}
+
+func newInvoker(p Policy, salt, backend string, tr *trace.Tracer) *invoker {
+	return &invoker{
+		policy:     p,
+		breaker:    NewBreaker(p.BreakerFailures, p.BreakerCooldown),
+		salt:       salt,
+		degraded:   map[int]struct{}{},
+		cRetries:   tr.Counter("resilience.retries"),
+		cFallbacks: tr.Counter("resilience.fallbacks"),
+		cDeadline:  tr.Counter("resilience.deadline_exceeded"),
+		// Counter names are lowercase dotted by convention (the varz
+		// exposition folds case, so mixed case would desync /tracez
+		// from /varz).
+		cFaults: tr.Counter("resilience.faults." + strings.ToLower(backend)),
+	}
+}
+
+// fastPath reports whether a call may bypass the policy machinery
+// entirely: the backend can neither fail nor block (detect's
+// infallible adapters), so the deadline context, breaker round-trip
+// and backoff loop are dead weight it cannot observe. The caller still
+// counts the call and must fall into invoke if the backend errors
+// after all.
+func (in *invoker) fastPath(ctx context.Context) bool {
+	return in.fast && ctx.Err() == nil
+}
+
+// invoke runs call under the policy: deadline per attempt, bounded
+// retries with jittered backoff, breaker gating. It reports whether the
+// caller must fall back (all attempts failed, circuit open, or ctx
+// done).
+func (in *invoker) invoke(ctx context.Context, unit int, call func(context.Context) error) (degraded bool) {
+	in.calls.Add(1)
+	attempts := in.policy.MaxRetries + 1
+	prev := in.policy.BaseBackoff
+	for attempt := 0; attempt < attempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if !in.breaker.Allow() {
+			in.rejects.Add(1)
+			break
+		}
+		callCtx, cancel := ctx, context.CancelFunc(func() {})
+		if in.policy.Deadline > 0 {
+			callCtx, cancel = context.WithTimeout(ctx, in.policy.Deadline)
+		}
+		err := call(callCtx)
+		cancel()
+		if err == nil {
+			in.breaker.Success()
+			return false
+		}
+		in.breaker.Failure()
+		in.errs.Add(1)
+		in.cFaults.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			in.deadlines.Add(1)
+			in.cDeadline.Add(1)
+		}
+		if ctx.Err() != nil {
+			break // the query itself is being cancelled; don't retry
+		}
+		if attempt+1 < attempts {
+			in.retries.Add(1)
+			in.cRetries.Add(1)
+			prev = in.backoff(unit, attempt, prev)
+			if sleepCtx(ctx, prev) != nil {
+				break
+			}
+		}
+	}
+	in.fallbacks.Add(1)
+	in.cFallbacks.Add(1)
+	in.mu.Lock()
+	in.degraded[unit] = struct{}{}
+	in.mu.Unlock()
+	return true
+}
+
+// backoff computes the next decorrelated-jitter delay: uniform in
+// [base, 3·prev], capped at MaxBackoff. The jitter is a pure hash of
+// (seed, stream, unit, attempt) so runs are reproducible.
+func (in *invoker) backoff(unit, attempt int, prev time.Duration) time.Duration {
+	lo := in.policy.BaseBackoff
+	if lo <= 0 {
+		return 0
+	}
+	hi := 3 * prev
+	if hi < lo {
+		hi = lo
+	}
+	if max := in.policy.MaxBackoff; max > 0 && hi > max {
+		hi = max
+	}
+	u := unitRand(hashKey(in.policy.Seed, in.salt+"/backoff", int64(unit)), uint64(attempt))
+	return lo + time.Duration(u*float64(hi-lo))
+}
+
+func (in *invoker) degradedUnits() []int {
+	in.mu.Lock()
+	out := make([]int, 0, len(in.degraded))
+	for u := range in.degraded {
+		out = append(out, u)
+	}
+	in.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+func (in *invoker) stats() Stats {
+	in.mu.Lock()
+	n := len(in.degraded)
+	in.mu.Unlock()
+	return Stats{
+		Calls:            in.calls.Load(),
+		Errors:           in.errs.Load(),
+		Retries:          in.retries.Load(),
+		Fallbacks:        in.fallbacks.Load(),
+		DeadlineExceeded: in.deadlines.Load(),
+		BreakerRejects:   in.rejects.Load(),
+		BreakerOpens:     in.breaker.Opens(),
+		BreakerState:     in.breaker.State().String(),
+		DegradedUnits:    n,
+	}
+}
+
+// Options configures the wrappers beyond the policy.
+type Options struct {
+	// Ctx is the base context of infallible-interface calls (the
+	// session's or ingest run's lifetime); nil means Background.
+	Ctx context.Context
+	// Tracer receives resilience.* counters; nil is fine.
+	Tracer *trace.Tracer
+	// FallbackObject / FallbackAction, when set, serve degraded units
+	// instead of the prior sampler — e.g. a cheaper, more reliable
+	// detector profile.
+	FallbackObject detect.ObjectDetector
+	FallbackAction detect.ActionRecognizer
+	// Thresholds separate above/below-threshold fallback scores;
+	// zero means detect.DefaultThresholds.
+	Thresholds detect.Thresholds
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o Options) thresholds() detect.Thresholds {
+	if o.Thresholds == (detect.Thresholds{}) {
+		return detect.DefaultThresholds()
+	}
+	return o.Thresholds
+}
+
+// Detector wraps a fallible object detection backend with the policy
+// and presents the infallible detect.ObjectDetector interface: Detect
+// never fails — it degrades.
+type Detector struct {
+	backend  detect.FallibleObjectDetector
+	in       *invoker
+	base     context.Context
+	fallback detect.ObjectDetector
+	p0       float64
+	thr      float64
+	seed     int64
+}
+
+// NewDetector wraps backend under policy p.
+func NewDetector(backend detect.FallibleObjectDetector, p Policy, opt Options) *Detector {
+	in := newInvoker(p, "obj", backend.Name(), opt.Tracer)
+	_, in.fast = backend.(detect.InfallibleBackend)
+	return &Detector{
+		backend:  backend,
+		in:       in,
+		base:     opt.ctx(),
+		fallback: opt.FallbackObject,
+		p0:       p.fallbackP(),
+		thr:      opt.thresholds().Object,
+		seed:     p.Seed,
+	}
+}
+
+// Name implements detect.ObjectDetector.
+func (d *Detector) Name() string { return d.backend.Name() }
+
+// Detect implements detect.ObjectDetector: the backend under the
+// policy, falling back on exhaustion. It never fails.
+func (d *Detector) Detect(v video.FrameIdx, labels []annot.Label) []detect.Detection {
+	dets, _ := d.DetectCtx(d.base, v, labels)
+	return dets
+}
+
+// DetectCtx runs one resilient detection and reports whether the result
+// came from the fallback (degraded).
+func (d *Detector) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, bool) {
+	if d.in.fastPath(ctx) {
+		if dets, err := d.backend.DetectCtx(ctx, v, labels); err == nil {
+			d.in.calls.Add(1)
+			return dets, false
+		}
+	}
+	var dets []detect.Detection
+	degraded := d.in.invoke(ctx, int(v), func(cctx context.Context) error {
+		var err error
+		dets, err = d.backend.DetectCtx(cctx, v, labels)
+		return err
+	})
+	if !degraded {
+		return dets, false
+	}
+	if d.fallback != nil {
+		return d.fallback.Detect(v, labels), true
+	}
+	return priorDetections(d.seed, d.p0, d.thr, v, labels), true
+}
+
+// Stats snapshots the resilience counters.
+func (d *Detector) Stats() Stats { return d.in.stats() }
+
+// DegradedFrames returns the sorted frame indices served degraded.
+func (d *Detector) DegradedFrames() []int { return d.in.degradedUnits() }
+
+// Breaker exposes the backend's circuit breaker (for reporting).
+func (d *Detector) Breaker() *Breaker { return d.in.breaker }
+
+// Recognizer wraps a fallible action recognition backend; the shot-
+// level counterpart of Detector.
+type Recognizer struct {
+	backend  detect.FallibleActionRecognizer
+	in       *invoker
+	base     context.Context
+	fallback detect.ActionRecognizer
+	p0       float64
+	thr      float64
+	seed     int64
+}
+
+// NewRecognizer wraps backend under policy p.
+func NewRecognizer(backend detect.FallibleActionRecognizer, p Policy, opt Options) *Recognizer {
+	in := newInvoker(p, "act", backend.Name(), opt.Tracer)
+	_, in.fast = backend.(detect.InfallibleBackend)
+	return &Recognizer{
+		backend:  backend,
+		in:       in,
+		base:     opt.ctx(),
+		fallback: opt.FallbackAction,
+		p0:       p.fallbackP(),
+		thr:      opt.thresholds().Action,
+		seed:     p.Seed,
+	}
+}
+
+// Name implements detect.ActionRecognizer.
+func (r *Recognizer) Name() string { return r.backend.Name() }
+
+// Recognize implements detect.ActionRecognizer; it never fails.
+func (r *Recognizer) Recognize(s video.ShotIdx, labels []annot.Label) []detect.ActionScore {
+	scores, _ := r.RecognizeCtx(r.base, s, labels)
+	return scores
+}
+
+// RecognizeCtx runs one resilient recognition and reports whether the
+// result is degraded.
+func (r *Recognizer) RecognizeCtx(ctx context.Context, s video.ShotIdx, labels []annot.Label) ([]detect.ActionScore, bool) {
+	if r.in.fastPath(ctx) {
+		if scores, err := r.backend.RecognizeCtx(ctx, s, labels); err == nil {
+			r.in.calls.Add(1)
+			return scores, false
+		}
+	}
+	var scores []detect.ActionScore
+	degraded := r.in.invoke(ctx, int(s), func(cctx context.Context) error {
+		var err error
+		scores, err = r.backend.RecognizeCtx(cctx, s, labels)
+		return err
+	})
+	if !degraded {
+		return scores, false
+	}
+	if r.fallback != nil {
+		return r.fallback.Recognize(s, labels), true
+	}
+	return priorScores(r.seed, r.p0, r.thr, s, labels), true
+}
+
+// Stats snapshots the resilience counters.
+func (r *Recognizer) Stats() Stats { return r.in.stats() }
+
+// DegradedShots returns the sorted shot indices served degraded.
+func (r *Recognizer) DegradedShots() []int { return r.in.degradedUnits() }
+
+// Breaker exposes the backend's circuit breaker (for reporting).
+func (r *Recognizer) Breaker() *Breaker { return r.in.breaker }
+
+// priorDetections is the degradation fallback without a configured
+// fallback model: sample a detection per (label, frame) at the prior
+// rate p0 — the bgprob "rare by default" assumption. Deterministic per
+// (seed, label, frame).
+func priorDetections(seed int64, p0, thr float64, v video.FrameIdx, labels []annot.Label) []detect.Detection {
+	var out []detect.Detection
+	for _, label := range labels {
+		key := hashKey(seed, "prior/obj:"+string(label), int64(v))
+		if unitRand(key, 0) >= p0 {
+			continue
+		}
+		out = append(out, detect.Detection{
+			Label: label,
+			Score: thr + (1-thr)*unitRand(key, 1),
+		})
+	}
+	return out
+}
+
+// priorScores mirrors priorDetections at the shot level: every
+// requested label gets a score, above threshold with probability p0.
+func priorScores(seed int64, p0, thr float64, s video.ShotIdx, labels []annot.Label) []detect.ActionScore {
+	out := make([]detect.ActionScore, len(labels))
+	for i, label := range labels {
+		key := hashKey(seed, "prior/act:"+string(label), int64(s))
+		score := thr * unitRand(key, 1)
+		if unitRand(key, 0) < p0 {
+			score = thr + (1-thr)*unitRand(key, 1)
+		}
+		out[i] = detect.ActionScore{Label: label, Score: score}
+	}
+	return out
+}
+
+// Models bundles a resilient detector/recognizer pair — what a session
+// or ingest run threads through its engines.
+type Models struct {
+	Det *Detector
+	Rec *Recognizer
+}
+
+// Wrap builds resilient wrappers around an (infallible or fallible)
+// detector/recognizer pair. Infallible backends are adapted first, so
+// Wrap is safe — and nearly free — on the plain simulators.
+func Wrap(det detect.ObjectDetector, rec detect.ActionRecognizer, p Policy, opt Options) *Models {
+	return &Models{
+		Det: NewDetector(detect.AsFallibleObject(det), p, opt),
+		Rec: NewRecognizer(detect.AsFallibleAction(rec), p, opt),
+	}
+}
+
+// WrapFallible builds resilient wrappers directly over fallible
+// backends (e.g. fault injectors).
+func WrapFallible(det detect.FallibleObjectDetector, rec detect.FallibleActionRecognizer, p Policy, opt Options) *Models {
+	return &Models{
+		Det: NewDetector(det, p, opt),
+		Rec: NewRecognizer(rec, p, opt),
+	}
+}
+
+// Stats sums the pair's counters; breaker state reports the worse of
+// the two (open > half-open > closed).
+func (m *Models) Stats() Stats {
+	if m == nil {
+		return Stats{BreakerState: StateClosed.String()}
+	}
+	ds, rs := m.Det.Stats(), m.Rec.Stats()
+	out := Stats{
+		Calls:            ds.Calls + rs.Calls,
+		Errors:           ds.Errors + rs.Errors,
+		Retries:          ds.Retries + rs.Retries,
+		Fallbacks:        ds.Fallbacks + rs.Fallbacks,
+		DeadlineExceeded: ds.DeadlineExceeded + rs.DeadlineExceeded,
+		BreakerRejects:   ds.BreakerRejects + rs.BreakerRejects,
+		BreakerOpens:     ds.BreakerOpens + rs.BreakerOpens,
+		DegradedUnits:    ds.DegradedUnits + rs.DegradedUnits,
+	}
+	out.BreakerState = worseState(m.Det.Breaker().State(), m.Rec.Breaker().State()).String()
+	return out
+}
+
+// Degraded reports whether any unit has been served degraded.
+func (m *Models) Degraded() bool {
+	if m == nil {
+		return false
+	}
+	return m.Det.Stats().Fallbacks+m.Rec.Stats().Fallbacks > 0
+}
+
+func worseState(a, b State) State {
+	rank := func(s State) int {
+		switch s {
+		case StateOpen:
+			return 2
+		case StateHalfOpen:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// sleepCtx waits for d unless ctx fires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Deterministic hash RNG, mirroring package detect's (unexported
+// there): decisions must be pure functions of their coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashKey(seed int64, salt string, unit int64) uint64 {
+	h := splitmix64(uint64(seed))
+	for _, b := range []byte(salt) {
+		h = splitmix64(h ^ uint64(b))
+	}
+	return splitmix64(h ^ uint64(unit))
+}
+
+func unitRand(key uint64, n uint64) float64 {
+	v := splitmix64(key + n*0x9e3779b97f4a7c15)
+	return float64(v>>11) / float64(1<<53)
+}

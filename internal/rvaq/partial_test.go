@@ -1,0 +1,117 @@
+package rvaq
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// countdownCtx reports expiry after a fixed number of Err() polls — a
+// deterministic stand-in for a deadline firing mid-run (the TBClip loop
+// polls ctx.Err() once per iteration).
+type countdownCtx struct {
+	context.Context
+	left *atomic.Int32
+}
+
+func (c countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func expireAfter(n int32) countdownCtx {
+	var left atomic.Int32
+	left.Store(n)
+	return countdownCtx{Context: context.Background(), left: &left}
+}
+
+func TestPartialOnExpiredContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vd, q := synthVideoData(rng, 3000, 40)
+
+	// Without Partial an expired ctx is an error (pre-existing contract).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := TopKCtx(ctx, vd, q, 5, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("non-partial expired run: err = %v, want Canceled", err)
+	}
+
+	// With Partial the same expiry yields a flagged, well-formed answer.
+	opts := DefaultOptions()
+	opts.Partial = true
+	res, stats, err := TopKCtx(ctx, vd, q, 5, opts)
+	if err != nil {
+		t.Fatalf("partial expired run errored: %v", err)
+	}
+	if !stats.Incomplete {
+		t.Fatal("partial expired run not marked Incomplete")
+	}
+	if len(res) > 5 {
+		t.Fatalf("partial run returned %d results for k=5", len(res))
+	}
+}
+
+func TestPartialMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	vd, q := synthVideoData(rng, 3000, 40)
+	opts := DefaultOptions()
+	opts.Partial = true
+
+	// Expire after a handful of iterations: the run must surface the
+	// bounds established so far instead of erroring.
+	res, stats, err := TopKCtx(expireAfter(6), vd, q, 5, opts)
+	if err != nil {
+		t.Fatalf("mid-run partial errored: %v", err)
+	}
+	if !stats.Incomplete {
+		t.Fatal("mid-run partial not marked Incomplete")
+	}
+	if stats.Iterations == 0 || stats.Iterations > 6 {
+		t.Fatalf("iterations = %d, want 1..6", stats.Iterations)
+	}
+	if len(res) == 0 {
+		t.Fatal("mid-run partial returned no results")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatalf("partial ranking not sorted: %+v", res)
+		}
+	}
+	// The partial sequences are genuine candidates of the query.
+	pq, err := vd.CandidateSequences(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if _, ok := findSeq(pq, int32(r.Seq.Lo)); !ok {
+			t.Errorf("partial result %v is not a candidate sequence", r.Seq)
+		}
+	}
+
+	// A completed run is never marked Incomplete.
+	full, fstats, err := TopKCtx(context.Background(), vd, q, 5, opts)
+	if err != nil || fstats.Incomplete {
+		t.Fatalf("full run: err=%v incomplete=%v", err, fstats.Incomplete)
+	}
+	if len(full) == 0 {
+		t.Fatal("full run returned nothing")
+	}
+}
+
+func TestStatsMergePropagatesIncomplete(t *testing.T) {
+	var a, b Stats
+	b.Incomplete = true
+	a.Merge(b)
+	if !a.Incomplete {
+		t.Fatal("Merge dropped Incomplete")
+	}
+	a.Merge(Stats{})
+	if !a.Incomplete {
+		t.Fatal("Merge with complete stats cleared Incomplete")
+	}
+}

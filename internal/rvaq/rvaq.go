@@ -40,15 +40,21 @@ type Stats struct {
 	CPURuntime time.Duration // aggregate per-execution runtime
 	Candidates int           // |P_q|
 	Iterations int           // TBClip steps (RVAQ variants only)
+	// Incomplete marks a partial result: the run's deadline expired
+	// before the stopping condition and Options.Partial returned the
+	// best-so-far ranking (lower-bound scores) instead of an error.
+	Incomplete bool
 }
 
 // Merge accumulates another execution's cost into s (wall-clock Runtime
-// is left to the caller, who knows the parallel region's extent).
+// is left to the caller, who knows the parallel region's extent). A
+// single incomplete shard marks the merged result incomplete.
 func (s *Stats) Merge(o Stats) {
 	s.Accesses.Add(o.Accesses)
 	s.CPURuntime += o.CPURuntime
 	s.Candidates += o.Candidates
 	s.Iterations += o.Iterations
+	s.Incomplete = s.Incomplete || o.Incomplete
 }
 
 // Options tunes a TopK execution.
@@ -74,6 +80,13 @@ type Options struct {
 	Shard int
 	// ExchangeEvery is the iteration period of the exchange (default 8).
 	ExchangeEvery int
+	// Partial returns the best-so-far top-K (lower-bound scores, no
+	// exact-score completion) with Stats.Incomplete set when ctx expires
+	// mid-run, instead of dropping the whole query with ctx's error.
+	// Bounds only tighten monotonically, so a partial ranking is a valid
+	// — just unrefined — answer. Off, an expired ctx is an error (the
+	// pre-existing behavior).
+	Partial bool
 }
 
 // DefaultOptions returns the standard RVAQ configuration.
@@ -197,6 +210,25 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	for {
 		if err := ctx.Err(); err != nil {
 			iterSpan.End()
+			if opts.Partial {
+				// Deadline mid-run: surface what the bounds already
+				// establish rather than erroring. Scores are the current
+				// lower bounds; no random accesses are spent finishing.
+				stats.Incomplete = true
+				if tr != nil {
+					tr.Counter("rvaq.partial_results").Add(1)
+					qspan.SetAttr("incomplete", "true")
+				}
+				// Before the first iteration the bounds carry no
+				// information; the honest partial answer is empty.
+				var topK []int
+				if stats.Iterations > 0 {
+					topK, _, _ = selectTopK(seqs, k)
+				}
+				po := opts
+				po.ExactScores = false
+				return finish(ctx, it, fns, seqs, topK, k, po, &stats, start)
+			}
 			stats.Runtime = time.Since(start)
 			stats.CPURuntime = stats.Runtime
 			return nil, stats, err

@@ -84,7 +84,16 @@ type SessionInfo struct {
 	Invocations    int             `json:"invocations"`
 	Sequences      int             `json:"sequences"`
 	CriticalValues *CriticalValues `json:"critical_values,omitempty"`
-	Error          string          `json:"error,omitempty"`
+	// Degraded marks a session whose detection backends fell back at
+	// least once: some frames/shots were scored by the degradation prior
+	// (or fallback profile), not the primary model. DegradedUnits counts
+	// them; Retries/Fallbacks/BreakerState expose the resilience layer.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedUnits int    `json:"degraded_units,omitempty"`
+	Retries       int64  `json:"retries,omitempty"`
+	Fallbacks     int64  `json:"fallbacks,omitempty"`
+	BreakerState  string `json:"breaker_state,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.
@@ -99,6 +108,11 @@ type ResultsResponse struct {
 	State          string  `json:"state"`
 	ClipsProcessed int     `json:"clips_processed"`
 	Sequences      []Range `json:"sequences"`
+	// Degraded marks results computed partly through the resilience
+	// fallback (see SessionInfo.Degraded); DegradedUnits counts the
+	// affected frames/shots.
+	Degraded      bool `json:"degraded,omitempty"`
+	DegradedUnits int  `json:"degraded_units,omitempty"`
 }
 
 // TopKRequest is an offline ranked query. Either give Action/Objects
@@ -112,6 +126,12 @@ type TopKRequest struct {
 	Action  string   `json:"action,omitempty"`
 	Objects []string `json:"objects,omitempty"`
 	K       int      `json:"k,omitempty"`
+	// TimeoutMS bounds this query tighter than the server's request
+	// timeout (it can only shorten it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Partial asks for the best-so-far ranking (flagged Incomplete)
+	// instead of a 504 when the deadline fires mid-run.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // TopKEntry is one ranked result.
@@ -134,6 +154,10 @@ type TopKResponse struct {
 	// primary cost metric); Candidates is |Pq|.
 	RandomAccesses int64 `json:"random_accesses"`
 	Candidates     int   `json:"candidates"`
+	// Incomplete marks a partial answer: the request's deadline fired
+	// before the stopping condition and TopKRequest.Partial asked for
+	// the best-so-far ranking (lower-bound scores) instead of a 504.
+	Incomplete bool `json:"incomplete,omitempty"`
 }
 
 // TracezResponse is the GET /tracez payload: the tracer's retained

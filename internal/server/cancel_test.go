@@ -39,7 +39,7 @@ func TestCancelRacingFinalClipReportsDone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream, total)
+	sess, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream, total, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestCancelRacingFinalClipReportsDone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess2, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream2, total)
+	sess2, err := reg.Create(CreateSessionRequest{Workload: "q2"}, stream2, total, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vaq/internal/quantile"
+	"vaq/internal/resilience"
 )
 
 // RouteMetrics is the per-endpoint slice of the /metricsz payload.
@@ -38,6 +39,11 @@ type MetricsResponse struct {
 	Routes         map[string]RouteMetrics `json:"routes"`
 	ActiveSessions int                     `json:"active_sessions"`
 	TotalSessions  int                     `json:"total_sessions"`
+	// Resilience aggregates retry/fallback/breaker counters across all
+	// live sessions (absent when no session has a resilience layer);
+	// ShedRequests counts admissions rejected 503 by load shedding.
+	Resilience   *resilience.Stats `json:"resilience,omitempty"`
+	ShedRequests int64             `json:"shed_requests,omitempty"`
 }
 
 // metrics accumulates per-route request counts and latency sketches.

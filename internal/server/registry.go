@@ -8,6 +8,7 @@ import (
 
 	"vaq"
 	"vaq/internal/pool"
+	"vaq/internal/resilience"
 	"vaq/internal/trace"
 )
 
@@ -68,8 +69,10 @@ var errTooManySessions = fmt.Errorf("server: session limit reached")
 var errShuttingDown = fmt.Errorf("server: shutting down")
 
 // Create admits a new session and starts its goroutine. The stream must
-// be exclusively owned by the session from here on.
-func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total int) (*Session, error) {
+// be exclusively owned by the session from here on. models is the
+// stream's resilience layer (nil when the stream was built without
+// one); the session reads its counters for degraded-result reporting.
+func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total int, models *resilience.Models) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -90,6 +93,7 @@ func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total in
 	id := fmt.Sprintf("s%d", r.seq)
 	ctx, cancel := context.WithCancel(r.ctx)
 	sess := newSession(id, req, stream, total, cancel)
+	sess.models = models
 	if r.tr != nil {
 		root := r.tr.StartSpan("session", 0)
 		root.SetAttr("id", id)
@@ -163,6 +167,31 @@ func (r *Registry) Active() int {
 		}
 	}
 	return n
+}
+
+// Resilience sums the resilience counters across every session in the
+// table. It returns nil when no session carries a resilience layer, so
+// /metricsz omits the block on servers that never wrapped a model.
+func (r *Registry) Resilience() *resilience.Stats {
+	r.mu.Lock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	agg := resilience.Stats{BreakerState: resilience.StateClosed.String()}
+	found := false
+	for _, s := range sessions {
+		if s.models == nil {
+			continue
+		}
+		found = true
+		agg.Add(s.models.Stats())
+	}
+	if !found {
+		return nil
+	}
+	return &agg
 }
 
 // Shutdown stops admitting sessions and drains the in-flight ones:

@@ -11,7 +11,9 @@ import (
 
 	"vaq"
 	"vaq/internal/detect"
+	"vaq/internal/fault"
 	"vaq/internal/ingest"
+	"vaq/internal/resilience"
 	"vaq/internal/synth"
 	"vaq/internal/trace"
 	"vaq/internal/vql"
@@ -41,6 +43,18 @@ type Config struct {
 	// GET /tracez and GET /varz. Nil gets a default tracer; vaqd passes
 	// one built with a slow-query log when -slow-query is set.
 	Tracer *trace.Tracer
+	// FaultSchedule injects deterministic faults into every session's
+	// detection backends (chaos testing, vaqd -fault); the zero schedule
+	// injects nothing.
+	FaultSchedule fault.Schedule
+	// Resilience is the retry/deadline/breaker policy wrapped around
+	// session detectors; nil uses resilience.DefaultPolicy.
+	Resilience *resilience.Policy
+	// ShedWait arms admission control: when the p90 worker-pool queue
+	// wait over the recent window reaches ShedWait, session-create and
+	// top-k requests are rejected with 503 + Retry-After instead of
+	// queuing unboundedly. 0 disables shedding.
+	ShedWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,29 +76,32 @@ func (c Config) withDefaults() Config {
 // Server hosts the HTTP API. Build with New, mount Handler, and call
 // Shutdown to drain.
 type Server struct {
-	cfg Config
-	reg *Registry
-	met *metrics
-	mux *http.ServeMux
+	cfg  Config
+	reg  *Registry
+	met  *metrics
+	mux  *http.ServeMux
+	shed *shedWindow
 }
 
 // New builds a server and its routes.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		reg: NewRegistry(cfg.MaxSessions, cfg.Workers),
-		met: newMetrics(),
-		mux: http.NewServeMux(),
+		cfg:  cfg,
+		reg:  NewRegistry(cfg.MaxSessions, cfg.Workers),
+		met:  newMetrics(),
+		mux:  http.NewServeMux(),
+		shed: newShedWindow(cfg.ShedWait),
 	}
 	s.reg.SetTracer(cfg.Tracer)
+	s.reg.Pool().SetObserver(s.shed.observe)
 	route := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.met.instrument(pattern, h))
 	}
 	route("POST /v1/sessions", s.timed(s.handleCreateSession))
 	route("GET /v1/sessions", s.handleListSessions)
 	route("GET /v1/sessions/{id}", s.handleSessionStatus)
-	route("GET /v1/sessions/{id}/results", s.handleSessionResults)
+	route("GET /v1/sessions/{id}/results", s.timed(s.handleSessionResults))
 	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("POST /v1/topk", s.timed(s.handleTopK))
 	route("GET /healthz", s.handleHealthz)
@@ -122,6 +139,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeCtxErr maps a context failure onto HTTP semantics: a server-side
+// deadline is 504 (the server gave up on its own timeout — the client
+// should know the work was cut short), while a client that went away is
+// the non-standard 499 (nobody is listening; the code only feeds
+// metrics). err may wrap the pool's queue sentinels — errors.Is sees
+// through them.
+func writeCtxErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeErr(w, http.StatusGatewayTimeout, "deadline", err.Error(), nil)
+		return
+	}
+	writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
+}
+
+// shedIfOverloaded applies admission control: when the shed window says
+// the worker queue is past its wait threshold, answer 503 with a
+// Retry-After hint and report true so the handler returns without doing
+// any work.
+func (s *Server) shedIfOverloaded(w http.ResponseWriter) bool {
+	if !s.shed.overloaded() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.shed.shed()))
+	writeErr(w, http.StatusServiceUnavailable, "overloaded",
+		"worker queue wait exceeds the shed threshold; retry later", nil)
+	return true
 }
 
 // writeErr emits the structured error envelope. Query errors carry the
@@ -165,6 +210,9 @@ func modelProfiles(model string) (detect.Profile, detect.Profile, error) {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
 	var req CreateSessionRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -192,9 +240,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown_model", err.Error(), nil)
 		return
 	}
+	// Every session's backends go through the resilience layer; with the
+	// default policy and no fault schedule the wrapper is transparent
+	// (byte-identical results) and nearly free. The injector slots in
+	// between only when vaqd -fault armed a schedule.
 	scene := qs.World.Scene()
-	det := detect.NewSimObjectDetector(scene, objP, nil)
-	rec := detect.NewSimActionRecognizer(scene, actP, nil)
+	fdet := detect.AsFallibleObject(detect.NewSimObjectDetector(scene, objP, nil))
+	frec := detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, actP, nil))
+	if fs := s.cfg.FaultSchedule; !fs.Empty() {
+		fdet = fault.NewObject(fdet, fs)
+		frec = fault.NewAction(frec, fs)
+	}
+	pol := resilience.DefaultPolicy()
+	if s.cfg.Resilience != nil {
+		pol = *s.cfg.Resilience
+	}
+	models := resilience.WrapFallible(fdet, frec, pol, resilience.Options{Tracer: s.cfg.Tracer})
+	det, rec := models.Det, models.Rec
 	meta := qs.World.Truth.Meta
 
 	total := meta.Clips()
@@ -235,7 +297,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	sess, err := s.reg.Create(req, stream, total)
+	sess, err := s.reg.Create(req, stream, total, models)
 	switch {
 	case errors.Is(err, errTooManySessions):
 		writeErr(w, http.StatusTooManyRequests, "too_many_sessions", err.Error(), nil)
@@ -293,7 +355,15 @@ func (s *Server) handleSessionResults(w http.ResponseWriter, r *http.Request) {
 		}
 		since = n
 	}
-	writeJSON(w, http.StatusOK, sess.WaitResults(r.Context(), since, wait))
+	snap, err := sess.WaitResults(r.Context(), since, wait)
+	if err != nil {
+		// The poll was cut short by the request context, not satisfied:
+		// distinguish the server's own timeout (504) from a client that
+		// hung up (499) instead of writing a snapshot nobody asked for.
+		writeCtxErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +385,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Repo == nil {
 		writeErr(w, http.StatusServiceUnavailable, "no_repository",
 			"server started without -repo; offline top-k is unavailable", nil)
+		return
+	}
+	if s.shedIfOverloaded(w) {
 		return
 	}
 	var req TopKRequest
@@ -352,6 +425,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), nil)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeErr(w, http.StatusBadRequest, "bad_timeout", "timeout_ms must be non-negative", nil)
+		return
+	}
 
 	// Offline queries honour the request context and draw worker slots
 	// from the registry's session pool, so online and offline work
@@ -362,7 +439,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	qspan.SetAttr("video", req.Video)
 	qspan.SetInt("k", int64(k))
 	defer qspan.End()
-	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool()}
+	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial}
+	if req.TimeoutMS > 0 {
+		// The per-request deadline layers inside the handler's
+		// RequestTimeout context, so it can only shorten it.
+		eo.Deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
 	resp := TopKResponse{Results: []TopKEntry{}}
 	if req.Video != "" {
 		results, stats, err := s.cfg.Repo.TopKOpts(req.Video, q, k, eo)
@@ -371,7 +453,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, ingest.ErrNotIngested):
 				writeErr(w, http.StatusBadRequest, "unknown_label", err.Error(), nil)
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
+				writeCtxErr(w, err)
 			default:
 				writeErr(w, http.StatusNotFound, "unknown_video", err.Error(), nil)
 			}
@@ -386,6 +468,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
+		resp.Incomplete = stats.Incomplete
 		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	} else {
 		results, stats, err := s.cfg.Repo.TopKGlobalOpts(q, k, eo)
@@ -396,7 +479,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, vaq.ErrVideoNotFound):
 				writeErr(w, http.StatusNotFound, "unknown_video", err.Error(), nil)
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
+				writeCtxErr(w, err)
 			default:
 				writeErr(w, http.StatusInternalServerError, "topk_failed", err.Error(), nil)
 			}
@@ -411,6 +494,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.CPURuntimeUS = stats.CPURuntime.Microseconds()
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
+		resp.Incomplete = stats.Incomplete
 		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -434,6 +518,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Routes:         s.met.snapshot(),
 		ActiveSessions: s.reg.Active(),
 		TotalSessions:  s.reg.Total(),
+		Resilience:     s.reg.Resilience(),
+		ShedRequests:   s.shed.Sheds(),
 	})
 }
 

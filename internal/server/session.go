@@ -7,6 +7,7 @@ import (
 
 	"vaq"
 	"vaq/internal/pool"
+	"vaq/internal/resilience"
 	"vaq/internal/trace"
 )
 
@@ -33,6 +34,10 @@ type Session struct {
 	// span is the session's root trace span (nil when the registry has
 	// no tracer); every clip evaluation parents under it and run ends it.
 	span *trace.Span
+	// models is the session's resilient detection layer (nil when the
+	// stream was built outside the server path); its counters feed the
+	// degraded-result reporting. All reads are internally synchronized.
+	models *resilience.Models
 
 	mu          sync.Mutex
 	changed     chan struct{}
@@ -163,9 +168,20 @@ func (s *Session) broadcastLocked() {
 	s.changed = make(chan struct{})
 }
 
+// degradedCounts reads the resilience layer's degraded totals (0, 0
+// without models).
+func (s *Session) degradedCounts() (fallbacks int64, units int) {
+	if s.models == nil {
+		return 0, 0
+	}
+	st := s.models.Stats()
+	return st.Fallbacks, st.DegradedUnits
+}
+
 // snapshot returns the current results plus the channel that will close
 // on the next change.
 func (s *Session) snapshot() (ResultsResponse, <-chan struct{}) {
+	fallbacks, units := s.degradedCounts()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ResultsResponse{
@@ -173,29 +189,33 @@ func (s *Session) snapshot() (ResultsResponse, <-chan struct{}) {
 		State:          s.state,
 		ClipsProcessed: s.clips,
 		Sequences:      Ranges(s.seqs),
+		Degraded:       fallbacks > 0,
+		DegradedUnits:  units,
 	}, s.changed
 }
 
 // WaitResults long-polls: it returns as soon as more than since clips
 // are processed, the session leaves the running state, the wait elapses,
-// or ctx is cancelled — whichever comes first — and always returns the
-// freshest snapshot.
-func (s *Session) WaitResults(ctx context.Context, since int, wait time.Duration) ResultsResponse {
+// or ctx is done — whichever comes first — and always returns the
+// freshest snapshot. When ctx cut the wait short, it also returns ctx's
+// error so the handler can tell a server-side deadline (504) from a
+// client that went away (499); the snapshot is still valid.
+func (s *Session) WaitResults(ctx context.Context, since int, wait time.Duration) (ResultsResponse, error) {
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
 	for {
 		snap, changed := s.snapshot()
 		if snap.ClipsProcessed > since || snap.State != StateRunning || wait <= 0 {
-			return snap
+			return snap, nil
 		}
 		select {
 		case <-changed:
 		case <-deadline.C:
 			snap, _ = s.snapshot()
-			return snap
+			return snap, nil
 		case <-ctx.Done():
 			snap, _ = s.snapshot()
-			return snap
+			return snap, ctx.Err()
 		}
 	}
 }
@@ -203,6 +223,10 @@ func (s *Session) WaitResults(ctx context.Context, since int, wait time.Duration
 // Info reports session status, including the engine's current critical
 // values (the live view of §3.2's thresholds).
 func (s *Session) Info() SessionInfo {
+	var rst resilience.Stats
+	if s.models != nil {
+		rst = s.models.Stats()
+	}
 	s.mu.Lock()
 	info := SessionInfo{
 		ID:             s.id,
@@ -213,6 +237,15 @@ func (s *Session) Info() SessionInfo {
 		ClipsProcessed: s.clips,
 		Invocations:    s.invocations,
 		Sequences:      len(s.seqs),
+	}
+	if s.models != nil {
+		info.Degraded = rst.Fallbacks > 0
+		info.DegradedUnits = rst.DegradedUnits
+		info.Retries = rst.Retries
+		info.Fallbacks = rst.Fallbacks
+		if rst.BreakerState != resilience.StateClosed.String() {
+			info.BreakerState = rst.BreakerState
+		}
 	}
 	if s.failure != nil {
 		info.Error = s.failure.Error()

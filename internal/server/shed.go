@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shedWindow tells an overloaded daemon from a busy one. Every pool
+// acquisition reports its queue wait; the window keeps the recent
+// samples and declares overload when the p90 wait crosses the
+// configured threshold. Admission handlers consult it before doing any
+// work and answer 503 + Retry-After instead of queuing unboundedly —
+// shedding at the door is the resilience counterpart of the engines'
+// graceful degradation.
+type shedWindow struct {
+	threshold time.Duration // p90 wait that trips shedding; <=0 disables
+	span      time.Duration // how far back samples count
+	minSamp   int           // fewer samples than this never sheds
+	now       func() time.Time
+
+	mu      sync.Mutex
+	samples []shedSample // ring, oldest overwritten
+	next    int
+	filled  bool
+
+	sheds atomic.Int64
+}
+
+type shedSample struct {
+	when time.Time
+	wait time.Duration
+}
+
+// shedRing bounds the window's memory; at typical request rates it
+// spans well past the freshness horizon.
+const shedRing = 256
+
+func newShedWindow(threshold time.Duration) *shedWindow {
+	return &shedWindow{
+		threshold: threshold,
+		span:      10 * time.Second,
+		minSamp:   8,
+		now:       time.Now,
+		samples:   make([]shedSample, shedRing),
+	}
+}
+
+// observe records one pool-acquisition wait; wired via pool.SetObserver.
+func (sw *shedWindow) observe(wait time.Duration) {
+	if sw == nil || sw.threshold <= 0 {
+		return
+	}
+	sw.mu.Lock()
+	sw.samples[sw.next] = shedSample{when: sw.now(), wait: wait}
+	sw.next++
+	if sw.next == len(sw.samples) {
+		sw.next = 0
+		sw.filled = true
+	}
+	sw.mu.Unlock()
+}
+
+// overloaded reports whether the p90 queue wait over the fresh samples
+// is at or past the threshold. It needs minSamp fresh samples to say
+// yes: a daemon that has barely served anything is not overloaded.
+func (sw *shedWindow) overloaded() bool {
+	if sw == nil || sw.threshold <= 0 {
+		return false
+	}
+	cutoff := sw.now().Add(-sw.span)
+	sw.mu.Lock()
+	n := sw.next
+	if sw.filled {
+		n = len(sw.samples)
+	}
+	fresh := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		if s := sw.samples[i]; s.when.After(cutoff) {
+			fresh = append(fresh, s.wait)
+		}
+	}
+	sw.mu.Unlock()
+	if len(fresh) < sw.minSamp {
+		return false
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	p90 := fresh[len(fresh)*9/10]
+	return p90 >= sw.threshold
+}
+
+// shed counts one rejected request and returns the Retry-After hint in
+// seconds (at least 1).
+func (sw *shedWindow) shed() int {
+	sw.sheds.Add(1)
+	retry := int(sw.threshold / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	return retry
+}
+
+// Sheds returns the total requests rejected by admission control.
+func (sw *shedWindow) Sheds() int64 {
+	if sw == nil {
+		return 0
+	}
+	return sw.sheds.Load()
+}

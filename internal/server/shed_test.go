@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func TestShedWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	sw := newShedWindow(10 * time.Millisecond)
+	sw.now = func() time.Time { return now }
+
+	if sw.overloaded() {
+		t.Fatal("empty window reports overload")
+	}
+	// Below the sample floor: even terrible waits must not shed.
+	for i := 0; i < sw.minSamp-1; i++ {
+		sw.observe(time.Second)
+	}
+	if sw.overloaded() {
+		t.Fatal("overloaded below the sample floor")
+	}
+	sw.observe(time.Second)
+	if !sw.overloaded() {
+		t.Fatal("p90 wait of 1s at threshold 10ms did not trip")
+	}
+	// Samples age out: the same window 11s later is calm again.
+	now = now.Add(11 * time.Second)
+	if sw.overloaded() {
+		t.Fatal("stale samples still trip the shedder")
+	}
+	// Healthy waits keep admission open.
+	for i := 0; i < 2*sw.minSamp; i++ {
+		sw.observe(time.Millisecond / 2)
+	}
+	if sw.overloaded() {
+		t.Fatal("sub-threshold waits trip the shedder")
+	}
+
+	// Disabled (threshold 0) and nil windows never shed.
+	off := newShedWindow(0)
+	off.observe(time.Hour)
+	if off.overloaded() {
+		t.Fatal("disabled shedder tripped")
+	}
+	var nilSW *shedWindow
+	if nilSW.overloaded() || nilSW.Sheds() != 0 {
+		t.Fatal("nil shedWindow misbehaves")
+	}
+}
+
+// TestShedding503: once the shed window trips, session-create and top-k
+// admissions answer 503 with a Retry-After hint, the rejections are
+// counted in /metricsz, and recovery reopens admission.
+func TestShedding503(t *testing.T) {
+	srv, ts := startServer(t, Config{Repo: buildRepo(t), ShedWait: time.Millisecond})
+	now := time.Unix(2000, 0)
+	srv.shed.now = func() time.Time { return now }
+	for i := 0; i < 10; i++ {
+		srv.shed.observe(10 * time.Millisecond)
+	}
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, jsonBody(t, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for _, path := range []string{"/v1/sessions", "/v1/topk"} {
+		body := any(CreateSessionRequest{Workload: "q2"})
+		if path == "/v1/topk" {
+			body = TopKRequest{Action: "blowing_leaves", K: 3}
+		}
+		resp := post(path, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s while overloaded: status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("POST %s 503 carries no Retry-After", path)
+		}
+	}
+	var mz MetricsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil, &mz); code != http.StatusOK {
+		t.Fatalf("metricsz: status %d", code)
+	}
+	if mz.ShedRequests < 2 {
+		t.Fatalf("shed_requests = %d, want >= 2", mz.ShedRequests)
+	}
+
+	// Load subsides (samples age out): admission reopens.
+	now = now.Add(time.Minute)
+	var info SessionInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateSessionRequest{Workload: "q2", Scale: 0.1}, &info); code != http.StatusCreated {
+		t.Fatalf("create after recovery: status %d, want 201", code)
+	}
+}

@@ -200,7 +200,7 @@ func TestTopKGlobalShardedMatchesMerged(t *testing.T) {
 func TestTopKGlobalStaleNames(t *testing.T) {
 	repo, q := multiRepo(t, 2, 0.05)
 	stale := append(repo.Videos(), "zz-removed")
-	if _, _, err := repo.topKGlobalMerged(stale, q, 3, context.Background()); !errors.Is(err, ErrVideoNotFound) {
+	if _, _, err := repo.topKGlobalMerged(stale, q, 3, ExecOptions{}); !errors.Is(err, ErrVideoNotFound) {
 		t.Fatalf("merged path with stale names: err = %v, want ErrVideoNotFound", err)
 	}
 	if _, _, err := repo.topKGlobalSharded(stale, q, 3, ExecOptions{Workers: 4}); !errors.Is(err, ErrVideoNotFound) {

@@ -333,6 +333,15 @@ type ExecOptions struct {
 	// work for the same bounded concurrency (the serving daemon passes
 	// its session pool here).
 	Pool *WorkerPool
+	// Deadline bounds the whole query (pool wait included); 0 means no
+	// deadline beyond what Ctx already carries.
+	Deadline time.Duration
+	// Partial turns a deadline expiry into a partial answer instead of
+	// an error: the query returns the best-so-far ranking with
+	// TopKStats.Incomplete set (see rvaq.Options.Partial). A query that
+	// never got to run (deadline spent waiting for a worker slot)
+	// returns empty results, still flagged Incomplete.
+	Partial bool
 }
 
 func (eo ExecOptions) ctx() context.Context {
@@ -340,6 +349,34 @@ func (eo ExecOptions) ctx() context.Context {
 		return context.Background()
 	}
 	return eo.Ctx
+}
+
+// queryCtx applies the deadline (if any) on top of the base context;
+// call once per query entry point and defer the cancel.
+func (eo ExecOptions) queryCtx() (context.Context, context.CancelFunc) {
+	if eo.Deadline > 0 {
+		return context.WithTimeout(eo.ctx(), eo.Deadline)
+	}
+	return eo.ctx(), func() {}
+}
+
+// rvaqOptions builds the per-execution rvaq options.
+func (eo ExecOptions) rvaqOptions() rvaq.Options {
+	opts := rvaq.DefaultOptions()
+	opts.Partial = eo.Partial
+	return opts
+}
+
+// partialOnDeadline converts a deadline expiry into the empty partial
+// result when Partial is set: the query never produced a ranking (e.g.
+// the deadline fired while queued for a worker slot), which is the
+// degenerate incomplete answer, not a failure.
+func (eo ExecOptions) partialOnDeadline(err error, stats *TopKStats) (handled bool) {
+	if !eo.Partial || !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	stats.Incomplete = true
+	return true
 }
 
 // workers resolves the effective fan-out width.
@@ -376,11 +413,16 @@ func (r *Repository) TopKOpts(videoName string, q Query, k int, eo ExecOptions) 
 		res   []TopKResult
 		stats TopKStats
 	)
-	err := eo.pool().Do(eo.ctx(), func() error {
+	ctx, cancel := eo.queryCtx()
+	defer cancel()
+	err := eo.pool().Do(ctx, func() error {
 		var err error
-		res, stats, err = rvaq.TopKCtx(eo.ctx(), vd, q, k, rvaq.DefaultOptions())
+		res, stats, err = rvaq.TopKCtx(ctx, vd, q, k, eo.rvaqOptions())
 		return err
 	})
+	if err != nil && eo.partialOnDeadline(err, &stats) {
+		err = nil
+	}
 	return res, stats, err
 }
 
@@ -408,14 +450,16 @@ func (r *Repository) TopKGlobal(q Query, k int) ([]VideoTopKResult, TopKStats, e
 func (r *Repository) TopKGlobalOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
 	names := r.repo.Names()
 	if eo.workers() <= 1 || len(names) <= 1 {
-		return r.topKGlobalMerged(names, q, k, eo.ctx())
+		return r.topKGlobalMerged(names, q, k, eo)
 	}
 	return r.topKGlobalSharded(names, q, k, eo)
 }
 
 // topKGlobalMerged is the sequential reference: one RVAQ execution over
 // the merged clip-id namespace.
-func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx context.Context) ([]VideoTopKResult, TopKStats, error) {
+func (r *Repository) topKGlobalMerged(names []string, q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
+	ctx, cancel := eo.queryCtx()
+	defer cancel()
 	ctx, gspan := trace.Start(ctx, "topk.global")
 	gspan.SetAttr("mode", "merged")
 	gspan.SetInt("videos", int64(len(names)))
@@ -432,7 +476,7 @@ func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx contex
 	if err != nil {
 		return nil, TopKStats{}, err
 	}
-	res, stats, err := rvaq.TopKCtx(ctx, merged.VideoData, q, k, rvaq.DefaultOptions())
+	res, stats, err := rvaq.TopKCtx(ctx, merged.VideoData, q, k, eo.rvaqOptions())
 	if err != nil {
 		return nil, stats, err
 	}
@@ -453,7 +497,9 @@ func (r *Repository) topKGlobalMerged(names []string, q Query, k int, ctx contex
 // in the merged namespace); only when every video misses them does the
 // query fail with the first shard's error.
 func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
-	ctx, p := eo.ctx(), eo.pool()
+	ctx, cancel := eo.queryCtx()
+	defer cancel()
+	p := eo.pool()
 	ctx, gspan := trace.Start(ctx, "topk.global")
 	gspan.SetAttr("mode", "sharded")
 	gspan.SetInt("videos", int64(len(names)))
@@ -485,7 +531,7 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 			sspan.SetInt("shard", int64(i))
 			defer sspan.End()
 			outs[i].err = p.Do(sctx, func() error {
-				opts := rvaq.DefaultOptions()
+				opts := eo.rvaqOptions()
 				opts.Bound, opts.Shard = gb, i
 				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, opts)
 				outs[i].res, outs[i].stats = res, stats
@@ -512,6 +558,12 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 			continue
 		}
 		if o.err != nil {
+			// A shard whose deadline fired while queued contributed
+			// nothing; under Partial that makes the merged result
+			// incomplete, not failed.
+			if eo.partialOnDeadline(o.err, &total) {
+				continue
+			}
 			return nil, total, fmt.Errorf("vaq: video %q: %w", name, o.err)
 		}
 		total.Merge(o.stats)
@@ -564,7 +616,9 @@ func (r *Repository) TopKAll(q Query, k int) ([]VideoTopKResult, TopKStats, erro
 // summed per-video runtimes in CPURuntime, so CPURuntime/Runtime is the
 // effective speedup. Results are identical to a sequential run.
 func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
-	ctx, p := eo.ctx(), eo.pool()
+	ctx, cancel := eo.queryCtx()
+	defer cancel()
+	p := eo.pool()
 	ctx, aspan := trace.Start(ctx, "topk.all")
 	aspan.SetInt("videos", int64(len(r.repo.Names())))
 	aspan.SetInt("k", int64(k))
@@ -594,7 +648,7 @@ func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKRes
 			sspan.SetAttr("video", names[i])
 			defer sspan.End()
 			outs[i].err = p.Do(sctx, func() error {
-				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, rvaq.DefaultOptions())
+				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, eo.rvaqOptions())
 				outs[i].res, outs[i].stats = res, stats
 				return err
 			})
@@ -606,6 +660,9 @@ func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKRes
 	var all []VideoTopKResult
 	for i, name := range names {
 		if err := outs[i].err; err != nil {
+			if eo.partialOnDeadline(err, &total) {
+				continue
+			}
 			return nil, total, fmt.Errorf("vaq: video %q: %w", name, err)
 		}
 		total.Merge(outs[i].stats)
