@@ -154,6 +154,18 @@ func (s *csvSink) chaos(res *experiments.ChaosResult) error {
 	return s.write("chaos", []string{"rate", "f1", "us_per_clip", "retries", "fallbacks", "degraded_units"}, out)
 }
 
+func (s *csvSink) hedge(res *experiments.HedgeResult) error {
+	return s.write("hedge", []string{
+		"calls", "rate", "delay_ms",
+		"base_p50_us", "base_p99_us", "hedged_p50_us", "hedged_p99_us", "p99_ratio",
+		"hedges", "hedge_wins", "healthy_invocations", "healthy_extra_ratio",
+	}, [][]string{{
+		fint(res.Calls), ffloat(res.Rate), ffloat(res.DelayMS),
+		ffloat(res.BaseP50US), ffloat(res.BaseP99US), ffloat(res.HedgedP50US), ffloat(res.HedgedP99US), ffloat(res.P99Ratio),
+		fint64(res.Hedges), fint64(res.HedgeWins), fint64(res.HealthyInvocations), ffloat(res.HealthyExtraRatio),
+	}})
+}
+
 func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {

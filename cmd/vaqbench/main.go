@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead, chaos.
+// trace-overhead, chaos, hedge.
 package main
 
 import (
@@ -142,6 +142,13 @@ func main() {
 				return err
 			}
 			return sink.chaos(res)
+		}},
+		{[]string{"hedge"}, func() error {
+			res, err := ctx.Hedge()
+			if err != nil {
+				return err
+			}
+			return sink.hedge(res)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,10 @@ func main() {
 		brkCoolFlag  = flag.Duration("breaker-cooldown", resilience.DefaultPolicy().BreakerCooldown, "how long an open breaker rejects before a half-open probe")
 		faultFlag    = flag.String("fault", "", "deterministic fault schedule for session detectors, e.g. 'error:0-999:0.1,latency:500-:0.2:20ms' (chaos testing)")
 		seedFlag     = flag.Int64("fault-seed", 1, "seed for the fault schedule and resilience jitter")
+		hedgeFlag    = flag.Float64("hedge-quantile", 0, "hedge detector calls outliving this observed latency quantile, e.g. 0.95 (0 = off)")
+		lblBrkFlag   = flag.Bool("label-breaker", false, "add per-(backend, label) circuit breakers inside the per-backend one")
+		adaptFlag    = flag.Duration("adaptive-retries", 0, "shrink retry budgets to zero as the p90 worker-queue wait warms toward this (0 = off)")
+		chainFlag    = flag.String("fallback-chain", "", "comma-separated cheaper detector profiles tried in order before the prior, e.g. 'yolov3,ideal'")
 	)
 	flag.Parse()
 
@@ -64,13 +69,30 @@ func main() {
 	pol.BreakerCooldown = *brkCoolFlag
 	pol.Seed = *seedFlag
 	cfg := server.Config{
-		MaxSessions:    *sessionsFlag,
-		Workers:        *workersFlag,
-		RequestTimeout: *timeoutFlag,
-		MaxWait:        *waitFlag,
-		Tracer:         trace.New(topts...),
-		Resilience:     &pol,
-		ShedWait:       *shedFlag,
+		MaxSessions:     *sessionsFlag,
+		Workers:         *workersFlag,
+		RequestTimeout:  *timeoutFlag,
+		MaxWait:         *waitFlag,
+		Tracer:          trace.New(topts...),
+		Resilience:      &pol,
+		ShedWait:        *shedFlag,
+		HedgeQuantile:   *hedgeFlag,
+		LabelBreaker:    *lblBrkFlag,
+		AdaptiveRetries: *adaptFlag,
+	}
+	if *hedgeFlag != 0 && (*hedgeFlag <= 0 || *hedgeFlag >= 1) {
+		fatal(fmt.Errorf("-hedge-quantile must be in (0, 1), got %v", *hedgeFlag))
+	}
+	if *chainFlag != "" {
+		for _, m := range strings.Split(*chainFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.FallbackChain = append(cfg.FallbackChain, m)
+			}
+		}
+		if err := server.ValidateFallbackChain(cfg.FallbackChain); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vaqd: fallback chain armed: %s -> prior\n", strings.Join(cfg.FallbackChain, " -> "))
 	}
 	if *faultFlag != "" {
 		sched, err := fault.Parse(*seedFlag, *faultFlag)

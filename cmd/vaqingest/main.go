@@ -79,12 +79,17 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("ingest %s: %w", name, err))
 		}
+		// Degraded units persist with the video: vaqtopk and /v1/topk can
+		// then flag (and optionally discount) sequences built on them.
+		vd.DegradedFrames = models.Det.DegradedFrames()
+		vd.DegradedShots = models.Rec.DegradedShots()
 		if err := repo.Add(name, vd); err != nil {
 			fatal(err)
 		}
 		degraded := ""
 		if st := models.Stats(); st.Fallbacks > 0 {
-			degraded = fmt.Sprintf(" [DEGRADED: %d units via fallback, %d retries]", st.DegradedUnits, st.Retries)
+			degraded = fmt.Sprintf(" [DEGRADED: %d frames + %d shots via fallback, %d retries]",
+				len(vd.DegradedFrames), len(vd.DegradedShots), st.Retries)
 		}
 		fmt.Printf("ingested %s: %d clips, %d object tables, %d action tables, %d tracks (%v)%s\n",
 			name, truth.Meta.Clips(), len(vd.ObjTables), len(vd.ActTables),

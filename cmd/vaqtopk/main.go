@@ -48,8 +48,12 @@ func main() {
 		traceFlag    = flag.Bool("trace", false, "record spans across ingestion and the query; print the tree, counters and stage quantiles at exit")
 		deadlineFlag = flag.Duration("deadline", 0, "bound the whole query (0 = none)")
 		partialFlag  = flag.Bool("partial", false, "on deadline expiry return the best-so-far ranking flagged incomplete instead of failing")
+		discountFlag = flag.Float64("discount", 0, "down-weight clips the repository marked degraded at ingest by this factor in (0, 1] and flag matching results (0 = off)")
 	)
 	flag.Parse()
+	if *discountFlag < 0 || *discountFlag > 1 {
+		fatal(fmt.Errorf("-discount must be in [0, 1], got %v", *discountFlag))
+	}
 
 	ctx := context.Background()
 	var tr *vaq.Tracer
@@ -71,7 +75,7 @@ func main() {
 			tr.WriteVarz(out)
 		}()
 	}
-	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx, Deadline: *deadlineFlag, Partial: *partialFlag}
+	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx, Deadline: *deadlineFlag, Partial: *partialFlag, DegradedDiscount: *discountFlag}
 
 	q := vaq.Query{Action: vaq.Label(*actionFlag)}
 	for _, o := range strings.Split(*objectsFlag, ",") {
@@ -111,21 +115,22 @@ func main() {
 				RandomAccesses: stats.Accesses.Random,
 				Candidates:     stats.Candidates,
 				Incomplete:     stats.Incomplete,
+				DegradedClips:  stats.DegradedClips,
 			}
 			for _, r := range results {
 				out.Results = append(out.Results, server.TopKEntry{
-					Video: r.Video, Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score,
+					Video: r.Video, Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score, Degraded: r.Degraded,
 				})
 			}
 			emitJSON(out)
 			return
 		}
-		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses)%s:\n",
+		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses)%s%s:\n",
 			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond),
 			stats.CPURuntime.Round(time.Microsecond), stats.Accesses.Random,
-			incompleteMark(stats))
+			incompleteMark(stats), degradedMark(stats))
 		for i, r := range results {
-			fmt.Printf("  %2d. %-24s clips %v  score %.2f\n", i+1, r.Video, r.Seq, r.Score)
+			fmt.Printf("  %2d. %-24s clips %v  score %.2f%s\n", i+1, r.Video, r.Seq, r.Score, degradedFlag(r.Degraded))
 		}
 		return
 	}
@@ -141,20 +146,21 @@ func main() {
 			RandomAccesses: stats.Accesses.Random,
 			Candidates:     stats.Candidates,
 			Incomplete:     stats.Incomplete,
+			DegradedClips:  stats.DegradedClips,
 		}
 		for _, r := range results {
 			out.Results = append(out.Results, server.TopKEntry{
-				Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score,
+				Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score, Degraded: r.Degraded,
 			})
 		}
 		emitJSON(out)
 		return
 	}
-	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d)%s:\n",
+	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d)%s%s:\n",
 		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates,
-		incompleteMark(stats))
+		incompleteMark(stats), degradedMark(stats))
 	for i, r := range results {
-		fmt.Printf("  %2d. clips %v  score %.2f\n", i+1, r.Seq, r.Score)
+		fmt.Printf("  %2d. clips %v  score %.2f%s\n", i+1, r.Seq, r.Score, degradedFlag(r.Degraded))
 	}
 	if !*compareFlag {
 		return
@@ -237,6 +243,22 @@ func ingestSynth(ctx context.Context, names string, scale float64, q *vaq.Query)
 func incompleteMark(stats vaq.TopKStats) string {
 	if stats.Incomplete {
 		return " [INCOMPLETE: deadline fired, scores are lower bounds]"
+	}
+	return ""
+}
+
+// degradedMark summarizes the discount's reach in the text output.
+func degradedMark(stats vaq.TopKStats) string {
+	if stats.DegradedClips > 0 {
+		return fmt.Sprintf(" [%d degraded clips discounted]", stats.DegradedClips)
+	}
+	return ""
+}
+
+// degradedFlag marks a single degraded result row.
+func degradedFlag(degraded bool) string {
+	if degraded {
+		return "  [degraded]"
 	}
 	return ""
 }

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/fault"
+	"vaq/internal/resilience"
+	"vaq/internal/video"
+)
+
+// HedgeResult bundles the hedging experiment: per-call latency
+// quantiles of the resilience wrapper with and without hedged requests
+// under an injected latency-episode schedule, plus the extra-invocation
+// cost hedging imposes on a perfectly healthy backend (budgeted at
+// ratio <= 1.05).
+type HedgeResult struct {
+	Calls   int
+	Rate    float64 // per-unit latency-episode probability
+	DelayMS float64 // injected delay per episode
+
+	BaseP50US, BaseP99US     float64 // unhedged, under the schedule
+	HedgedP50US, HedgedP99US float64 // hedged, same schedule
+	P99Ratio                 float64 // base p99 / hedged p99 (>1 = improvement)
+	Hedges, HedgeWins        int64   // replicas launched / rounds they decided
+
+	HealthyInvocations int64   // raw backend calls on the healthy leg
+	HealthyExtraRatio  float64 // invocations / calls (budget 1.05)
+	HealthyHedges      int64
+}
+
+// countingObject counts raw backend invocations. It is deliberately
+// fallible-shaped (no InfallibleBackend marker) so the policy machinery
+// — hedging included — stays engaged even over a healthy backend.
+type countingObject struct {
+	inner detect.FallibleObjectDetector
+	n     atomic.Int64
+}
+
+func (co *countingObject) Name() string { return co.inner.Name() }
+
+func (co *countingObject) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, error) {
+	co.n.Add(1)
+	return co.inner.DetectCtx(ctx, v, labels)
+}
+
+// Hedge measures what hedged requests buy against tail latency and what
+// they cost when nothing is slow. The episode rate (4%) sits below
+// 1 − HedgeQuantile's complement so the observed p95 stays in the fast
+// mass; the injected delay fits inside the policy deadline, as the
+// determinism contract requires of latency episodes.
+func (c *Context) Hedge() (*HedgeResult, error) {
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	labels := qs.World.Truth.ObjectLabels()
+	calls := int(2000 * c.Scale)
+	if calls < 300 {
+		calls = 300
+	}
+
+	const rate = 0.04
+	const delay = 10 * time.Millisecond
+	sched, err := fault.Parse(42, fmt.Sprintf("latency:0-:%g:%s", rate, delay))
+	if err != nil {
+		return nil, err
+	}
+	pol := resilience.Policy{Deadline: 250 * time.Millisecond, MaxRetries: 1, Seed: 7}
+	hedged := pol
+	hedged.HedgeQuantile = 0.95
+
+	// run drives `calls` frame detections through the wrapper and
+	// reports the per-call latency quantiles plus the wrapper stats.
+	run := func(p resilience.Policy, sched fault.Schedule, count *countingObject) (p50, p99 time.Duration, st resilience.Stats, err error) {
+		fdet := detect.AsFallibleObject(detect.NewSimObjectDetector(scene, c.ObjProfile, nil))
+		frec := detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, c.ActProfile, nil))
+		if !sched.Empty() {
+			fdet = fault.NewObject(fdet, sched)
+		}
+		if count != nil {
+			count.inner = fdet
+			fdet = count
+		}
+		m := resilience.WrapFallible(fdet, frec, p, resilience.Options{})
+		durs := make([]time.Duration, calls)
+		for i := 0; i < calls; i++ {
+			start := time.Now()
+			m.Det.Detect(video.FrameIdx(i), labels)
+			durs[i] = time.Since(start)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		return durs[calls/2], durs[calls*99/100], m.Det.Stats(), nil
+	}
+
+	c.printf("Hedging (object path, %d calls, latency episodes: rate %g, delay %v):\n", calls, rate, delay)
+	bp50, bp99, _, err := run(pol, sched, nil)
+	if err != nil {
+		return nil, err
+	}
+	hp50, hp99, hst, err := run(hedged, sched, nil)
+	if err != nil {
+		return nil, err
+	}
+	healthy := &countingObject{}
+	_, _, hlst, err := run(hedged, fault.Schedule{}, healthy)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HedgeResult{
+		Calls:              calls,
+		Rate:               rate,
+		DelayMS:            float64(delay.Microseconds()) / 1e3,
+		BaseP50US:          float64(bp50.Nanoseconds()) / 1e3,
+		BaseP99US:          float64(bp99.Nanoseconds()) / 1e3,
+		HedgedP50US:        float64(hp50.Nanoseconds()) / 1e3,
+		HedgedP99US:        float64(hp99.Nanoseconds()) / 1e3,
+		Hedges:             hst.Hedges,
+		HedgeWins:          hst.HedgeWins,
+		HealthyInvocations: healthy.n.Load(),
+		HealthyExtraRatio:  float64(healthy.n.Load()) / float64(calls),
+		HealthyHedges:      hlst.Hedges,
+	}
+	if res.HedgedP99US > 0 {
+		res.P99Ratio = res.BaseP99US / res.HedgedP99US
+	}
+	c.printf("  unhedged  p50 %8.1f µs  p99 %10.1f µs\n", res.BaseP50US, res.BaseP99US)
+	c.printf("  hedged    p50 %8.1f µs  p99 %10.1f µs  (p99 %.1fx better; %d hedges, %d wins)\n",
+		res.HedgedP50US, res.HedgedP99US, res.P99Ratio, res.Hedges, res.HedgeWins)
+	c.printf("  healthy   %d invocations / %d calls = ratio %.3f (budget 1.05; %d hedges)\n",
+		res.HealthyInvocations, calls, res.HealthyExtraRatio, res.HealthyHedges)
+	return res, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestHedgeQuick runs the hedging experiment at test scale and checks
+// its invariants: hedges actually fire under the latency-episode
+// schedule, some of them win their round, and the healthy leg pays
+// (almost) no extra backend invocations. Wall-clock quantiles are
+// reported but not asserted tightly — a loaded test machine can blur
+// them; the 1.05 extra-invocation budget is enforced at bench time.
+func TestHedgeQuick(t *testing.T) {
+	res, err := Quick(nil).Hedge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hedges == 0 {
+		t.Error("latency-episode leg launched no hedges")
+	}
+	if res.HedgeWins == 0 {
+		t.Error("no hedge won its round despite 10ms primary episodes")
+	}
+	if res.HedgeWins > res.Hedges {
+		t.Errorf("hedge wins %d exceed hedges launched %d", res.HedgeWins, res.Hedges)
+	}
+	if res.HealthyInvocations < int64(res.Calls) {
+		t.Errorf("healthy leg made %d invocations for %d calls", res.HealthyInvocations, res.Calls)
+	}
+	// Loose multiple of the 1.05 bench budget: a stalled CI machine may
+	// trip a few spurious hedges, but anywhere near systematic hedging
+	// on a healthy backend is a bug.
+	if res.HealthyExtraRatio > 1.25 {
+		t.Errorf("healthy extra-invocation ratio %.3f, want <= 1.25", res.HealthyExtraRatio)
+	}
+	if res.BaseP99US <= res.BaseP50US {
+		t.Errorf("latency schedule left no tail: p50 %v µs, p99 %v µs", res.BaseP50US, res.BaseP99US)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -154,7 +155,7 @@ func Parse(seed int64, spec string) (Schedule, error) {
 		} else if ep.Hi, err = strconv.Atoi(hi); err != nil || ep.Hi < ep.Lo {
 			return Schedule{}, fmt.Errorf("fault: episode %q: bad range end %q", part, hi)
 		}
-		if ep.Rate, err = strconv.ParseFloat(fields[2], 64); err != nil || ep.Rate < 0 || ep.Rate > 1 {
+		if ep.Rate, err = strconv.ParseFloat(fields[2], 64); err != nil || math.IsNaN(ep.Rate) || ep.Rate < 0 || ep.Rate > 1 {
 			return Schedule{}, fmt.Errorf("fault: episode %q: rate %q outside [0,1]", part, fields[2])
 		}
 		if len(fields) == 4 {
@@ -180,6 +181,52 @@ type Counts struct {
 
 // Total sums all fired faults.
 func (c Counts) Total() int64 { return c.Errors + c.Latencies + c.Stalls + c.Corrupted }
+
+// Call pins one invocation's injection coordinates, overriding the
+// injector's internal per-unit attempt counter.
+type Call struct {
+	// Attempt is the retry round, 0 for the first try. Decisive draws —
+	// Error, Corrupt, Stall — key on it alone, so every replica of one
+	// round sees the same outcome.
+	Attempt int
+	// Replica distinguishes hedged racers within one round (0 =
+	// primary). Only Latency draws mix it in: a hedged replica can dodge
+	// a latency spike, which moves wall-clock time but never result
+	// bytes (provided the delay fits the caller's per-attempt deadline —
+	// delays meant to outlive the deadline belong in Stall episodes,
+	// whose draws replicas share).
+	Replica int
+}
+
+type callKeyType struct{}
+
+// WithCall returns a context carrying explicit injection coordinates.
+// The resilience layer sets them on every policied call: hedged
+// replicas of one retry round must share that round's decisive draws,
+// which the internal counter — one bump per call — cannot express, and
+// concurrent racers must not skew the counts of later rounds.
+func WithCall(ctx context.Context, attempt, replica int) context.Context {
+	return context.WithValue(ctx, callKeyType{}, Call{Attempt: attempt, Replica: replica})
+}
+
+// CallFrom reports the injection coordinates carried by ctx, if any.
+func CallFrom(ctx context.Context) (Call, bool) {
+	c, ok := ctx.Value(callKeyType{}).(Call)
+	return c, ok
+}
+
+// replicaStride offsets a replica's Latency draws into a disjoint part
+// of the per-unit hash stream (attempt numbers stay tiny next to it).
+const replicaStride = 1 << 20
+
+// draw picks the hash-draw index of one episode decision for the call;
+// see Call for which kinds mix the replica in.
+func (e Episode) draw(c Call) int {
+	if e.Kind == Latency && c.Replica > 0 {
+		return c.Attempt + replicaStride*c.Replica
+	}
+	return c.Attempt
+}
 
 // injector holds the state shared by the object and action wrappers.
 type injector struct {
@@ -222,12 +269,15 @@ func (in *injector) counts() Counts {
 // error when an Error episode fires (or a sleep is cut short by ctx)
 // and reports whether a Corrupt episode fired.
 func (in *injector) inject(ctx context.Context, backend string, unit int) (corrupt bool, err error) {
-	attempt := in.nextAttempt(unit)
+	call, explicit := CallFrom(ctx)
+	if !explicit {
+		call.Attempt = in.nextAttempt(unit)
+	}
 	for i, ep := range in.sched.Episodes {
 		if !ep.covers(unit) {
 			continue
 		}
-		if !fires(in.sched.Seed, in.salt, i, unit, attempt, ep.Rate) {
+		if !fires(in.sched.Seed, in.salt, i, unit, ep.draw(call), ep.Rate) {
 			continue
 		}
 		switch ep.Kind {
@@ -242,7 +292,7 @@ func (in *injector) inject(ctx context.Context, backend string, unit int) (corru
 			}
 		case Error:
 			in.errors.Add(1)
-			return false, fmt.Errorf("%w: %s unit %d attempt %d", ErrInjected, backend, unit, attempt)
+			return false, fmt.Errorf("%w: %s unit %d attempt %d", ErrInjected, backend, unit, call.Attempt)
 		case Corrupt:
 			in.corrupted.Add(1)
 			corrupt = true

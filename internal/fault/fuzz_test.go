@@ -1,0 +1,58 @@
+package fault_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vaq/internal/fault"
+)
+
+// FuzzParse drives the kind:lo-hi:rate[:delay] spec grammar: rejected
+// inputs must fail cleanly (no panic), and anything Parse accepts must
+// round-trip — re-parsing Schedule.String() yields the same schedule.
+// The seed corpus is the specs the docs and CI actually use plus
+// near-miss rejects for each validation rule.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// docs/ROBUSTNESS.md and ci.yml specs.
+		"error:0-999:0.1,latency:500-:0.2:20ms,stall:100-120:1:5s",
+		"error:0-:0.25",
+		"error:0-:0.1",
+		"corrupt:0-:0.3",
+		"latency:0-:0.04:20ms",
+		"stall:0-50:1:2s",
+		"",
+		// One near-miss per validation rule.
+		"bogus:0-1:0.5",                  // unknown kind
+		"error:10-5:0.5",                 // hi < lo
+		"error:-3-5:0.5",                 // negative lo
+		"error:0:0.5",                    // range without dash
+		"error:0-1:1.5",                  // rate > 1
+		"error:0-1:NaN",                  // NaN rate
+		"latency:0-:0.5",                 // latency without delay
+		"stall:0-1:0.5:-2s",              // negative delay
+		"error:0-1:0.1:1s:x",             // too many fields
+		"error:0-1",                      // too few fields
+		" error:0-1:0.5 ,  corrupt:2-:1", // whitespace tolerance
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sched, err := fault.Parse(7, spec)
+		if err != nil {
+			return // a clean reject is all the grammar owes us
+		}
+		printed := sched.String()
+		again, err := fault.Parse(7, printed)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", spec, printed, err)
+		}
+		if !reflect.DeepEqual(sched, again) {
+			t.Fatalf("round-trip drift for %q:\n first %#v\nsecond %#v", spec, sched, again)
+		}
+		if again.String() != printed {
+			t.Fatalf("String not a fixpoint for %q: %q then %q", spec, printed, again.String())
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"vaq/internal/annot"
@@ -96,6 +97,48 @@ type VideoData struct {
 	// TracksOpened is the number of track identifiers the tracker
 	// issued over the whole video.
 	TracksOpened int
+	// DegradedFrames / DegradedShots are the frame and shot indices
+	// whose model outputs were served degraded during ingestion (the
+	// resilience fallback chain answered instead of the primary
+	// backend). Sorted, deduplicated; empty after a clean ingest. They
+	// persist with the repository so offline queries can discount
+	// scores derived from degraded units.
+	DegradedFrames []int
+	DegradedShots  []int
+}
+
+// DegradedUnits flattens a degraded unit→hop map (the shape the
+// resilience layer reports) into the sorted index list VideoData
+// persists.
+func DegradedUnits(m map[int]int) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for u := range m {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DegradedClips maps the degraded frame and shot sets onto the clips
+// whose materialized scores they fed (frame → clip via the clip length,
+// shot → clip via shots-per-clip). Nil when the video ingested cleanly.
+// The map is built afresh per call; query executions cache it.
+func (vd *VideoData) DegradedClips() map[int32]bool {
+	if len(vd.DegradedFrames) == 0 && len(vd.DegradedShots) == 0 {
+		return nil
+	}
+	g := vd.Meta.Geom
+	out := make(map[int32]bool, len(vd.DegradedFrames)+len(vd.DegradedShots))
+	for _, f := range vd.DegradedFrames {
+		out[int32(g.ClipOfFrame(video.FrameIdx(f)))] = true
+	}
+	for _, s := range vd.DegradedShots {
+		out[int32(g.ClipOfShot(video.ShotIdx(s)))] = true
+	}
+	return out
 }
 
 // Video ingests one video: it runs the object detector on every frame

@@ -98,6 +98,15 @@ func Merge(videos []*VideoData, names []string) (*Merged, error) {
 		mergeSeqs(vd.ObjSeqs, objSeqs, base)
 		mergeSeqs(vd.ActSeqs, actSeqs, base)
 		out.TracksOpened += vd.TracksOpened
+		// Degraded unit indices shift with the clip namespace: the
+		// video's frame 0 is merged frame base·ClipLen, its shot 0 is
+		// merged shot base·ShotsPerClip.
+		for _, f := range vd.DegradedFrames {
+			out.DegradedFrames = append(out.DegradedFrames, f+base*geom.ClipLen())
+		}
+		for _, s := range vd.DegradedShots {
+			out.DegradedShots = append(out.DegradedShots, s+base*geom.ShotsPerClip)
+		}
 		base += nclips + 1 // reserve a gap clip between videos
 	}
 	out.Meta.Frames = base * geom.ClipLen()

@@ -31,6 +31,10 @@ type manifest struct {
 	ObjSeqs map[string][]intervalJSON `json:"object_sequences"`
 	ActSeqs map[string][]intervalJSON `json:"action_sequences"`
 	Tracks  int                       `json:"tracks_opened"`
+	// DegradedFrames / DegradedShots persist the units the resilience
+	// fallback chain served during ingestion (absent for clean ingests).
+	DegradedFrames []int `json:"degraded_frames,omitempty"`
+	DegradedShots  []int `json:"degraded_shots,omitempty"`
 }
 
 type intervalJSON struct {
@@ -76,6 +80,9 @@ func (vd *VideoData) Save(dir string) error {
 		ObjSeqs: seqsToJSON(vd.ObjSeqs),
 		ActSeqs: seqsToJSON(vd.ActSeqs),
 		Tracks:  vd.TracksOpened,
+
+		DegradedFrames: vd.DegradedFrames,
+		DegradedShots:  vd.DegradedShots,
 	}
 	blob, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -132,6 +139,9 @@ func Load(dir string) (*VideoData, error) {
 		ObjSeqs:      seqsFromJSON(man.ObjSeqs),
 		ActSeqs:      seqsFromJSON(man.ActSeqs),
 		TracksOpened: man.Tracks,
+
+		DegradedFrames: man.DegradedFrames,
+		DegradedShots:  man.DegradedShots,
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -134,6 +134,23 @@ func (b *Breaker) State() State {
 	return b.state
 }
 
+// worseState orders breaker states by severity (open > half-open >
+// closed) and returns the worse of the two.
+func worseState(a, b State) State {
+	if rank := func(s State) int {
+		switch s {
+		case StateOpen:
+			return 2
+		case StateHalfOpen:
+			return 1
+		}
+		return 0
+	}; rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
 // Opens returns how many times the circuit has opened.
 func (b *Breaker) Opens() int64 {
 	if b == nil {

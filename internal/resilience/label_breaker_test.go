@@ -1,0 +1,144 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/resilience"
+	"vaq/internal/video"
+)
+
+// labelSensitiveObject fails calls carrying the bad label until healed,
+// and serves everything else from the sim detector. It also counts the
+// good-label calls that actually reached the backend, so the test can
+// prove the sibling label was never shed.
+type labelSensitiveObject struct {
+	inner     detect.FallibleObjectDetector
+	good, bad annot.Label
+	healthy   atomic.Bool
+	goodCalls atomic.Int64
+}
+
+func (l *labelSensitiveObject) Name() string { return "label-sensitive" }
+
+func (l *labelSensitiveObject) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, error) {
+	for _, lb := range labels {
+		if lb == l.bad && !l.healthy.Load() {
+			return nil, errors.New("bad-label model down")
+		}
+	}
+	for _, lb := range labels {
+		if lb == l.good {
+			l.goodCalls.Add(1)
+		}
+	}
+	return l.inner.DetectCtx(ctx, v, labels)
+}
+
+// TestLabelBreakerIsolatesAndRecovers is the per-label breaker race
+// test: one label's backend path dies and its breaker opens, the
+// sibling label keeps flowing to the backend through the entire episode
+// (never shed), and once the backend heals the half-open probe
+// re-closes the circuit exactly once — Opens stays 1 under N racing
+// goroutines. Run under -race.
+func TestLabelBreakerIsolatesAndRecovers(t *testing.T) {
+	scene, _ := testScene(7)
+	lb := &labelSensitiveObject{
+		inner: detect.AsFallibleObject(detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)),
+		good:  "car",
+		bad:   "person",
+	}
+	pol := resilience.Policy{
+		Seed:            99,
+		BreakerFailures: 3,
+		BreakerCooldown: 50 * time.Millisecond,
+		LabelBreaker:    true,
+	}
+	det := resilience.NewDetector(lb, pol, resilience.Options{})
+	good, bad := annot.Label("car"), annot.Label("person")
+	var goodIssued atomic.Int64
+
+	// Phase 1, serial: drive the bad label to its threshold with good
+	// successes interleaved, so the backend-wide breaker's consecutive
+	// run never reaches threshold — only the label circuit opens.
+	for i := 0; i < pol.BreakerFailures; i++ {
+		det.Detect(video.FrameIdx(i), []annot.Label{bad})
+		det.Detect(video.FrameIdx(i), []annot.Label{good})
+		goodIssued.Add(1)
+	}
+	if got := det.LabelBreaker(bad).State(); got != resilience.StateOpen {
+		t.Fatalf("bad-label breaker %v after %d failures, want open", got, pol.BreakerFailures)
+	}
+	if got := det.Breaker().Opens(); got != 0 {
+		t.Fatalf("backend breaker opened %d times; label faults must stay on the label circuit", got)
+	}
+
+	// Phase 2, racing: the backend heals, then N goroutines hammer both
+	// labels. The bad label sheds to the prior until the cooldown
+	// elapses; then a single half-open probe re-closes the circuit.
+	lb.healthy.Store(true)
+	// One deterministic shed while the circuit is surely still inside
+	// its 50ms cooldown.
+	det.Detect(video.FrameIdx(500), []annot.Label{bad})
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(5 * time.Second)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				f := video.FrameIdx(1000 + g*100000 + i)
+				det.Detect(f, []annot.Label{good})
+				goodIssued.Add(1)
+				det.Detect(f, []annot.Label{bad})
+				if det.LabelBreaker(bad).State() == resilience.StateClosed || time.Now().After(deadline) {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := det.LabelBreaker(bad).State(); got != resilience.StateClosed {
+		t.Fatalf("bad-label breaker %v after the backend healed, want closed", got)
+	}
+	if got := det.LabelBreaker(bad).Opens(); got != 1 {
+		t.Errorf("bad-label breaker opened %d times, want exactly 1 (no probe may have failed)", got)
+	}
+	if b := det.LabelBreaker(good); b.Opens() != 0 || b.State() != resilience.StateClosed {
+		t.Errorf("good-label breaker opens=%d state=%v, want untouched and closed", b.Opens(), b.State())
+	}
+	if got := det.Breaker().Opens(); got != 0 {
+		t.Errorf("backend breaker opened %d times during a single-label episode", got)
+	}
+	// Every good call the test issued reached the backend: the sibling
+	// was never shed, neither by the label circuits nor the backend one.
+	if issued, reached := goodIssued.Load(), lb.goodCalls.Load(); reached != issued {
+		t.Errorf("good label reached the backend %d/%d times; sibling must never shed", reached, issued)
+	}
+
+	st := det.Stats()
+	if st.LabelBreakerOpens != 1 {
+		t.Errorf("stats LabelBreakerOpens = %d, want 1", st.LabelBreakerOpens)
+	}
+	if st.LabelRejects == 0 {
+		t.Error("stats LabelRejects = 0; the open circuit shed no calls")
+	}
+	if st.Fallbacks == 0 || st.DegradedUnits == 0 {
+		t.Errorf("shed calls did not degrade to the prior: %+v", st)
+	}
+	// No chain configured: every degraded unit was served by the prior,
+	// hop 1.
+	for unit, hop := range det.DegradedHops() {
+		if hop != 1 {
+			t.Errorf("unit %d served by hop %d, want 1 (prior)", unit, hop)
+		}
+	}
+}

@@ -205,13 +205,21 @@ func TestDeadlineCutsStalls(t *testing.T) {
 func TestFallbackProfile(t *testing.T) {
 	scene, _ := testScene(11)
 	cheap := detect.NewSimObjectDetector(scene, detect.YOLOv3, nil)
-	d := resilience.NewDetector(&failingObject{}, fastPolicy(0), resilience.Options{FallbackObject: cheap})
+	d := resilience.NewDetector(&failingObject{}, fastPolicy(0), resilience.Options{
+		FallbackObjects: []detect.FallibleObjectDetector{detect.AsFallibleObject(cheap)},
+	})
 	dets, degraded := d.DetectCtx(context.Background(), 1000, labels)
 	if !degraded {
 		t.Fatal("failing backend not degraded")
 	}
 	if want := cheap.Detect(1000, labels); !reflect.DeepEqual(dets, want) {
 		t.Errorf("fallback-profile result %+v != cheap detector %+v", dets, want)
+	}
+	if hops := d.Stats().FallbackHops; len(hops) != 1 || hops[0] != 1 {
+		t.Errorf("FallbackHops = %v, want the unit on hop 1", hops)
+	}
+	if got := d.DegradedHops(); got[1000] != 1 {
+		t.Errorf("DegradedHops = %v, want frame 1000 on hop 1", got)
 	}
 }
 
@@ -268,7 +276,7 @@ func TestDeterministicDegradation(t *testing.T) {
 	if !reflect.DeepEqual(seqs1, seqs2) {
 		t.Errorf("query results differ across identical fault runs:\n%v\n%v", seqs1, seqs2)
 	}
-	if st1 != st2 {
+	if !reflect.DeepEqual(st1, st2) {
 		t.Errorf("resilience counters differ:\n%+v\n%+v", st1, st2)
 	}
 	if !reflect.DeepEqual(deg1, deg2) {

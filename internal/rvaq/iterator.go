@@ -38,6 +38,11 @@ type tbClip struct {
 	frontTop, frontBtm []float64 // per-table frontier scores (act first if present)
 
 	scores map[int32]float64 // exact clip scores, by random access
+	// discount, when non-nil, maps a clip to a multiplicative factor in
+	// (0, 1] applied to its raw score before memoization — RVAQ arms it
+	// for degraded clips. The cache (and hence every bound and result)
+	// holds effective scores.
+	discount func(cid int32) float64
 	// onScored is invoked exactly once per clip when its exact score
 	// becomes known (RVAQ attributes it to the clip's sequence).
 	onScored func(cid int32, s float64)
@@ -159,6 +164,9 @@ func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
 	s, err := it.ScoreClip(cid)
 	if err != nil {
 		return 0, err
+	}
+	if it.discount != nil {
+		s *= it.discount(cid)
 	}
 	it.scores[cid] = s
 	if it.onScored != nil {

@@ -27,6 +27,11 @@ import (
 type SeqResult struct {
 	Seq   interval.Interval // clip-id range (c_l, c_r)
 	Score float64           // exact when Options.ExactScores, else the lower bound
+	// Degraded marks a sequence containing at least one clip whose
+	// ingest-time model outputs came from the resilience fallback chain.
+	// Only set when Options.DegradedDiscount is armed (its Score is then
+	// already down-weighted).
+	Degraded bool
 }
 
 // Stats reports the cost of one query execution. For a single
@@ -40,6 +45,9 @@ type Stats struct {
 	CPURuntime time.Duration // aggregate per-execution runtime
 	Candidates int           // |P_q|
 	Iterations int           // TBClip steps (RVAQ variants only)
+	// DegradedClips counts degraded clips inside the candidate
+	// sequences (only computed when Options.DegradedDiscount is armed).
+	DegradedClips int
 	// Incomplete marks a partial result: the run's deadline expired
 	// before the stopping condition and Options.Partial returned the
 	// best-so-far ranking (lower-bound scores) instead of an error.
@@ -54,6 +62,7 @@ func (s *Stats) Merge(o Stats) {
 	s.CPURuntime += o.CPURuntime
 	s.Candidates += o.Candidates
 	s.Iterations += o.Iterations
+	s.DegradedClips += o.DegradedClips
 	s.Incomplete = s.Incomplete || o.Incomplete
 }
 
@@ -87,6 +96,16 @@ type Options struct {
 	// — just unrefined — answer. Off, an expired ctx is an error (the
 	// pre-existing behavior).
 	Partial bool
+	// DegradedDiscount, in (0, 1], down-weights clips the repository
+	// marked degraded at ingest time (VideoData.DegradedClips): a
+	// degraded clip's exact score is multiplied by (1 − discount), and
+	// results whose sequence contains a degraded clip carry
+	// SeqResult.Degraded. The frontier bounds stay valid — a discounted
+	// score never exceeds its raw value, so τ_top is still an upper
+	// bound, and τ_btm is conservatively scaled by (1 − discount) for
+	// the lower bound. 0 disables (degraded clips score as ingested).
+	// RVAQ only; the baselines ignore it.
+	DegradedDiscount float64
 }
 
 // DefaultOptions returns the standard RVAQ configuration.
@@ -108,6 +127,7 @@ type seqState struct {
 	knownCount int
 	up, lo     float64 // current bounds
 	pruned     bool    // conclusively out of the top-K (clips skipped)
+	degraded   bool    // contains a degraded clip (discount armed only)
 }
 
 // TopK runs RVAQ (Algorithm 4): top-K result sequences of query q over
@@ -127,6 +147,9 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	opts = opts.withDefaults()
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("rvaq: k must be positive, got %d", k)
+	}
+	if d := opts.DegradedDiscount; d < 0 || d > 1 {
+		return nil, Stats{}, fmt.Errorf("rvaq: DegradedDiscount must be in [0, 1], got %v", d)
 	}
 	tr := trace.FromContext(ctx)
 	ctx, qspan := trace.Start(ctx, "rvaq.topk")
@@ -174,6 +197,25 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 		seqs[i] = &seqState{iv: iv, knownScore: fns.F.Zero()}
 	}
 
+	// Degraded-clip discount (armed by DegradedDiscount > 0): mark the
+	// candidate sequences touching degraded clips, and scale the bottom
+	// frontier bound conservatively — every unseen clip's effective
+	// score is at least its raw τ_btm bound times the worst-case factor.
+	var degraded map[int32]bool
+	btmFactor := 1.0
+	if opts.DegradedDiscount > 0 {
+		degraded = vd.DegradedClips()
+		if len(degraded) > 0 {
+			btmFactor = 1 - opts.DegradedDiscount
+			for cid := range degraded {
+				if i, ok := findSeq(pq, cid); ok {
+					seqs[i].degraded = true
+					stats.DegradedClips++
+				}
+			}
+		}
+	}
+
 	// C_skip starts as the complement of P_q: the iterator never
 	// random-accesses clips outside the candidate sequences. Pruned
 	// sequences extend it as the algorithm progresses (§4.3).
@@ -196,6 +238,15 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	}
 
 	it := newTBClip(act, objs, fns, &stats.Accesses, skip, onScored)
+	if len(degraded) > 0 {
+		d := opts.DegradedDiscount
+		it.discount = func(cid int32) float64 {
+			if degraded[cid] {
+				return 1 - d
+			}
+			return 1
+		}
+	}
 	var cSeqsPruned, cClipsPruned, cExchange *trace.Counter
 	var stStep *trace.Stage
 	if tr != nil {
@@ -242,6 +293,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 			iterSpan.End()
 			return nil, stats, err
 		}
+		tauBtm *= btmFactor // conservative under the degraded discount
 		stats.Iterations++
 		exhausted := it.Exhausted()
 		if exhausted {
@@ -390,7 +442,7 @@ func finish(ctx context.Context, it *tbClip, fns score.Functions, seqs []*seqSta
 			}
 			scoreVal = exact
 		}
-		results = append(results, SeqResult{Seq: s.iv, Score: scoreVal})
+		results = append(results, SeqResult{Seq: s.iv, Score: scoreVal, Degraded: s.degraded})
 	}
 	sort.Slice(results, func(a, b int) bool {
 		if results[a].Score != results[b].Score {

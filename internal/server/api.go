@@ -93,7 +93,12 @@ type SessionInfo struct {
 	Retries       int64  `json:"retries,omitempty"`
 	Fallbacks     int64  `json:"fallbacks,omitempty"`
 	BreakerState  string `json:"breaker_state,omitempty"`
-	Error         string `json:"error,omitempty"`
+	// Hedges counts hedge replicas the session's backends launched
+	// against tail latency; FallbackHops breaks Fallbacks down by
+	// degradation-chain hop (last entry is the prior sampler).
+	Hedges       int64   `json:"hedges,omitempty"`
+	FallbackHops []int64 `json:"fallback_hops,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.
@@ -132,6 +137,10 @@ type TopKRequest struct {
 	// Partial asks for the best-so-far ranking (flagged Incomplete)
 	// instead of a 504 when the deadline fires mid-run.
 	Partial bool `json:"partial,omitempty"`
+	// DegradedDiscount, in (0, 1], down-weights clips the repository
+	// marked degraded at ingest time and flags matching results; 0
+	// scores them as ingested.
+	DegradedDiscount float64 `json:"degraded_discount,omitempty"`
 }
 
 // TopKEntry is one ranked result.
@@ -139,6 +148,10 @@ type TopKEntry struct {
 	Video string  `json:"video,omitempty"`
 	Seq   Range   `json:"seq"`
 	Score float64 `json:"score"`
+	// Degraded marks a sequence touching at least one clip whose
+	// ingest-time model outputs came from the resilience fallback
+	// chain (set only when the request armed degraded_discount).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // TopKResponse is the POST /v1/topk response; vaqtopk -json emits the
@@ -158,6 +171,9 @@ type TopKResponse struct {
 	// before the stopping condition and TopKRequest.Partial asked for
 	// the best-so-far ranking (lower-bound scores) instead of a 504.
 	Incomplete bool `json:"incomplete,omitempty"`
+	// DegradedClips counts degraded clips inside the query's candidate
+	// sequences (populated when degraded_discount was armed).
+	DegradedClips int `json:"degraded_clips,omitempty"`
 }
 
 // TracezResponse is the GET /tracez payload: the tracer's retained

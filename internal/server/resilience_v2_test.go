@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"vaq/internal/fault"
+	"vaq/internal/resilience"
+)
+
+// TestHedgedSessionsDeterministic is the metamorphic determinism test
+// for resilience v2: with hedging armed over a stacked error+latency
+// schedule — and every remaining decision a pure hash of its
+// coordinates (no deadline, no breaker) — concurrent sessions over the
+// same workload must produce byte-identical sequences, degraded
+// totals and fallback hop counts. Hedge replicas re-draw only their
+// latency; which racer wins moves wall-clock time, never bytes. Hedge
+// *counters* are timing-dependent by design and deliberately excluded
+// from the comparison. Run under -race.
+func TestHedgedSessionsDeterministic(t *testing.T) {
+	// 4% latency episodes keep the observed p95 in the fast mass, so
+	// hedges actually fire once armed; 300µs is far above the 100µs
+	// hedge floor.
+	sched, err := fault.Parse(42, "error:0-60:0.9,error:0-:0.05,latency:0-:0.04:300us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{
+		Workers:       4,
+		FaultSchedule: sched,
+		Resilience:    &resilience.Policy{MaxRetries: 2, Seed: 7, HedgeQuantile: 0.95},
+	})
+
+	const nSessions = 3
+	ids := make([]string, nSessions)
+	for i := range ids {
+		var info SessionInfo
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+			CreateSessionRequest{Workload: "q2", Scale: 0.1}, &info)
+		if code != http.StatusCreated {
+			t.Fatalf("create session %d: status %d", i, code)
+		}
+		ids[i] = info.ID
+	}
+	results := make([]ResultsResponse, nSessions)
+	infos := make([]SessionInfo, nSessions)
+	for i, id := range ids {
+		results[i] = pollDone(t, ts.URL, id)
+		if results[i].State != StateDone {
+			t.Fatalf("session %s ended %q, want %q", id, results[i].State, StateDone)
+		}
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil, &infos[i]); code != http.StatusOK {
+			t.Fatalf("status %s: %d", id, code)
+		}
+	}
+	for i := 1; i < nSessions; i++ {
+		if !reflect.DeepEqual(results[i].Sequences, results[0].Sequences) {
+			t.Errorf("session %s sequences diverge from %s under identical faults:\n%v\nvs\n%v",
+				ids[i], ids[0], results[i].Sequences, results[0].Sequences)
+		}
+		if results[i].Degraded != results[0].Degraded ||
+			results[i].DegradedUnits != results[0].DegradedUnits {
+			t.Errorf("session %s degradation (%v, %d units) diverges from %s (%v, %d units)",
+				ids[i], results[i].Degraded, results[i].DegradedUnits,
+				ids[0], results[0].Degraded, results[0].DegradedUnits)
+		}
+		if !reflect.DeepEqual(infos[i].FallbackHops, infos[0].FallbackHops) {
+			t.Errorf("session %s fallback hops %v diverge from %s %v",
+				ids[i], infos[i].FallbackHops, ids[0], infos[0].FallbackHops)
+		}
+	}
+	if !results[0].Degraded || results[0].DegradedUnits == 0 {
+		t.Errorf("no degradation under a 90%% error burst: %+v", results[0])
+	}
+	// The metamorphic claim is only interesting if hedges actually ran.
+	var hedges int64
+	for _, info := range infos {
+		hedges += info.Hedges
+	}
+	if hedges == 0 {
+		t.Error("no hedge fired across any session; the latency episodes should outlive the hedge delay")
+	}
+}
+
+// TestMetricszResilienceGolden pins the aggregation path: the
+// /metricsz resilience block must equal the field-wise sum of every
+// session's own stats — Stats.Add is the single roll-up both views
+// share, so a drift here means a counter was double-counted or lost.
+func TestMetricszResilienceGolden(t *testing.T) {
+	sched, err := fault.Parse(42, "error:0-80:0.9,error:0-:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{
+		Workers:       4,
+		FaultSchedule: sched,
+		Resilience:    chaosPolicy(),
+	})
+
+	const nSessions = 3
+	ids := make([]string, nSessions)
+	for i := range ids {
+		var info SessionInfo
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+			CreateSessionRequest{Workload: "q2", Scale: 0.1}, &info)
+		if code != http.StatusCreated {
+			t.Fatalf("create session %d: status %d", i, code)
+		}
+		ids[i] = info.ID
+	}
+	var want resilience.Stats
+	for _, id := range ids {
+		if got := pollDone(t, ts.URL, id); got.State != StateDone {
+			t.Fatalf("session %s ended %q, want %q", id, got.State, StateDone)
+		}
+	}
+	// Sessions are terminal: their stats are static now, so the sum is
+	// exact, not racing the engines.
+	for _, id := range ids {
+		var info SessionInfo
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil, &info); code != http.StatusOK {
+			t.Fatalf("status %s: %d", id, code)
+		}
+		want.Add(resilience.Stats{
+			Retries:       info.Retries,
+			Fallbacks:     info.Fallbacks,
+			DegradedUnits: info.DegradedUnits,
+			Hedges:        info.Hedges,
+			FallbackHops:  info.FallbackHops,
+		})
+	}
+	if want.Retries == 0 || want.Fallbacks == 0 {
+		t.Fatalf("sessions saw no resilience activity to aggregate: %+v", want)
+	}
+
+	var mz MetricsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metricsz", nil, &mz); code != http.StatusOK {
+		t.Fatalf("metricsz: status %d", code)
+	}
+	if mz.Resilience == nil {
+		t.Fatal("metricsz has no resilience aggregate")
+	}
+	got := *mz.Resilience
+	if got.Retries != want.Retries {
+		t.Errorf("aggregate Retries = %d, sessions sum to %d", got.Retries, want.Retries)
+	}
+	if got.Fallbacks != want.Fallbacks {
+		t.Errorf("aggregate Fallbacks = %d, sessions sum to %d", got.Fallbacks, want.Fallbacks)
+	}
+	if got.DegradedUnits != want.DegradedUnits {
+		t.Errorf("aggregate DegradedUnits = %d, sessions sum to %d", got.DegradedUnits, want.DegradedUnits)
+	}
+	if got.Hedges != want.Hedges {
+		t.Errorf("aggregate Hedges = %d, sessions sum to %d", got.Hedges, want.Hedges)
+	}
+	if !reflect.DeepEqual(got.FallbackHops, want.FallbackHops) {
+		t.Errorf("aggregate FallbackHops = %v, sessions sum to %v", got.FallbackHops, want.FallbackHops)
+	}
+}

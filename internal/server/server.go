@@ -55,6 +55,24 @@ type Config struct {
 	// top-k requests are rejected with 503 + Retry-After instead of
 	// queuing unboundedly. 0 disables shedding.
 	ShedWait time.Duration
+	// HedgeQuantile arms hedged requests on session backends: an
+	// attempt outliving this observed latency quantile races a second
+	// call, first result wins (see resilience.Policy.HedgeQuantile).
+	// 0 leaves the policy's own setting.
+	HedgeQuantile float64
+	// LabelBreaker adds per-(backend, label) circuit breakers inside
+	// the per-backend one, so a single broken label sheds only itself.
+	LabelBreaker bool
+	// AdaptiveRetries arms the adaptive retry budget: as the p90
+	// worker-pool queue wait warms toward this threshold, session
+	// retry budgets shrink linearly to zero (retries are poison under
+	// overload). 0 disables.
+	AdaptiveRetries time.Duration
+	// FallbackChain names cheaper detector profiles (maskrcnn, yolov3,
+	// ideal) tried in order for units the primary cannot serve; the
+	// bgprob prior stays the implicit final hop. Validate with
+	// ValidateFallbackChain before serving.
+	FallbackChain []string
 }
 
 func (c Config) withDefaults() Config {
@@ -76,11 +94,12 @@ func (c Config) withDefaults() Config {
 // Server hosts the HTTP API. Build with New, mount Handler, and call
 // Shutdown to drain.
 type Server struct {
-	cfg  Config
-	reg  *Registry
-	met  *metrics
-	mux  *http.ServeMux
-	shed *shedWindow
+	cfg    Config
+	reg    *Registry
+	met    *metrics
+	mux    *http.ServeMux
+	shed   *shedWindow
+	budget *resilience.AdaptiveBudget // nil unless AdaptiveRetries armed
 }
 
 // New builds a server and its routes.
@@ -94,7 +113,17 @@ func New(cfg Config) *Server {
 		shed: newShedWindow(cfg.ShedWait),
 	}
 	s.reg.SetTracer(cfg.Tracer)
-	s.reg.Pool().SetObserver(s.shed.observe)
+	if cfg.AdaptiveRetries > 0 {
+		// The budget rides the same queue-wait signal as the shed
+		// window: one pool observer feeds both.
+		s.budget = resilience.NewAdaptiveBudget(cfg.AdaptiveRetries)
+		s.reg.Pool().SetObserver(func(w time.Duration) {
+			s.shed.observe(w)
+			s.budget.Observe(w)
+		})
+	} else {
+		s.reg.Pool().SetObserver(s.shed.observe)
+	}
 	route := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.met.instrument(pattern, h))
 	}
@@ -197,6 +226,17 @@ func loadWorkload(name string, scale float64) (*synth.QuerySet, error) {
 	return nil, fmt.Errorf("unknown workload %q (want q1..q12 or one of %v)", name, synth.MovieNames())
 }
 
+// ValidateFallbackChain rejects unknown profile names in a configured
+// fallback chain, so vaqd fails at startup instead of per session.
+func ValidateFallbackChain(names []string) error {
+	for _, m := range names {
+		if _, _, err := modelProfiles(m); err != nil {
+			return fmt.Errorf("fallback chain: %w", err)
+		}
+	}
+	return nil
+}
+
 func modelProfiles(model string) (detect.Profile, detect.Profile, error) {
 	switch model {
 	case "", "maskrcnn":
@@ -255,7 +295,27 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Resilience != nil {
 		pol = *s.cfg.Resilience
 	}
-	models := resilience.WrapFallible(fdet, frec, pol, resilience.Options{Tracer: s.cfg.Tracer})
+	if s.cfg.HedgeQuantile > 0 {
+		pol.HedgeQuantile = s.cfg.HedgeQuantile
+	}
+	if s.cfg.LabelBreaker {
+		pol.LabelBreaker = true
+	}
+	ropt := resilience.Options{Tracer: s.cfg.Tracer, Budget: s.budget}
+	// The fallback chain hops are independent cheaper backends over the
+	// same scene; the fault schedule stays on the primary only.
+	for _, m := range s.cfg.FallbackChain {
+		objFB, actFB, err := modelProfiles(m)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "bad_fallback_chain", err.Error(), nil)
+			return
+		}
+		ropt.FallbackObjects = append(ropt.FallbackObjects,
+			detect.AsFallibleObject(detect.NewSimObjectDetector(scene, objFB, nil)))
+		ropt.FallbackActions = append(ropt.FallbackActions,
+			detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, actFB, nil)))
+	}
+	models := resilience.WrapFallible(fdet, frec, pol, ropt)
 	det, rec := models.Det, models.Rec
 	meta := qs.World.Truth.Meta
 
@@ -429,6 +489,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_timeout", "timeout_ms must be non-negative", nil)
 		return
 	}
+	if req.DegradedDiscount < 0 || req.DegradedDiscount > 1 {
+		writeErr(w, http.StatusBadRequest, "bad_discount", "degraded_discount must be in [0, 1]", nil)
+		return
+	}
 
 	// Offline queries honour the request context and draw worker slots
 	// from the registry's session pool, so online and offline work
@@ -439,7 +503,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	qspan.SetAttr("video", req.Video)
 	qspan.SetInt("k", int64(k))
 	defer qspan.End()
-	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial}
+	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount}
 	if req.TimeoutMS > 0 {
 		// The per-request deadline layers inside the handler's
 		// RequestTimeout context, so it can only shorten it.
@@ -461,7 +525,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, res := range results {
 			resp.Results = append(resp.Results, TopKEntry{
-				Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score,
+				Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score, Degraded: res.Degraded,
 			})
 		}
 		resp.RuntimeUS = stats.Runtime.Microseconds()
@@ -469,6 +533,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
 		resp.Incomplete = stats.Incomplete
+		resp.DegradedClips = stats.DegradedClips
 		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	} else {
 		results, stats, err := s.cfg.Repo.TopKGlobalOpts(q, k, eo)
@@ -487,7 +552,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, res := range results {
 			resp.Results = append(resp.Results, TopKEntry{
-				Video: res.Video, Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score,
+				Video: res.Video, Seq: Range{Lo: res.Seq.Lo, Hi: res.Seq.Hi}, Score: res.Score, Degraded: res.Degraded,
 			})
 		}
 		resp.RuntimeUS = stats.Runtime.Microseconds()
@@ -495,6 +560,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.RandomAccesses = stats.Accesses.Random
 		resp.Candidates = stats.Candidates
 		resp.Incomplete = stats.Incomplete
+		resp.DegradedClips = stats.DegradedClips
 		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	}
 	writeJSON(w, http.StatusOK, resp)

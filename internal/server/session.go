@@ -243,6 +243,8 @@ func (s *Session) Info() SessionInfo {
 		info.DegradedUnits = rst.DegradedUnits
 		info.Retries = rst.Retries
 		info.Fallbacks = rst.Fallbacks
+		info.Hedges = rst.Hedges
+		info.FallbackHops = rst.FallbackHops
 		if rst.BreakerState != resilience.StateClosed.String() {
 			info.BreakerState = rst.BreakerState
 		}

@@ -342,6 +342,12 @@ type ExecOptions struct {
 	// never got to run (deadline spent waiting for a worker slot)
 	// returns empty results, still flagged Incomplete.
 	Partial bool
+	// DegradedDiscount, in (0, 1], down-weights clips the repository
+	// marked degraded at ingest time (their model outputs came from the
+	// resilience fallback chain): each degraded clip's score is
+	// multiplied by (1 − DegradedDiscount) and matching results carry
+	// TopKResult.Degraded. 0 disables.
+	DegradedDiscount float64
 }
 
 func (eo ExecOptions) ctx() context.Context {
@@ -364,6 +370,7 @@ func (eo ExecOptions) queryCtx() (context.Context, context.CancelFunc) {
 func (eo ExecOptions) rvaqOptions() rvaq.Options {
 	opts := rvaq.DefaultOptions()
 	opts.Partial = eo.Partial
+	opts.DegradedDiscount = eo.DegradedDiscount
 	return opts
 }
 
@@ -486,7 +493,7 @@ func (r *Repository) topKGlobalMerged(names []string, q Query, k int, eo ExecOpt
 		if !ok {
 			return nil, stats, fmt.Errorf("vaq: result %v outside every video span", sr.Seq)
 		}
-		out = append(out, VideoTopKResult{Video: name, TopKResult: TopKResult{Seq: local, Score: sr.Score}})
+		out = append(out, VideoTopKResult{Video: name, TopKResult: TopKResult{Seq: local, Score: sr.Score, Degraded: sr.Degraded}})
 	}
 	return out, stats, nil
 }
