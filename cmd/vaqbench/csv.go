@@ -166,6 +166,17 @@ func (s *csvSink) hedge(res *experiments.HedgeResult) error {
 	}})
 }
 
+func (s *csvSink) manySessions(res *experiments.ManySessionsResult) error {
+	return s.write("manysessions", []string{
+		"sessions", "clips", "baseline_calls", "shared_calls", "reduction",
+		"cache_hits", "coalesced", "identical",
+	}, [][]string{{
+		fint(res.Sessions), fint(res.Clips), fint64(res.BaselineCalls), fint64(res.SharedCalls),
+		ffloat(res.Reduction), fint64(res.CacheHits), fint64(res.Coalesced),
+		strconv.FormatBool(res.Identical),
+	}})
+}
+
 func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {

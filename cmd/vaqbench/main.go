@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead, chaos, hedge.
+// trace-overhead, chaos, hedge, manysessions.
 package main
 
 import (
@@ -149,6 +149,13 @@ func main() {
 				return err
 			}
 			return sink.hedge(res)
+		}},
+		{[]string{"manysessions", "many-sessions"}, func() error {
+			res, err := ctx.ManySessions()
+			if err != nil {
+				return err
+			}
+			return sink.manySessions(res)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

@@ -25,7 +25,9 @@ import (
 
 	"vaq"
 	"vaq/internal/detect"
+	"vaq/internal/infer"
 	"vaq/internal/ingest"
+	"vaq/internal/resilience"
 	"vaq/internal/rvaq"
 	"vaq/internal/server"
 	"vaq/internal/synth"
@@ -49,6 +51,8 @@ func main() {
 		deadlineFlag = flag.Duration("deadline", 0, "bound the whole query (0 = none)")
 		partialFlag  = flag.Bool("partial", false, "on deadline expiry return the best-so-far ranking flagged incomplete instead of failing")
 		discountFlag = flag.Float64("discount", 0, "down-weight clips the repository marked degraded at ingest by this factor in (0, 1] and flag matching results (0 = off)")
+		batchWFlag   = flag.Duration("batch-window", 0, "micro-batch same-label detector calls during -synth ingestion (0 = off)")
+		batchNFlag   = flag.Int("batch-max", infer.DefaultBatchMax, "max units per micro-batched detector call")
 	)
 	flag.Parse()
 	if *discountFlag < 0 || *discountFlag > 1 {
@@ -87,7 +91,7 @@ func main() {
 	var repo *vaq.Repository
 	var err error
 	if *synthFlag != "" {
-		repo, err = ingestSynth(ctx, *synthFlag, *scaleFlag, &q)
+		repo, err = ingestSynth(ctx, *synthFlag, *scaleFlag, *batchWFlag, *batchNFlag, &q)
 	} else {
 		repo, err = vaq.OpenRepository(*dirFlag)
 	}
@@ -201,7 +205,7 @@ func main() {
 // land in the same tree as the query's. An empty query is filled from
 // the first movie's own Table 2 query. The backing directory is removed
 // before returning — the repository keeps every video in memory.
-func ingestSynth(ctx context.Context, names string, scale float64, q *vaq.Query) (*vaq.Repository, error) {
+func ingestSynth(ctx context.Context, names string, scale float64, batchWindow time.Duration, batchMax int, q *vaq.Query) (*vaq.Repository, error) {
 	tmp, err := os.MkdirTemp("", "vaqtopk-synth-")
 	if err != nil {
 		return nil, err
@@ -224,8 +228,21 @@ func ingestSynth(ctx context.Context, names string, scale float64, q *vaq.Query)
 			*q = qs.Query
 		}
 		scene := qs.World.Scene()
-		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
-		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		var det detect.ObjectDetector = detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		var rec detect.ActionRecognizer = detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		if batchWindow > 0 {
+			// Route ingest invocations through the micro-batcher; results
+			// are byte-identical to per-unit calls, so the repository — and
+			// therefore the query answer — doesn't change, only the call
+			// count. The pass-through resilience wrap restores the plain
+			// detector interfaces IngestVideoCtx consumes.
+			sh := infer.New(infer.Config{BatchWindow: batchWindow, BatchMax: batchMax})
+			models := resilience.WrapFallible(
+				sh.Object(detect.AsFallibleObject(det)),
+				sh.Action(detect.AsFallibleAction(rec)),
+				resilience.DefaultPolicy(), resilience.Options{})
+			det, rec = models.Det, models.Rec
+		}
 		truth := qs.World.Truth
 		vd, err := vaq.IngestVideoCtx(ctx, det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(),
 			vaq.IngestConfig{Workers: runtime.NumCPU()})

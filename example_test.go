@@ -63,6 +63,46 @@ func ExampleNewStream() {
 	// {[10,19]}
 }
 
+// ExampleWithSharedInference runs the same query twice through one
+// SharedInference domain: the second stream's model invocations are all
+// served from the shared score cache, so the backends are never called
+// again.
+func ExampleWithSharedInference() {
+	scene, geom, nclips := exampleScene()
+	var meter detect.CostMeter
+	det := detect.NewSimObjectDetector(scene, detect.IdealObject, &meter)
+	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, &meter)
+
+	si := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 16})
+	plan, _ := vaq.ParseQuery(`
+		SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID, obj, act)
+		WHERE act = 'loading' AND obj.include('truck')`)
+	run := func() interval.Set {
+		stream, err := vaq.NewStream(plan, det, rec, geom, vaq.StreamConfig{
+			Dynamic: true, HorizonClips: nclips,
+		}, vaq.WithSharedInference(si))
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs, err := stream.Run(nclips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return seqs
+	}
+
+	first := run()
+	callsAfterFirst := meter.Calls()
+	second := run()
+	fmt.Println("sequences:", first)
+	fmt.Println("same answer:", second.Equal(first))
+	fmt.Println("backend calls added by second run:", meter.Calls()-callsAfterFirst)
+	// Output:
+	// sequences: {[10,19]}
+	// same answer: true
+	// backend calls added by second run: 0
+}
+
 // ExampleRepository_TopK ingests a video and answers an offline top-k
 // query with RVAQ.
 func ExampleRepository_TopK() {

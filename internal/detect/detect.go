@@ -77,6 +77,24 @@ type ActionRecognizer interface {
 	Recognize(s video.ShotIdx, labels []annot.Label) []ActionScore
 }
 
+// BatchObjectDetector is the optional vectorized face of an object
+// detector: one call scores many frames for the same label set,
+// amortising per-invocation overhead (GPU batch dispatch in the real
+// systems the paper cites). DetectBatch(vs, labels)[i] must be
+// byte-identical to Detect(vs[i], labels) — batching is a cost
+// optimisation, never a semantic one.
+type BatchObjectDetector interface {
+	ObjectDetector
+	DetectBatch(vs []video.FrameIdx, labels []annot.Label) [][]Detection
+}
+
+// BatchActionRecognizer is the shot-level counterpart of
+// BatchObjectDetector.
+type BatchActionRecognizer interface {
+	ActionRecognizer
+	RecognizeBatch(ss []video.ShotIdx, labels []annot.Label) [][]ActionScore
+}
+
 // ScoreDist is a simple symmetric score distribution: Mean ± Spread
 // (triangular via the sum of two uniforms).
 type ScoreDist struct {
@@ -174,6 +192,23 @@ func (m *CostMeter) Add(d time.Duration) {
 		return
 	}
 	m.nanos.Add(int64(d))
+	m.calls.Add(1)
+}
+
+// BatchMarginal is the simulated marginal cost of each additional unit
+// in a vectorized batch, as a fraction of the per-invocation cost: the
+// first unit pays the full dispatch cost, later units ride in the same
+// batch (EXPERIMENTS.md records the calibration alongside Profile.Cost).
+const BatchMarginal = 0.25
+
+// AddBatch records one vectorized invocation covering n units: one call,
+// full cost for the first unit plus BatchMarginal per additional unit.
+func (m *CostMeter) AddBatch(d time.Duration, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	cost := float64(d) * (1 + BatchMarginal*float64(n-1))
+	m.nanos.Add(int64(cost))
 	m.calls.Add(1)
 }
 

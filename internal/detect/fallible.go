@@ -72,7 +72,18 @@ type infallibleObject struct{ d ObjectDetector }
 func (a infallibleObject) Name() string       { return a.d.Name() }
 func (a infallibleObject) InfallibleBackend() {}
 
-func (a infallibleObject) DetectCtx(_ context.Context, v video.FrameIdx, labels []annot.Label) ([]Detection, error) {
+// Unwrap exposes the adapted detector so layers below the adapter (the
+// micro-batcher in package infer) can discover optional capabilities
+// such as BatchObjectDetector.
+func (a infallibleObject) Unwrap() ObjectDetector { return a.d }
+
+// DetectCtx honours ctx before invoking: a cancelled or expired session
+// must not spend (simulated or real) inference on dead work — cache-miss
+// storms after a client disconnect would otherwise still run the model.
+func (a infallibleObject) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return a.d.Detect(v, labels), nil
 }
 
@@ -81,6 +92,13 @@ type infallibleAction struct{ r ActionRecognizer }
 func (a infallibleAction) Name() string       { return a.r.Name() }
 func (a infallibleAction) InfallibleBackend() {}
 
-func (a infallibleAction) RecognizeCtx(_ context.Context, s video.ShotIdx, labels []annot.Label) ([]ActionScore, error) {
+// Unwrap exposes the adapted recognizer (see infallibleObject.Unwrap).
+func (a infallibleAction) Unwrap() ActionRecognizer { return a.r }
+
+// RecognizeCtx honours ctx before invoking (see infallibleObject).
+func (a infallibleAction) RecognizeCtx(ctx context.Context, s video.ShotIdx, labels []annot.Label) ([]ActionScore, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return a.r.Recognize(s, labels), nil
 }

@@ -70,6 +70,25 @@ func (d *SimObjectDetector) Name() string { return d.profile.Name }
 // (scene seed, label, frame) regardless of invocation order.
 func (d *SimObjectDetector) Detect(v video.FrameIdx, labels []annot.Label) []Detection {
 	d.meter.Add(d.profile.Cost)
+	return d.detectAll(v, labels)
+}
+
+// DetectBatch implements BatchObjectDetector: one metered invocation
+// covering every frame, byte-identical results to per-frame Detect
+// calls (each unit is a pure function of (scene seed, label, frame)).
+func (d *SimObjectDetector) DetectBatch(vs []video.FrameIdx, labels []annot.Label) [][]Detection {
+	if len(vs) == 0 {
+		return nil
+	}
+	d.meter.AddBatch(d.profile.Cost, len(vs))
+	out := make([][]Detection, len(vs))
+	for i, v := range vs {
+		out[i] = d.detectAll(v, labels)
+	}
+	return out
+}
+
+func (d *SimObjectDetector) detectAll(v video.FrameIdx, labels []annot.Label) []Detection {
 	var out []Detection
 	for _, label := range labels {
 		out = append(out, d.detectLabel(v, label)...)
@@ -188,6 +207,24 @@ func (r *SimActionRecognizer) Name() string { return r.profile.Name }
 // (scene seed, label, shot).
 func (r *SimActionRecognizer) Recognize(s video.ShotIdx, labels []annot.Label) []ActionScore {
 	r.meter.Add(r.profile.Cost)
+	return r.recognizeAll(s, labels)
+}
+
+// RecognizeBatch implements BatchActionRecognizer: one metered
+// invocation covering every shot, byte-identical to per-shot Recognize.
+func (r *SimActionRecognizer) RecognizeBatch(ss []video.ShotIdx, labels []annot.Label) [][]ActionScore {
+	if len(ss) == 0 {
+		return nil
+	}
+	r.meter.AddBatch(r.profile.Cost, len(ss))
+	out := make([][]ActionScore, len(ss))
+	for i, s := range ss {
+		out[i] = r.recognizeAll(s, labels)
+	}
+	return out
+}
+
+func (r *SimActionRecognizer) recognizeAll(s video.ShotIdx, labels []annot.Label) []ActionScore {
 	var out []ActionScore
 	frame := int(s) * r.scene.Truth.Meta.Geom.ShotLen
 	for _, label := range labels {

@@ -69,7 +69,18 @@ func (t *Tracker) Update(v video.FrameIdx, dets []Detection) []Detection {
 			}
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].iou > pairs[j].iou })
+	// Equal-IoU pairs tie-break on (detection index, track index) so
+	// association is deterministic — sort.Slice alone is unstable and
+	// would let ties pick arbitrary winners run to run.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].iou != pairs[j].iou {
+			return pairs[i].iou > pairs[j].iou
+		}
+		if pairs[i].det != pairs[j].det {
+			return pairs[i].det < pairs[j].det
+		}
+		return pairs[i].trk < pairs[j].trk
+	})
 	usedDet := make([]bool, len(dets))
 	usedTrk := make([]bool, len(t.active))
 	for _, p := range pairs {

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"sync"
+
+	"vaq"
+	"vaq/internal/detect"
+)
+
+// ManySessionsResult reports the cross-session shared-inference study:
+// N concurrent online sessions running the same query over the same
+// video, with and without the shared-inference layer between them.
+// Since >98% of online runtime is model inference, the invocation
+// reduction is (almost exactly) the serving-capacity multiplier.
+type ManySessionsResult struct {
+	Sessions      int
+	Clips         int
+	BaselineCalls int64 // backend invocations, one stack per session
+	SharedCalls   int64 // backend invocations through one shared domain
+	Reduction     float64
+	CacheHits     int64
+	Coalesced     int64 // duplicate in-flight calls absorbed by dedup
+	Identical     bool  // every session, both legs, same sequences
+}
+
+// ManySessions runs the cross-query inference sharing experiment: eight
+// concurrent sessions of the blowing-leaves query over one video. The
+// baseline leg gives every session its own detector stack; the shared
+// leg routes all of them through one SharedInference domain (dedup +
+// memo cache; the batch window stays 0 so the invocation count is a
+// deterministic function of the distinct unit keys). Every session must
+// report identical sequences on both legs, and the shared leg must cut
+// backend invocations at least 5x — with a full cache each distinct
+// (unit, label) is invoked once, so the expected reduction is ~N.
+func (c *Context) ManySessions() (*ManySessionsResult, error) {
+	const sessions = 8
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	meta := qs.World.Truth.Meta
+	cfg := vaq.StreamConfig{Dynamic: true, HorizonClips: meta.Clips()}
+
+	runLeg := func(mk func(i int) (vaq.ObjectDetector, vaq.ActionRecognizer, []vaq.StreamOption)) ([]vaq.Sequences, error) {
+		seqs := make([]vaq.Sequences, sessions)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				det, rec, opts := mk(i)
+				stream, err := vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, cfg, opts...)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				seqs[i], errs[i] = stream.Run(meta.Clips())
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return seqs, nil
+	}
+
+	// Baseline: a private detector stack per session; one atomic meter
+	// totals the invocations across all of them.
+	var baseMeter detect.CostMeter
+	baseSeqs, err := runLeg(func(int) (vaq.ObjectDetector, vaq.ActionRecognizer, []vaq.StreamOption) {
+		return detect.NewSimObjectDetector(scene, c.ObjProfile, &baseMeter),
+			detect.NewSimActionRecognizer(scene, c.ActProfile, &baseMeter), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared: one backend pair behind a SharedInference domain; every
+	// session wraps the same pair, so the cache and dedup group span all
+	// of them. The cache is sized to hold the video's full working set.
+	var sharedMeter detect.CostMeter
+	si := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 18})
+	sdet := detect.NewSimObjectDetector(scene, c.ObjProfile, &sharedMeter)
+	srec := detect.NewSimActionRecognizer(scene, c.ActProfile, &sharedMeter)
+	sharedSeqs, err := runLeg(func(int) (vaq.ObjectDetector, vaq.ActionRecognizer, []vaq.StreamOption) {
+		return sdet, srec, []vaq.StreamOption{vaq.WithSharedInference(si)}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	identical := true
+	for i := 0; i < sessions; i++ {
+		if !baseSeqs[i].Equal(baseSeqs[0]) || !sharedSeqs[i].Equal(baseSeqs[0]) {
+			identical = false
+		}
+	}
+	st := si.Stats()
+	res := &ManySessionsResult{
+		Sessions:      sessions,
+		Clips:         meta.Clips(),
+		BaselineCalls: baseMeter.Calls(),
+		SharedCalls:   sharedMeter.Calls(),
+		CacheHits:     st.CacheHits,
+		Coalesced:     st.Coalesced,
+		Identical:     identical,
+	}
+	if res.SharedCalls > 0 {
+		res.Reduction = float64(res.BaselineCalls) / float64(res.SharedCalls)
+	}
+	c.printf("Many sessions (%d concurrent sessions, %d clips, %v):\n", sessions, res.Clips, qs.Query)
+	c.printf("  baseline (per-session stacks): %8d backend invocations\n", res.BaselineCalls)
+	c.printf("  shared inference:              %8d backend invocations  (%.1fx reduction)\n",
+		res.SharedCalls, res.Reduction)
+	c.printf("  cache hits %d, coalesced in-flight %d, identical sequences: %v\n",
+		res.CacheHits, res.Coalesced, res.Identical)
+	return res, nil
+}

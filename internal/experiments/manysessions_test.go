@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestManySessionsQuick runs the many-sessions experiment at test scale
+// and checks the PR's acceptance criteria: sharing one inference domain
+// across N identical sessions cuts backend invocations at least 5x, and
+// every session still produces the baseline's exact sequences.
+func TestManySessionsQuick(t *testing.T) {
+	res, err := Quick(nil).ManySessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions < 8 {
+		t.Fatalf("sessions = %d, want >= 8", res.Sessions)
+	}
+	if res.BaselineCalls == 0 || res.SharedCalls == 0 {
+		t.Fatalf("degenerate legs: baseline %d, shared %d", res.BaselineCalls, res.SharedCalls)
+	}
+	if res.Reduction < 5 {
+		t.Errorf("invocation reduction %.2fx, want >= 5x", res.Reduction)
+	}
+	if !res.Identical {
+		t.Error("shared-inference leg diverged from the baseline sequences")
+	}
+	if res.CacheHits == 0 {
+		t.Error("no cache hits across identical sessions")
+	}
+}

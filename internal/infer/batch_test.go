@@ -1,0 +1,188 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vaq/internal/annot"
+)
+
+// echoRun returns each unit's value as 10*unit, recording every flush.
+func echoRun(flushes *[][]int, mu *sync.Mutex) func(context.Context, []int, []annot.Label) ([]int, error) {
+	return func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
+		mu.Lock()
+		*flushes = append(*flushes, append([]int(nil), units...))
+		mu.Unlock()
+		out := make([]int, len(units))
+		for i, u := range units {
+			out[i] = 10 * u
+		}
+		return out, nil
+	}
+}
+
+func TestBatchWindowGroupsArrivals(t *testing.T) {
+	var mu sync.Mutex
+	var flushes [][]int
+	acc := newAccumulator(30*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
+
+	const n = 4
+	got := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := acc.do(context.Background(), "L", i, []annot.Label{"car"})
+			if err != nil {
+				t.Errorf("unit %d: %v", i, err)
+			}
+			got[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got[i] != 10*i {
+			t.Fatalf("unit %d got %d, want %d", i, got[i], 10*i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) != 1 {
+		t.Fatalf("flushes = %v, want one combined batch", flushes)
+	}
+	if len(flushes[0]) != n {
+		t.Fatalf("batch covered %d units, want %d", len(flushes[0]), n)
+	}
+}
+
+func TestBatchMaxFlushesWithoutWaiting(t *testing.T) {
+	var mu sync.Mutex
+	var flushes [][]int
+	// An hour-long window: only the maxN trigger can flush in test time.
+	acc := newAccumulator(time.Hour, 2, echoRun(&flushes, &mu), nil)
+
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			v, _ := acc.do(context.Background(), "L", i, nil)
+			done <- v
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("batch never flushed at maxN")
+		}
+	}
+}
+
+func TestBatchDistinctKeysDoNotMix(t *testing.T) {
+	var mu sync.Mutex
+	var flushes [][]int
+	acc := newAccumulator(20*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
+
+	var wg sync.WaitGroup
+	for i, key := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			if _, err := acc.do(context.Background(), key, i, nil); err != nil {
+				t.Errorf("key %s: %v", key, err)
+			}
+		}(i, key)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) != 2 {
+		t.Fatalf("flushes = %v, want two single-unit batches", flushes)
+	}
+}
+
+func TestBatchShapeErrorFansOut(t *testing.T) {
+	bad := func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
+		return make([]int, len(units)+1), nil
+	}
+	acc := newAccumulator(5*time.Millisecond, 100, bad, nil)
+	if _, err := acc.do(context.Background(), "L", 0, nil); !errors.Is(err, errBatchShape) {
+		t.Fatalf("err = %v, want errBatchShape", err)
+	}
+}
+
+func TestBatchRunErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	fail := func(context.Context, []int, []annot.Label) ([]int, error) { return nil, boom }
+	acc := newAccumulator(5*time.Millisecond, 100, fail, nil)
+	if _, err := acc.do(context.Background(), "L", 0, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestBatchWaiterCancelAbandonsOnlyItsWait(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	run := func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		out := make([]int, len(units))
+		for i, u := range units {
+			out[i] = u
+		}
+		return out, nil
+	}
+	acc := newAccumulator(5*time.Millisecond, 100, run, nil)
+
+	survivor := make(chan int, 1)
+	go func() {
+		v, _ := acc.do(context.Background(), "L", 1, nil)
+		survivor <- v
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := acc.do(ctx, "L", 2, nil)
+		cancelled <- err
+	}()
+	<-entered // the batch (with both members) is mid-flush
+	cancel()
+	if err := <-cancelled; err != context.Canceled {
+		t.Fatalf("cancelled member err = %v, want context.Canceled", err)
+	}
+	close(release)
+	select {
+	case v := <-survivor:
+		if v != 1 {
+			t.Fatalf("survivor got %d, want 1", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving member starved after a peer cancelled")
+	}
+}
+
+func TestBatchObserveReportsSize(t *testing.T) {
+	var n atomic.Int64
+	obs := func(size int, _ time.Duration) { n.Store(int64(size)) }
+	var mu sync.Mutex
+	var flushes [][]int
+	acc := newAccumulator(time.Hour, 3, echoRun(&flushes, &mu), obs)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acc.do(context.Background(), "L", i, nil)
+		}(i)
+	}
+	wg.Wait()
+	if n.Load() != 3 {
+		t.Fatalf("observed batch size %d, want 3", n.Load())
+	}
+}

@@ -1,0 +1,140 @@
+package infer
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"vaq/internal/trace"
+)
+
+// cache is the bounded memo store: map lookup, second-chance CLOCK
+// eviction over a fixed ring, and a TinyLFU-style doorkeeper gating
+// admission once the ring is full. Values are opaque (detection or
+// action-score slices); callers clone on both put and get.
+//
+// Admission only engages under eviction pressure: while the ring has
+// free slots every miss is admitted directly — the doorkeeper's job is
+// to stop one-hit wonders from displacing resident entries, not to tax
+// a cold cache with double misses.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*centry
+	ring    []*centry
+	hand    int
+	door    map[uint64]struct{}
+	seed    maphash.Seed
+
+	hits, misses                    atomic.Int64
+	admitted, evicted, doorRejected atomic.Int64
+
+	// Mirror trace counters (nil-safe): /varz reads these, Stats() reads
+	// the atomics above; both must move together.
+	cAdmit, cEvict, cDoor *trace.Counter
+}
+
+type centry struct {
+	key string
+	val any
+	ref bool
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		cap:     capacity,
+		entries: make(map[string]*centry, capacity),
+		ring:    make([]*centry, 0, capacity),
+		door:    make(map[uint64]struct{}),
+		seed:    maphash.MakeSeed(),
+	}
+}
+
+// get returns the cached value for key, marking the entry recently used.
+func (c *cache) get(key string) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		e.ref = true
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts or refreshes key. Under eviction pressure a first-seen
+// key is remembered in the doorkeeper and rejected; its second miss is
+// admitted, evicting via second chance.
+func (c *cache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		e.ref = true
+		return
+	}
+	if len(c.ring) >= c.cap {
+		h := maphash.String(c.seed, key)
+		if _, seen := c.door[h]; !seen {
+			// First sighting under pressure: remember, do not admit.
+			// Reset the doorkeeper when it grows well past the cache —
+			// the epoch reset is what keeps "seen" approximately recent.
+			if len(c.door) > 8*c.cap {
+				c.door = make(map[uint64]struct{})
+			}
+			c.door[h] = struct{}{}
+			c.doorRejected.Add(1)
+			c.cDoor.Add(1)
+			return
+		}
+		delete(c.door, h)
+		c.evictOne()
+		c.entries[key] = c.install(key, val)
+		c.admitted.Add(1)
+		c.cAdmit.Add(1)
+		return
+	}
+	e := &centry{key: key, val: val}
+	c.ring = append(c.ring, e)
+	c.entries[key] = e
+	c.admitted.Add(1)
+	c.cAdmit.Add(1)
+}
+
+// install reuses the ring slot freed by evictOne (the hand points at
+// it) for the incoming entry.
+func (c *cache) install(key string, val any) *centry {
+	e := &centry{key: key, val: val}
+	c.ring[c.hand] = e
+	c.hand = (c.hand + 1) % c.cap
+	return e
+}
+
+// evictOne advances the clock hand, clearing reference bits, until it
+// finds an entry without a second chance left, and removes it. The hand
+// is left pointing at the freed slot.
+func (c *cache) evictOne() {
+	for {
+		e := c.ring[c.hand]
+		if e.ref {
+			e.ref = false
+			c.hand = (c.hand + 1) % c.cap
+			continue
+		}
+		delete(c.entries, e.key)
+		c.evicted.Add(1)
+		c.cEvict.Add(1)
+		return
+	}
+}
+
+// Len reports resident entries (for tests).
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

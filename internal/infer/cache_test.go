@@ -1,0 +1,140 @@
+package infer
+
+import (
+	"fmt"
+	"testing"
+
+	"vaq/internal/trace"
+)
+
+func TestCacheAdmitsDirectlyWhileFree(t *testing.T) {
+	c := newCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("get(a) = %v, %v", v, ok)
+	}
+	if v, ok := c.get("b"); !ok || v.(int) != 2 {
+		t.Fatalf("get(b) = %v, %v", v, ok)
+	}
+	if c.admitted.Load() != 2 || c.doorRejected.Load() != 0 {
+		t.Fatalf("admitted %d, doorRejected %d; want 2, 0 (no pressure, no doorkeeper)",
+			c.admitted.Load(), c.doorRejected.Load())
+	}
+}
+
+func TestCacheRefreshesExistingKey(t *testing.T) {
+	c := newCache(1)
+	c.put("a", 1)
+	c.put("a", 2)
+	if v, ok := c.get("a"); !ok || v.(int) != 2 {
+		t.Fatalf("get(a) = %v, %v; want refreshed value 2", v, ok)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestCacheDoorkeeperUnderPressure(t *testing.T) {
+	c := newCache(1)
+	c.put("a", 1)
+
+	// First sighting of b under pressure: remembered, not admitted.
+	c.put("b", 2)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b admitted on first sighting under pressure")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("resident a displaced by a one-hit wonder")
+	}
+	if c.doorRejected.Load() != 1 {
+		t.Fatalf("doorRejected = %d, want 1", c.doorRejected.Load())
+	}
+
+	// Second sighting: admitted, evicting the resident.
+	c.put("b", 2)
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("b not admitted on second sighting")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a still resident after eviction")
+	}
+	if c.evicted.Load() != 1 {
+		t.Fatalf("evicted = %d, want 1", c.evicted.Load())
+	}
+}
+
+func TestCacheSecondChanceSparesReferenced(t *testing.T) {
+	c := newCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	// Touch a so it carries a reference bit into the eviction scan.
+	c.get("a")
+	// Admit c under pressure (door pass needs two sightings).
+	c.put("c", 3)
+	c.put("c", 3)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("referenced entry a evicted despite its second chance")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("unreferenced entry b survived the clock scan")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("admitted entry c missing")
+	}
+}
+
+func TestCacheDoorkeeperEpochReset(t *testing.T) {
+	c := newCache(1)
+	c.put("resident", 0)
+	// Flood the doorkeeper far past 8*cap: the epoch reset must keep its
+	// size bounded rather than growing with every one-hit wonder.
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("w%d", i), i)
+	}
+	if len(c.door) > 8*c.cap+1 {
+		t.Fatalf("doorkeeper grew to %d entries, cap %d — epoch reset missing", len(c.door), c.cap)
+	}
+	if _, ok := c.get("resident"); !ok {
+		t.Fatal("resident evicted by unadmitted keys")
+	}
+}
+
+// TestCacheTraceCountersMirrorStats pins the /varz side of the
+// admission flow: the tracer counters must move in lockstep with the
+// atomics Stats() reads, or the two surfaces silently disagree.
+func TestCacheTraceCountersMirrorStats(t *testing.T) {
+	tr := trace.New()
+	sh := New(Config{CacheCapacity: 1, Tracer: tr})
+	sh.cache.put("a", 1) // direct admit (free slot)
+	sh.cache.put("b", 2) // doorkeeper reject (first sighting under pressure)
+	sh.cache.put("b", 2) // admit + evict a
+	st := sh.Stats()
+	if st.Admitted != 2 || st.Evicted != 1 || st.DoorRejected != 1 {
+		t.Fatalf("stats = %+v, want admitted 2, evicted 1, doorRejected 1", st)
+	}
+	for name, want := range map[string]int64{
+		"infer.cache_admitted":      st.Admitted,
+		"infer.cache_evicted":       st.Evicted,
+		"infer.cache_door_rejected": st.DoorRejected,
+	} {
+		if got := tr.Counter(name).Value(); got != want {
+			t.Errorf("counter %s = %d, stats say %d", name, got, want)
+		}
+	}
+}
+
+func TestCacheBoundedAtCapacity(t *testing.T) {
+	c := newCache(4)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.put(k, i)
+		c.put(k, i) // second sighting passes the doorkeeper under pressure
+	}
+	if got := c.Len(); got > 4 {
+		t.Fatalf("Len = %d, want <= capacity 4", got)
+	}
+}

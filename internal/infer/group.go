@@ -1,0 +1,79 @@
+package infer
+
+import (
+	"context"
+	"sync"
+)
+
+// group is the singleflight core: at most one shared call per key runs
+// at a time; callers arriving while it is in flight wait on the same
+// entry. Unlike x/sync's singleflight, waiters are individually
+// cancellable — a waiter whose ctx expires leaves without disturbing
+// the shared call, and only when the LAST waiter is gone is the shared
+// call's context cancelled. The shared call runs on a context detached
+// from any single waiter (values preserved from the leader's ctx, no
+// cancellation inheritance), so the leader disconnecting mid-call does
+// not starve the waiters that coalesced behind it.
+type group[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[T]
+}
+
+type call[T any] struct {
+	done    chan struct{}
+	val     T
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// do invokes fn under key's shared call. The bool reports whether this
+// caller coalesced into an existing flight (false for the leader). On
+// ctx expiry the caller's own ctx error is returned; the shared call
+// continues for any remaining waiters.
+func (g *group[T]) do(ctx context.Context, key string, fn func(context.Context) T) (T, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[T])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, c, true)
+	}
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call[T]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+	go func() {
+		v := fn(cctx)
+		g.mu.Lock()
+		c.val = v
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	return g.wait(ctx, key, c, false)
+}
+
+func (g *group[T]) wait(ctx context.Context, key string, c *call[T], coalesced bool) (T, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, coalesced, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Last waiter gone: nobody wants the result, stop the call.
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		var zero T
+		return zero, coalesced, ctx.Err()
+	}
+}

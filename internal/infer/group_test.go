@@ -1,0 +1,163 @@
+package infer
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupCoalescesConcurrentCallers(t *testing.T) {
+	var g group[int]
+	var executions atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	type result struct {
+		val       int
+		coalesced bool
+		err       error
+	}
+	results := make([]result, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, co, err := g.do(context.Background(), "k", func(context.Context) int {
+			executions.Add(1)
+			close(started)
+			<-release
+			return 42
+		})
+		results[0] = result{v, co, err}
+	}()
+	<-started
+	for i := 1; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, co, err := g.do(context.Background(), "k", func(context.Context) int {
+				executions.Add(1)
+				return -1
+			})
+			results[i] = result{v, co, err}
+		}(i)
+	}
+	// Give the joiners time to register on the in-flight entry.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("shared call executed %d times, want 1", n)
+	}
+	coalesced := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: err %v", i, r.err)
+		}
+		if r.val != 42 {
+			t.Fatalf("caller %d: val %d, want 42", i, r.val)
+		}
+		if r.coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != 4 {
+		t.Fatalf("coalesced callers = %d, want 4 (one leader)", coalesced)
+	}
+}
+
+func TestGroupWaiterCancelLeavesSharedCallRunning(t *testing.T) {
+	var g group[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	sharedCancelled := make(chan struct{}, 1)
+
+	leaderDone := make(chan int, 1)
+	go func() {
+		v, _, _ := g.do(context.Background(), "k", func(cctx context.Context) int {
+			close(started)
+			<-release
+			select {
+			case <-cctx.Done():
+				sharedCancelled <- struct{}{}
+			default:
+			}
+			return 7
+		})
+		leaderDone <- v
+	}()
+	<-started
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(wctx, "k", func(context.Context) int { return -1 })
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wcancel()
+	if err := <-waiterDone; err != context.Canceled {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if v := <-leaderDone; v != 7 {
+		t.Fatalf("leader val = %d, want 7", v)
+	}
+	select {
+	case <-sharedCancelled:
+		t.Fatal("shared call context cancelled while the leader still waited")
+	default:
+	}
+}
+
+func TestGroupLastWaiterCancelsSharedCall(t *testing.T) {
+	var g group[int]
+	started := make(chan struct{})
+	observed := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx, "k", func(cctx context.Context) int {
+			close(started)
+			<-cctx.Done() // the shared call should be told to stop
+			observed <- cctx.Err()
+			return 0
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("sole waiter err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-observed:
+		if err != context.Canceled {
+			t.Fatalf("shared ctx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared call never saw cancellation after its last waiter left")
+	}
+}
+
+func TestGroupKeyReusableAfterCompletion(t *testing.T) {
+	var g group[int]
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, co, err := g.do(context.Background(), "k", func(context.Context) int {
+			executions.Add(1)
+			return i
+		})
+		if err != nil || co || v != i {
+			t.Fatalf("round %d: v=%d co=%v err=%v", i, v, co, err)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("executions = %d, want 3 (sequential calls never coalesce)", n)
+	}
+}

@@ -1,0 +1,225 @@
+// Package infer is the shared-inference layer between the query engines
+// and the detection backends: the seam where many concurrent sessions
+// and top-k queries over the same hot videos stop re-invoking the same
+// model on the same (frame/shot, label) units. The paper attributes
+// >98% of online runtime to model inference, so at many-sessions scale
+// this layer — not the matcher — is where serving capacity is won.
+//
+// Three composable layers, stacked from the engines down:
+//
+//  1. Singleflight dedup (ObjectFlight / ActionFlight). Concurrent
+//     invocations for the same (backend, unit, label-set) key coalesce
+//     into one in-flight call whose result fans out to every waiter.
+//     Each waiter observes its own ctx: a cancelled waiter leaves
+//     immediately without killing the shared call, which is cancelled
+//     only when its last waiter is gone. The flight sits ABOVE the
+//     resilience layer so a hedged invocation's replicas share one
+//     flight entry — dedup must not swallow the hedge race itself.
+//  2. Same-profile micro-batching (Shared.Object / Shared.Action with
+//     BatchWindow > 0). A bounded-delay accumulator groups same-label-set
+//     unit invocations arriving within BatchWindow (or until BatchMax)
+//     into one vectorized backend call, amortising per-invocation
+//     dispatch cost. Batch results are byte-identical to per-unit calls.
+//  3. Bounded memoized score cache (Shared.Object / Shared.Action with
+//     CacheCapacity > 0). Admission is a TinyLFU-style doorkeeper —
+//     under eviction pressure a key must be seen twice before it may
+//     displace a resident entry — and eviction is second-chance CLOCK.
+//     The cache sits BELOW the fault injector (package fault): every
+//     engine-visible invocation still passes through fault's
+//     deterministic draws, and corrupted results are never admitted, so
+//     chaos runs are byte-identical with the cache on or off.
+//
+// See docs/INFERENCE.md for the stacking contract and tuning guidance.
+package infer
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/trace"
+)
+
+// Config sizes one Shared inference domain. The zero value disables
+// every layer except dedup (flights always coalesce).
+type Config struct {
+	// CacheCapacity bounds the memo cache in entries (one entry per
+	// (backend, unit, label-set) key); <= 0 disables the cache.
+	CacheCapacity int
+	// BatchWindow is how long the accumulator holds the first invocation
+	// of a batch open waiting for companions; <= 0 disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps units per vectorized call (default 16).
+	BatchMax int
+	// Tracer receives the infer.* counters and stage sketches; nil
+	// disables instrumentation.
+	Tracer *trace.Tracer
+}
+
+// DefaultBatchMax caps batch size when Config.BatchMax is unset.
+const DefaultBatchMax = 16
+
+// Stats is a point-in-time snapshot of one Shared domain's counters.
+type Stats struct {
+	// Cache outcomes, counted at the cache layer (below fault).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Admitted/Evicted/DoorRejected describe the admission and eviction
+	// flow: a doorkeeper-rejected key was seen for the first time under
+	// eviction pressure and not admitted.
+	Admitted     int64 `json:"admitted"`
+	Evicted      int64 `json:"evicted"`
+	DoorRejected int64 `json:"door_rejected"`
+	// Flight outcomes: Leaders ran the shared call, Coalesced joined one
+	// already in flight.
+	Leaders   int64 `json:"leaders"`
+	Coalesced int64 `json:"coalesced"`
+	// Batching: Batches vectorized calls covering BatchedUnits units.
+	Batches      int64 `json:"batches"`
+	BatchedUnits int64 `json:"batched_units"`
+}
+
+// Add accumulates other into s (for aggregating across domains).
+func (s *Stats) Add(o Stats) {
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Admitted += o.Admitted
+	s.Evicted += o.Evicted
+	s.DoorRejected += o.DoorRejected
+	s.Leaders += o.Leaders
+	s.Coalesced += o.Coalesced
+	s.Batches += o.Batches
+	s.BatchedUnits += o.BatchedUnits
+}
+
+// Shared is one shared-inference domain: one cache, one flight group
+// and one batch accumulator per kind, shared by every backend wrapped
+// through it. All backends of the same Name() wrapped into one Shared
+// must be interchangeable (same scene, same profile) — the server's hub
+// guarantees this by keying domains on (workload, scale, model).
+type Shared struct {
+	cfg   Config
+	cache *cache
+
+	objGroup group[objResult]
+	actGroup group[actResult]
+	leaders  atomic.Int64
+	coalesce atomic.Int64
+
+	batches    atomic.Int64
+	batchUnits atomic.Int64
+
+	// Pre-resolved trace handles (nil-safe when cfg.Tracer is nil).
+	cHits, cMisses, cAdmit, cEvict, cDoor *trace.Counter
+	cLeaders, cCoalesced                  *trace.Counter
+	cBatches, cBatchUnits                 *trace.Counter
+	sBatchSize, sBatchFlush               *trace.Stage
+}
+
+// New builds a Shared domain from cfg.
+func New(cfg Config) *Shared {
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	sh := &Shared{cfg: cfg}
+	if cfg.CacheCapacity > 0 {
+		sh.cache = newCache(cfg.CacheCapacity)
+	}
+	tr := cfg.Tracer
+	sh.cHits = tr.Counter("infer.cache_hits")
+	sh.cMisses = tr.Counter("infer.cache_misses")
+	sh.cAdmit = tr.Counter("infer.cache_admitted")
+	sh.cEvict = tr.Counter("infer.cache_evicted")
+	sh.cDoor = tr.Counter("infer.cache_door_rejected")
+	sh.cLeaders = tr.Counter("infer.flight_leaders")
+	sh.cCoalesced = tr.Counter("infer.coalesced")
+	sh.cBatches = tr.Counter("infer.batches")
+	sh.cBatchUnits = tr.Counter("infer.batch_units")
+	sh.sBatchSize = tr.Stage("infer.batch_size")
+	sh.sBatchFlush = tr.Stage("infer.batch_flush")
+	if sh.cache != nil {
+		sh.cache.cAdmit, sh.cache.cEvict, sh.cache.cDoor = sh.cAdmit, sh.cEvict, sh.cDoor
+	}
+	return sh
+}
+
+// Config returns the domain's configuration (with defaults applied).
+func (sh *Shared) Config() Config { return sh.cfg }
+
+// Stats snapshots the domain's counters.
+func (sh *Shared) Stats() Stats {
+	st := Stats{
+		Leaders:      sh.leaders.Load(),
+		Coalesced:    sh.coalesce.Load(),
+		Batches:      sh.batches.Load(),
+		BatchedUnits: sh.batchUnits.Load(),
+	}
+	if sh.cache != nil {
+		st.CacheHits = sh.cache.hits.Load()
+		st.CacheMisses = sh.cache.misses.Load()
+		st.Admitted = sh.cache.admitted.Load()
+		st.Evicted = sh.cache.evicted.Load()
+		st.DoorRejected = sh.cache.doorRejected.Load()
+	}
+	return st
+}
+
+// unitKey builds the canonical (kind, backend, unit, label-set) key used
+// by both the cache and the flight groups. Label sets are order-
+// insensitive: multi-label slices are sorted into a copy.
+func unitKey(kind byte, backend string, unit int, labels []annot.Label) string {
+	var b strings.Builder
+	b.Grow(len(backend) + 16 + 12*len(labels))
+	b.WriteByte(kind)
+	b.WriteByte('|')
+	b.WriteString(backend)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(unit))
+	for _, l := range sortedLabels(labels) {
+		b.WriteByte('|')
+		b.WriteString(string(l))
+	}
+	return b.String()
+}
+
+// labelsKey is the label-set part alone, for batch grouping.
+func labelsKey(labels []annot.Label) string {
+	var b strings.Builder
+	for _, l := range sortedLabels(labels) {
+		b.WriteByte('|')
+		b.WriteString(string(l))
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []annot.Label) []annot.Label {
+	if len(labels) < 2 || sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i] < labels[j] }) {
+		return labels
+	}
+	out := append([]annot.Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// cloneDetections deep-copies a detection slice. Mandatory on every
+// cache/flight boundary: Tracker.Update mutates Detection.Track in
+// place, so handing the same backing array to two sessions would leak
+// one session's track identifiers into another.
+func cloneDetections(dets []detect.Detection) []detect.Detection {
+	if dets == nil {
+		return nil
+	}
+	return append([]detect.Detection(nil), dets...)
+}
+
+// cloneScores copies an action-score slice (same aliasing argument).
+func cloneScores(ss []detect.ActionScore) []detect.ActionScore {
+	if ss == nil {
+		return nil
+	}
+	return append([]detect.ActionScore(nil), ss...)
+}

@@ -1,0 +1,187 @@
+package infer
+
+import (
+	"context"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/video"
+)
+
+// Object wraps a fallible object backend with the domain's below-fault
+// layers: the memo cache on top (when CacheCapacity > 0) of the
+// micro-batcher (when BatchWindow > 0) of the backend. The returned
+// backend is what the fault injector — and above it the resilience
+// layer — should wrap: every engine-visible invocation still crosses
+// fault's deterministic draws, and a fault-corrupted result is produced
+// above this layer, so the cache only ever holds clean scores.
+func (sh *Shared) Object(backend detect.FallibleObjectDetector) detect.FallibleObjectDetector {
+	out := backend
+	if sh.cfg.BatchWindow > 0 {
+		out = sh.newBatchedObject(out)
+	}
+	if sh.cache != nil {
+		out = &cachedObject{inner: out, sh: sh, name: backend.Name()}
+	}
+	return out
+}
+
+// Action is the shot-level counterpart of Object.
+func (sh *Shared) Action(backend detect.FallibleActionRecognizer) detect.FallibleActionRecognizer {
+	out := backend
+	if sh.cfg.BatchWindow > 0 {
+		out = sh.newBatchedAction(out)
+	}
+	if sh.cache != nil {
+		out = &cachedAction{inner: out, sh: sh, name: backend.Name()}
+	}
+	return out
+}
+
+// cachedObject memoizes clean results below fault. Slices are cloned on
+// both put and get: Tracker.Update mutates Detection.Track in place.
+type cachedObject struct {
+	inner detect.FallibleObjectDetector
+	sh    *Shared
+	name  string
+}
+
+func (c *cachedObject) Name() string { return c.name }
+
+func (c *cachedObject) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, error) {
+	k := unitKey('o', c.name, int(v), labels)
+	if val, ok := c.sh.cache.get(k); ok {
+		c.sh.cHits.Add(1)
+		return cloneDetections(val.([]detect.Detection)), nil
+	}
+	c.sh.cMisses.Add(1)
+	dets, err := c.inner.DetectCtx(ctx, v, labels)
+	if err != nil {
+		return nil, err
+	}
+	c.sh.cache.put(k, cloneDetections(dets))
+	return dets, nil
+}
+
+type cachedAction struct {
+	inner detect.FallibleActionRecognizer
+	sh    *Shared
+	name  string
+}
+
+func (c *cachedAction) Name() string { return c.name }
+
+func (c *cachedAction) RecognizeCtx(ctx context.Context, s video.ShotIdx, labels []annot.Label) ([]detect.ActionScore, error) {
+	k := unitKey('a', c.name, int(s), labels)
+	if val, ok := c.sh.cache.get(k); ok {
+		c.sh.cHits.Add(1)
+		return cloneScores(val.([]detect.ActionScore)), nil
+	}
+	c.sh.cMisses.Add(1)
+	scores, err := c.inner.RecognizeCtx(ctx, s, labels)
+	if err != nil {
+		return nil, err
+	}
+	c.sh.cache.put(k, cloneScores(scores))
+	return scores, nil
+}
+
+// batchedObject funnels same-label-set invocations through the bounded-
+// delay accumulator. When the wrapped backend (unwrapped through the
+// infallible adapter) supports DetectBatch, multi-unit flushes become
+// one vectorized call; otherwise the flush loops per unit, which still
+// bounds concurrent backend pressure without changing results.
+type batchedObject struct {
+	inner detect.FallibleObjectDetector
+	acc   *accumulator[[]detect.Detection]
+}
+
+func (sh *Shared) newBatchedObject(backend detect.FallibleObjectDetector) *batchedObject {
+	var vec detect.BatchObjectDetector
+	if u, ok := backend.(interface{ Unwrap() detect.ObjectDetector }); ok {
+		vec, _ = u.Unwrap().(detect.BatchObjectDetector)
+	}
+	run := func(ctx context.Context, units []int, labels []annot.Label) ([][]detect.Detection, error) {
+		if vec != nil && len(units) > 1 {
+			vs := make([]video.FrameIdx, len(units))
+			for i, u := range units {
+				vs[i] = video.FrameIdx(u)
+			}
+			return vec.DetectBatch(vs, labels), nil
+		}
+		out := make([][]detect.Detection, len(units))
+		for i, u := range units {
+			dets, err := backend.DetectCtx(ctx, video.FrameIdx(u), labels)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = dets
+		}
+		return out, nil
+	}
+	return &batchedObject{
+		inner: backend,
+		acc:   newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush),
+	}
+}
+
+func (b *batchedObject) Name() string { return b.inner.Name() }
+
+func (b *batchedObject) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, error) {
+	return b.acc.do(ctx, labelsKey(labels), int(v), labels)
+}
+
+type batchedAction struct {
+	inner detect.FallibleActionRecognizer
+	acc   *accumulator[[]detect.ActionScore]
+}
+
+func (sh *Shared) newBatchedAction(backend detect.FallibleActionRecognizer) *batchedAction {
+	var vec detect.BatchActionRecognizer
+	if u, ok := backend.(interface {
+		Unwrap() detect.ActionRecognizer
+	}); ok {
+		vec, _ = u.Unwrap().(detect.BatchActionRecognizer)
+	}
+	run := func(ctx context.Context, units []int, labels []annot.Label) ([][]detect.ActionScore, error) {
+		if vec != nil && len(units) > 1 {
+			ss := make([]video.ShotIdx, len(units))
+			for i, u := range units {
+				ss[i] = video.ShotIdx(u)
+			}
+			return vec.RecognizeBatch(ss, labels), nil
+		}
+		out := make([][]detect.ActionScore, len(units))
+		for i, u := range units {
+			scores, err := backend.RecognizeCtx(ctx, video.ShotIdx(u), labels)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = scores
+		}
+		return out, nil
+	}
+	return &batchedAction{
+		inner: backend,
+		acc:   newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush),
+	}
+}
+
+func (b *batchedAction) Name() string { return b.inner.Name() }
+
+func (b *batchedAction) RecognizeCtx(ctx context.Context, s video.ShotIdx, labels []annot.Label) ([]detect.ActionScore, error) {
+	return b.acc.do(ctx, labelsKey(labels), int(s), labels)
+}
+
+// observeFlush records one batch flush in the counters, the batch-size
+// sketch (unitless: n observed as n microseconds) and the flush-latency
+// sketch.
+func (sh *Shared) observeFlush(n int, d time.Duration) {
+	sh.batches.Add(1)
+	sh.batchUnits.Add(int64(n))
+	sh.cBatches.Add(1)
+	sh.cBatchUnits.Add(int64(n))
+	sh.sBatchSize.Observe(time.Duration(n) * time.Microsecond)
+	sh.sBatchFlush.Observe(d)
+}

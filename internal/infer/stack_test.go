@@ -1,0 +1,475 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/fault"
+	"vaq/internal/synth"
+	"vaq/internal/video"
+)
+
+// fakeObj is a counting fallible object backend returning one detection
+// per (unit, first label) with a score encoding the unit.
+type fakeObj struct {
+	name  string
+	calls atomic.Int64
+
+	mu  sync.Mutex
+	err error // error to return, if set
+}
+
+func (f *fakeObj) Name() string { return f.name }
+
+func (f *fakeObj) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *fakeObj) DetectCtx(_ context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, error) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	err := f.err
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return []detect.Detection{{Label: labels[0], Score: float64(v)}}, nil
+}
+
+func TestCachedObjectMemoizes(t *testing.T) {
+	fk := &fakeObj{name: "fake"}
+	sh := New(Config{CacheCapacity: 16})
+	wrapped := sh.Object(fk)
+	labels := []annot.Label{"car"}
+
+	first, err := wrapped.DetectCtx(context.Background(), 3, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := wrapped.DetectCtx(context.Background(), 3, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk.calls.Load() != 1 {
+		t.Fatalf("backend calls = %d, want 1 (second served from cache)", fk.calls.Load())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached result differs: %v vs %v", first, second)
+	}
+	st := sh.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("hits %d misses %d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestCachedObjectClonesAcrossCallers(t *testing.T) {
+	fk := &fakeObj{name: "fake"}
+	sh := New(Config{CacheCapacity: 16})
+	wrapped := sh.Object(fk)
+	labels := []annot.Label{"car"}
+
+	a, _ := wrapped.DetectCtx(context.Background(), 5, labels)
+	// Simulate what Tracker.Update does to engine-held results.
+	a[0].Track = 999
+	a[0].Score = -1
+	b, _ := wrapped.DetectCtx(context.Background(), 5, labels)
+	if b[0].Track == 999 || b[0].Score == -1 {
+		t.Fatal("mutation through one caller's slice leaked into the cache")
+	}
+}
+
+func TestCachedObjectDoesNotCacheErrors(t *testing.T) {
+	fk := &fakeObj{name: "fake"}
+	boom := errors.New("boom")
+	fk.setErr(boom)
+	sh := New(Config{CacheCapacity: 16})
+	wrapped := sh.Object(fk)
+	labels := []annot.Label{"car"}
+
+	if _, err := wrapped.DetectCtx(context.Background(), 1, labels); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	fk.setErr(nil)
+	dets, err := wrapped.DetectCtx(context.Background(), 1, labels)
+	if err != nil || len(dets) != 1 {
+		t.Fatalf("recovery call: dets %v err %v", dets, err)
+	}
+	if fk.calls.Load() != 2 {
+		t.Fatalf("backend calls = %d, want 2 (the error was not memoized)", fk.calls.Load())
+	}
+}
+
+func TestLabelSetKeyIsOrderInsensitive(t *testing.T) {
+	fk := &fakeObj{name: "fake"}
+	sh := New(Config{CacheCapacity: 16})
+	wrapped := sh.Object(fk)
+
+	if _, err := wrapped.DetectCtx(context.Background(), 2, []annot.Label{"car", "person"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.DetectCtx(context.Background(), 2, []annot.Label{"person", "car"}); err != nil {
+		t.Fatal(err)
+	}
+	if fk.calls.Load() != 1 {
+		t.Fatalf("backend calls = %d, want 1 (permuted label set must share the key)", fk.calls.Load())
+	}
+}
+
+// testScene builds a small deterministic scene for the sim-backed tests.
+func testScene(t *testing.T) (*detect.Scene, int) {
+	t.Helper()
+	qs, err := synth.YouTubeScaled("q2", video.DefaultGeometry(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs.World.Scene(), qs.World.Truth.Meta.Frames
+}
+
+func TestBatchedObjectVectorizesAndMatchesPerUnit(t *testing.T) {
+	scene, frames := testScene(t)
+	if frames < 8 {
+		t.Fatalf("scene too small: %d frames", frames)
+	}
+	labels := []annot.Label{"car"}
+	ref := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+
+	var meter detect.CostMeter
+	sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, &meter)
+	sh := New(Config{BatchWindow: 20 * time.Millisecond, BatchMax: 8})
+	wrapped := sh.Object(detect.AsFallibleObject(sim))
+
+	const n = 4
+	got := make([][]detect.Detection, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dets, err := wrapped.DetectCtx(context.Background(), video.FrameIdx(i), labels)
+			if err != nil {
+				t.Errorf("unit %d: %v", i, err)
+			}
+			got[i] = dets
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		want := ref.Detect(video.FrameIdx(i), labels)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("unit %d: batched result %v != per-unit %v", i, got[i], want)
+		}
+	}
+	if meter.Calls() != 1 {
+		t.Fatalf("metered calls = %d, want 1 vectorized invocation for the batch", meter.Calls())
+	}
+	st := sh.Stats()
+	if st.Batches != 1 || st.BatchedUnits != int64(n) {
+		t.Fatalf("batches %d units %d, want 1/%d", st.Batches, st.BatchedUnits, n)
+	}
+}
+
+// TestChaosDeterminismCacheOnOff is the acceptance-criterion test: with
+// a fixed fault seed, the full stack (sim backend → [cache] → fault
+// injector) produces byte-identical results and errors whether the memo
+// cache is on or off — the cache sits below the injector, so every
+// engine-visible invocation still crosses the same deterministic draws,
+// and corrupted results never enter the cache.
+func TestChaosDeterminismCacheOnOff(t *testing.T) {
+	scene, frames := testScene(t)
+	if frames > 200 {
+		frames = 200
+	}
+	sched, err := fault.Parse(42, "error:0-:0.25,corrupt:0-:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []annot.Label{"car"}
+
+	type obs struct {
+		dets []detect.Detection
+		err  string
+	}
+	run := func(withCache bool) []obs {
+		sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		var backend detect.FallibleObjectDetector = detect.AsFallibleObject(sim)
+		if withCache {
+			backend = New(Config{CacheCapacity: 1024}).Object(backend)
+		}
+		inj := fault.NewObject(backend, sched)
+		var out []obs
+		// Three serial passes over every frame: the repeats are what the
+		// cache absorbs, and their fault attempt numbers advance the same
+		// way in both legs.
+		for pass := 0; pass < 3; pass++ {
+			for f := 0; f < frames; f++ {
+				dets, err := inj.DetectCtx(context.Background(), video.FrameIdx(f), labels)
+				o := obs{dets: dets}
+				if err != nil {
+					o.err = err.Error()
+				}
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+
+	off := run(false)
+	on := run(true)
+	if len(off) != len(on) {
+		t.Fatalf("observation counts differ: %d vs %d", len(off), len(on))
+	}
+	for i := range off {
+		if !reflect.DeepEqual(off[i], on[i]) {
+			t.Fatalf("observation %d diverges under the cache:\n  off: %+v\n  on:  %+v", i, off[i], on[i])
+		}
+	}
+}
+
+// srcFromFake adapts fakeObj into an ObjectSource for flight tests.
+type srcFromFake struct{ f *fakeObj }
+
+func (s srcFromFake) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, bool) {
+	dets, _ := s.f.DetectCtx(ctx, v, labels)
+	return dets, false
+}
+
+func TestFlightBindDropsDegradedAndError(t *testing.T) {
+	fk := &fakeObj{name: "fake"}
+	sh := New(Config{})
+	f := sh.ObjectFlight("fake", srcFromFake{fk})
+	det := f.Bind(context.Background())
+	if det.Name() != "fake" {
+		t.Fatalf("Name = %q", det.Name())
+	}
+	dets := det.Detect(4, []annot.Label{"car"})
+	if len(dets) != 1 || dets[0].Score != 4 {
+		t.Fatalf("Detect = %v", dets)
+	}
+}
+
+func TestFlightCoalescesAndClonesPerWaiter(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var calls atomic.Int64
+	src := blockingSrc{release: release, started: started, calls: &calls}
+	sh := New(Config{})
+	f := sh.ObjectFlight("b", src)
+	labels := []annot.Label{"car"}
+
+	const n = 6
+	results := make([][]detect.Detection, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], _, _ = f.DetectCtx(context.Background(), 9, labels)
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, _ = f.DetectCtx(context.Background(), 9, labels)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("source calls = %d, want 1", calls.Load())
+	}
+	for i := 0; i < n; i++ {
+		if len(results[i]) != 1 || results[i][0].Score != 9 {
+			t.Fatalf("waiter %d got %v", i, results[i])
+		}
+		for j := i + 1; j < n; j++ {
+			if &results[i][0] == &results[j][0] {
+				t.Fatalf("waiters %d and %d share a backing array", i, j)
+			}
+		}
+	}
+	st := sh.Stats()
+	if st.Leaders != 1 || st.Coalesced != n-1 {
+		t.Fatalf("leaders %d coalesced %d, want 1/%d", st.Leaders, st.Coalesced, n-1)
+	}
+}
+
+type blockingSrc struct {
+	release chan struct{}
+	started chan struct{}
+	calls   *atomic.Int64
+}
+
+func (s blockingSrc) DetectCtx(_ context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, bool) {
+	s.calls.Add(1)
+	close(s.started)
+	<-s.release
+	return []detect.Detection{{Label: labels[0], Score: float64(v)}}, false
+}
+
+func TestFlightWaiterCancellation(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var calls atomic.Int64
+	src := blockingSrc{release: release, started: started, calls: &calls}
+	sh := New(Config{})
+	f := sh.ObjectFlight("b", src)
+	labels := []annot.Label{"car"}
+
+	leaderOut := make(chan []detect.Detection, 1)
+	go func() {
+		dets, _, _ := f.DetectCtx(context.Background(), 1, labels)
+		leaderOut <- dets
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.DetectCtx(ctx, 1, labels)
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if dets := <-leaderOut; len(dets) != 1 {
+		t.Fatalf("leader starved by a cancelled waiter: %v", dets)
+	}
+}
+
+func TestStatsAddAggregates(t *testing.T) {
+	a := Stats{CacheHits: 1, CacheMisses: 2, Admitted: 3, Evicted: 4, DoorRejected: 5,
+		Leaders: 6, Coalesced: 7, Batches: 8, BatchedUnits: 9}
+	var agg Stats
+	agg.Add(a)
+	agg.Add(a)
+	want := Stats{CacheHits: 2, CacheMisses: 4, Admitted: 6, Evicted: 8, DoorRejected: 10,
+		Leaders: 12, Coalesced: 14, Batches: 16, BatchedUnits: 18}
+	if agg != want {
+		t.Fatalf("agg = %+v, want %+v", agg, want)
+	}
+}
+
+func TestUnitKeyDistinguishesKindBackendUnit(t *testing.T) {
+	keys := map[string]bool{}
+	for _, k := range []string{
+		unitKey('o', "m", 1, []annot.Label{"car"}),
+		unitKey('a', "m", 1, []annot.Label{"car"}),
+		unitKey('o', "n", 1, []annot.Label{"car"}),
+		unitKey('o', "m", 2, []annot.Label{"car"}),
+		unitKey('o', "m", 1, []annot.Label{"person"}),
+	} {
+		if keys[k] {
+			t.Fatalf("key collision: %q", k)
+		}
+		keys[k] = true
+	}
+	if unitKey('o', "m", 1, []annot.Label{"a", "b"}) != unitKey('o', "m", 1, []annot.Label{"b", "a"}) {
+		t.Fatal("label order changed the key")
+	}
+}
+
+func TestSharedRaceSmoke(t *testing.T) {
+	// Concurrent sessions over one domain: cache + dedup + batching all
+	// active at once (run under -race in CI).
+	scene, frames := testScene(t)
+	if frames > 64 {
+		frames = 64
+	}
+	sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	sh := New(Config{CacheCapacity: 32, BatchWindow: time.Millisecond, BatchMax: 4})
+	f := sh.ObjectFlight("m", FallibleObjectSource(sh.Object(detect.AsFallibleObject(sim))))
+
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			det := f.Bind(context.Background())
+			for i := 0; i < frames; i++ {
+				det.Detect(video.FrameIdx(i), []annot.Label{annot.Label(fmt.Sprintf("l%d", i%3))})
+			}
+		}(s)
+	}
+	wg.Wait()
+	st := sh.Stats()
+	if st.Leaders == 0 {
+		t.Fatal("no flight activity recorded")
+	}
+}
+
+func TestActionPathFullStack(t *testing.T) {
+	scene, _ := testScene(t)
+	var meter detect.CostMeter
+	sim := detect.NewSimActionRecognizer(scene, detect.I3D, &meter)
+	ref := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	sh := New(Config{CacheCapacity: 16, BatchWindow: 5 * time.Millisecond, BatchMax: 8})
+	if sh.Config().BatchMax != 8 {
+		t.Fatalf("Config.BatchMax = %d", sh.Config().BatchMax)
+	}
+	f := sh.ActionFlight(sim.Name(), FallibleActionSource(sh.Action(detect.AsFallibleAction(sim))))
+	rec := f.Bind(context.Background())
+	if rec.Name() != sim.Name() {
+		t.Fatalf("Name = %q, want %q", rec.Name(), sim.Name())
+	}
+	labels := []annot.Label{"blowing_leaves"}
+
+	// Two concurrent shots ride one micro-batch; a repeat hits the cache.
+	const n = 3
+	got := make([][]detect.ActionScore, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = rec.Recognize(video.ShotIdx(i), labels)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		want := ref.Recognize(video.ShotIdx(i), labels)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("shot %d: %v != %v", i, got[i], want)
+		}
+	}
+	callsAfterFirst := meter.Calls()
+	repeat := rec.Recognize(0, labels)
+	if !reflect.DeepEqual(repeat, got[0]) {
+		t.Fatalf("cached repeat %v != first %v", repeat, got[0])
+	}
+	if meter.Calls() != callsAfterFirst {
+		t.Fatalf("repeat reached the backend: %d -> %d calls", callsAfterFirst, meter.Calls())
+	}
+	st := sh.Stats()
+	if st.CacheHits == 0 || st.BatchedUnits < n {
+		t.Fatalf("stats %+v: want cache hits and >= %d batched units", st, n)
+	}
+	// The direct flight face reports waiter-scoped errors.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.RecognizeCtx(ctx, 0, labels); err == nil {
+		// A cache hit below resolves before the ctx check only if the
+		// flight completed instantly; either way the call must not hang.
+		t.Log("cancelled ctx still served (fast path)")
+	}
+}
+
+func TestBatchShapeErrorMessage(t *testing.T) {
+	if errBatchShape.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -140,20 +140,21 @@ func (p Policy) hedgeMinSamples() int64 {
 // Stats is a snapshot of one wrapper's resilience counters.
 type Stats struct {
 	Calls             int64   `json:"calls"`
-	Errors            int64   `json:"errors"`                  // failed rounds (incl. deadline)
-	Retries           int64   `json:"retries"`                 // rounds beyond the first
-	Fallbacks         int64   `json:"fallbacks"`               // units served degraded
-	DeadlineExceeded  int64   `json:"deadline_exceeded"`       // rounds cut by the per-call deadline
-	BreakerRejects    int64   `json:"breaker_rejects"`         // calls shed by an open circuit
-	BreakerOpens      int64   `json:"breaker_opens"`           // times the backend circuit opened
-	BreakerState      string  `json:"breaker_state"`           // closed / open / half-open
-	DegradedUnits     int     `json:"degraded_units"`          // distinct frames/shots served degraded
-	Hedges            int64   `json:"hedges"`                  // hedge replicas launched
-	HedgeWins         int64   `json:"hedge_wins"`              // rounds decided by the hedge replica
-	AdaptiveTrims     int64   `json:"adaptive_trims"`          // invocations whose retry budget was trimmed
-	LabelRejects      int64   `json:"label_rejects"`           // label-calls shed by per-label breakers
-	LabelBreakerOpens int64   `json:"label_breaker_opens"`     // per-label circuit openings
-	FallbackHops      []int64 `json:"fallback_hops,omitempty"` // degraded serves per chain hop; last entry is the prior
+	Errors            int64   `json:"errors"`                   // failed rounds (incl. deadline)
+	Retries           int64   `json:"retries"`                  // rounds beyond the first
+	Fallbacks         int64   `json:"fallbacks"`                // units served degraded
+	DeadlineExceeded  int64   `json:"deadline_exceeded"`        // rounds cut by the per-call deadline
+	BreakerRejects    int64   `json:"breaker_rejects"`          // calls shed by an open circuit
+	BreakerOpens      int64   `json:"breaker_opens"`            // times the backend circuit opened
+	BreakerState      string  `json:"breaker_state"`            // closed / open / half-open
+	DegradedUnits     int     `json:"degraded_units"`           // distinct frames/shots served degraded
+	Hedges            int64   `json:"hedges"`                   // hedge replicas launched
+	HedgeWins         int64   `json:"hedge_wins"`               // rounds decided by the hedge replica
+	HedgeDelayUS      float64 `json:"hedge_delay_us,omitempty"` // current hedge trigger delay (0 until armed)
+	AdaptiveTrims     int64   `json:"adaptive_trims"`           // invocations whose retry budget was trimmed
+	LabelRejects      int64   `json:"label_rejects"`            // label-calls shed by per-label breakers
+	LabelBreakerOpens int64   `json:"label_breaker_opens"`      // per-label circuit openings
+	FallbackHops      []int64 `json:"fallback_hops,omitempty"`  // degraded serves per chain hop; last entry is the prior
 }
 
 // Add accumulates other's counters into s and keeps the worse of the
@@ -172,6 +173,9 @@ func (s *Stats) Add(other Stats) {
 	s.DegradedUnits += other.DegradedUnits
 	s.Hedges += other.Hedges
 	s.HedgeWins += other.HedgeWins
+	if other.HedgeDelayUS > s.HedgeDelayUS {
+		s.HedgeDelayUS = other.HedgeDelayUS
+	}
 	s.AdaptiveTrims += other.AdaptiveTrims
 	s.LabelRejects += other.LabelRejects
 	s.LabelBreakerOpens += other.LabelBreakerOpens
@@ -212,8 +216,9 @@ type invoker struct {
 	degraded  map[int]int // unit → chain hop that served it (1-based; last is the prior)
 	hopCounts []int64     // degraded serves per hop
 
-	latMu sync.Mutex
-	lat   *quantile.Sketch // successful round durations (ns); nil unless hedging armed
+	latMu    sync.Mutex
+	lat      *quantile.Sketch // successful round durations (ns); nil unless hedging armed
+	latStage *trace.Stage     // mirrors lat into /varz and /metricsz; nil without a tracer
 
 	labelMu sync.Mutex
 	labels  map[annot.Label]*Breaker
@@ -248,6 +253,12 @@ func newInvoker(p Policy, salt, backend string, opt Options) *invoker {
 			quantile.Target{Quantile: 0.5, Epsilon: 0.02},
 			quantile.Target{Quantile: p.HedgeQuantile, Epsilon: 0.005},
 		)
+		// Mirror the hedge-driving sketch into a trace stage so /varz
+		// and /metricsz expose the per-backend latency quantiles the
+		// hedge delay is derived from — hedge tuning was blind without
+		// them. Salted obj/act: both wrappers may front one backend
+		// name.
+		in.latStage = tr.Stage("resilience.latency." + salt + "." + strings.ToLower(backend))
 	}
 	if p.LabelBreaker {
 		in.labels = map[annot.Label]*Breaker{}
@@ -403,6 +414,7 @@ func (in *invoker) observeLatency(d time.Duration) {
 	in.latMu.Lock()
 	in.lat.Observe(float64(d))
 	in.latMu.Unlock()
+	in.latStage.Observe(d)
 }
 
 // partition splits labels into those admitted by their per-label
@@ -524,6 +536,10 @@ func (in *invoker) stats() Stats {
 		}
 		in.labelMu.Unlock()
 	}
+	var hedgeDelayUS float64
+	if d, ok := in.hedgeDelay(); ok {
+		hedgeDelayUS = float64(d) / float64(time.Microsecond)
+	}
 	return Stats{
 		Calls:             in.calls.Load(),
 		Errors:            in.errs.Load(),
@@ -536,6 +552,7 @@ func (in *invoker) stats() Stats {
 		DegradedUnits:     n,
 		Hedges:            in.hedges.Load(),
 		HedgeWins:         in.hedgeWins.Load(),
+		HedgeDelayUS:      hedgeDelayUS,
 		AdaptiveTrims:     in.trims.Load(),
 		LabelRejects:      in.labelRejects.Load(),
 		LabelBreakerOpens: labelOpens,

@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"vaq/internal/infer"
 	"vaq/internal/quantile"
 	"vaq/internal/resilience"
+	"vaq/internal/trace"
 )
 
 // RouteMetrics is the per-endpoint slice of the /metricsz payload.
@@ -44,6 +46,14 @@ type MetricsResponse struct {
 	// ShedRequests counts admissions rejected 503 by load shedding.
 	Resilience   *resilience.Stats `json:"resilience,omitempty"`
 	ShedRequests int64             `json:"shed_requests,omitempty"`
+	// Inference aggregates the shared-inference layer's hit/miss/
+	// coalesce/batch counters across domains (absent without
+	// -shared-inference or before the first session).
+	Inference *infer.Stats `json:"inference,omitempty"`
+	// HedgeLatencies exposes, per backend with hedging armed, the
+	// latency sketch quantiles (µs) the hedge delay is derived from —
+	// keys are the resilience.latency.<obj|act>.<backend> stage names.
+	HedgeLatencies map[string]trace.StageStats `json:"hedge_latencies,omitempty"`
 }
 
 // metrics accumulates per-route request counts and latency sketches.

@@ -73,6 +73,17 @@ var errShuttingDown = fmt.Errorf("server: shutting down")
 // stream's resilience layer (nil when the stream was built without
 // one); the session reads its counters for degraded-result reporting.
 func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total int, models *resilience.Models) (*Session, error) {
+	return r.CreateWith(req, total, func(context.Context) (*vaq.Stream, *resilience.Models, error) {
+		return stream, models, nil
+	})
+}
+
+// CreateWith admits a session whose stream needs the session's lifetime
+// context at build time — the shared-inference path binds the
+// cross-session flight to it, so a deleted session abandons its waits
+// without cancelling calls other sessions still share. build runs under
+// the registry lock after admission; an error aborts the admission.
+func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ctx context.Context) (*vaq.Stream, *resilience.Models, error)) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -92,6 +103,11 @@ func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total in
 	r.seq++
 	id := fmt.Sprintf("s%d", r.seq)
 	ctx, cancel := context.WithCancel(r.ctx)
+	stream, models, err := build(ctx)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
 	sess := newSession(id, req, stream, total, cancel)
 	sess.models = models
 	if r.tr != nil {
@@ -181,10 +197,15 @@ func (r *Registry) Resilience() *resilience.Stats {
 	r.mu.Unlock()
 	agg := resilience.Stats{BreakerState: resilience.StateClosed.String()}
 	found := false
+	// Shared-inference sessions of one (workload, scale, model) domain
+	// share a single Models; dedupe by pointer so the roll-up counts each
+	// underlying backend stack once, not once per session.
+	seen := map[*resilience.Models]bool{}
 	for _, s := range sessions {
-		if s.models == nil {
+		if s.models == nil || seen[s.models] {
 			continue
 		}
+		seen[s.models] = true
 		found = true
 		agg.Add(s.models.Stats())
 	}

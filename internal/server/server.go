@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"vaq"
 	"vaq/internal/detect"
 	"vaq/internal/fault"
+	"vaq/internal/infer"
 	"vaq/internal/ingest"
 	"vaq/internal/resilience"
 	"vaq/internal/synth"
@@ -73,7 +75,26 @@ type Config struct {
 	// bgprob prior stays the implicit final hop. Validate with
 	// ValidateFallbackChain before serving.
 	FallbackChain []string
+	// SharedInference turns on the cross-session shared-inference layer
+	// (package infer): sessions of the same (workload, scale, model)
+	// share one resilient backend stack fronted by singleflight dedup,
+	// with the memo cache and micro-batcher below the fault injector.
+	SharedInference bool
+	// InferCache bounds the shared score cache in entries; 0 picks the
+	// default (65536), negative disables caching (dedup only). Only
+	// meaningful with SharedInference.
+	InferCache int
+	// BatchWindow holds the first invocation of a micro-batch open
+	// waiting for same-label-set companions; 0 disables batching. Only
+	// meaningful with SharedInference.
+	BatchWindow time.Duration
+	// BatchMax caps units per vectorized call (default 16).
+	BatchMax int
 }
+
+// DefaultInferCache is the shared score cache capacity when
+// Config.InferCache is 0.
+const DefaultInferCache = 65536
 
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
@@ -88,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = trace.New()
 	}
+	if c.InferCache == 0 {
+		c.InferCache = DefaultInferCache
+	}
 	return c
 }
 
@@ -100,6 +124,7 @@ type Server struct {
 	mux    *http.ServeMux
 	shed   *shedWindow
 	budget *resilience.AdaptiveBudget // nil unless AdaptiveRetries armed
+	hub    *inferHub                  // nil unless SharedInference armed
 }
 
 // New builds a server and its routes.
@@ -113,6 +138,14 @@ func New(cfg Config) *Server {
 		shed: newShedWindow(cfg.ShedWait),
 	}
 	s.reg.SetTracer(cfg.Tracer)
+	if cfg.SharedInference {
+		s.hub = newInferHub(infer.Config{
+			CacheCapacity: cfg.InferCache,
+			BatchWindow:   cfg.BatchWindow,
+			BatchMax:      cfg.BatchMax,
+			Tracer:        cfg.Tracer,
+		})
+	}
 	if cfg.AdaptiveRetries > 0 {
 		// The budget rides the same queue-wait signal as the shed
 		// window: one pool observer feeds both.
@@ -280,17 +313,26 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown_model", err.Error(), nil)
 		return
 	}
-	// Every session's backends go through the resilience layer; with the
-	// default policy and no fault schedule the wrapper is transparent
-	// (byte-identical results) and nearly free. The injector slots in
-	// between only when vaqd -fault armed a schedule.
-	scene := qs.World.Scene()
-	fdet := detect.AsFallibleObject(detect.NewSimObjectDetector(scene, objP, nil))
-	frec := detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, actP, nil))
-	if fs := s.cfg.FaultSchedule; !fs.Empty() {
-		fdet = fault.NewObject(fdet, fs)
-		frec = fault.NewAction(frec, fs)
+	// The query (when given) parses before any backend is built, so the
+	// common validation failures never construct a model stack.
+	var plan *vaq.Plan
+	if req.Query != "" {
+		plan, err = vaq.ParseQuery(req.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
+			return
+		}
+		if plan.Ranked {
+			writeErr(w, http.StatusBadRequest, "ranked_query",
+				"ORDER BY RANK queries are offline; use POST /v1/topk", nil)
+			return
+		}
+	} else {
+		// No query: run the workload's own Table 1/2 query, and echo the
+		// resolved query in the session status.
+		req.Query = qs.Query.String()
 	}
+
 	pol := resilience.DefaultPolicy()
 	if s.cfg.Resilience != nil {
 		pol = *s.cfg.Resilience
@@ -301,24 +343,47 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.LabelBreaker {
 		pol.LabelBreaker = true
 	}
-	ropt := resilience.Options{Tracer: s.cfg.Tracer, Budget: s.budget}
-	// The fallback chain hops are independent cheaper backends over the
-	// same scene; the fault schedule stays on the primary only.
+	var chainProfiles [][2]detect.Profile
 	for _, m := range s.cfg.FallbackChain {
 		objFB, actFB, err := modelProfiles(m)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, "bad_fallback_chain", err.Error(), nil)
 			return
 		}
-		ropt.FallbackObjects = append(ropt.FallbackObjects,
-			detect.AsFallibleObject(detect.NewSimObjectDetector(scene, objFB, nil)))
-		ropt.FallbackActions = append(ropt.FallbackActions,
-			detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, actFB, nil)))
+		chainProfiles = append(chainProfiles, [2]detect.Profile{objFB, actFB})
 	}
-	models := resilience.WrapFallible(fdet, frec, pol, ropt)
-	det, rec := models.Det, models.Rec
-	meta := qs.World.Truth.Meta
 
+	// Every session's backends go through the resilience layer; with the
+	// default policy and no fault schedule the wrapper is transparent
+	// (byte-identical results) and nearly free. The injector slots in
+	// between only when vaqd -fault armed a schedule. buildModels stacks
+	// one backend set bottom-up: raw sims → (infer cache/batcher when sh
+	// is non-nil) → fault injector → resilience. The fallback chain hops
+	// are independent cheaper backends over the same scene; the fault
+	// schedule stays on the primary only.
+	scene := qs.World.Scene()
+	buildModels := func(sh *infer.Shared) *resilience.Models {
+		fdet := detect.AsFallibleObject(detect.NewSimObjectDetector(scene, objP, nil))
+		frec := detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, actP, nil))
+		if sh != nil {
+			fdet = sh.Object(fdet)
+			frec = sh.Action(frec)
+		}
+		if fs := s.cfg.FaultSchedule; !fs.Empty() {
+			fdet = fault.NewObject(fdet, fs)
+			frec = fault.NewAction(frec, fs)
+		}
+		ropt := resilience.Options{Tracer: s.cfg.Tracer, Budget: s.budget}
+		for _, fb := range chainProfiles {
+			ropt.FallbackObjects = append(ropt.FallbackObjects,
+				detect.AsFallibleObject(detect.NewSimObjectDetector(scene, fb[0], nil)))
+			ropt.FallbackActions = append(ropt.FallbackActions,
+				detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, fb[1], nil)))
+		}
+		return resilience.WrapFallible(fdet, frec, pol, ropt)
+	}
+
+	meta := qs.World.Truth.Meta
 	total := meta.Clips()
 	if req.MaxClips > 0 {
 		total = req.MaxClips
@@ -328,42 +393,45 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		dynamic = *req.Dynamic
 	}
 	cfg := vaq.StreamConfig{Dynamic: dynamic, HorizonClips: max(total, meta.Clips())}
+	mkStream := func(det vaq.ObjectDetector, rec vaq.ActionRecognizer) (*vaq.Stream, error) {
+		if plan != nil {
+			return vaq.NewStream(plan, det, rec, meta.Geom, cfg)
+		}
+		return vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, cfg)
+	}
 
-	var stream *vaq.Stream
-	if req.Query != "" {
-		plan, err := vaq.ParseQuery(req.Query)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
-			return
-		}
-		if plan.Ranked {
-			writeErr(w, http.StatusBadRequest, "ranked_query",
-				"ORDER BY RANK queries are offline; use POST /v1/topk", nil)
-			return
-		}
-		stream, err = vaq.NewStream(plan, det, rec, meta.Geom, cfg)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
-			return
+	var build func(ctx context.Context) (*vaq.Stream, *resilience.Models, error)
+	if s.hub != nil {
+		// Shared inference: one backend stack per (workload, scale,
+		// model), fronted by the cross-session flights. Binding the
+		// flights to the session context makes a deleted session abandon
+		// its waits without cancelling calls other sessions share.
+		entry := s.hub.entry(inferKey{req.Workload, req.Scale, req.Model}, buildModels)
+		build = func(ctx context.Context) (*vaq.Stream, *resilience.Models, error) {
+			stream, err := mkStream(entry.objFlight.Bind(ctx), entry.actFlight.Bind(ctx))
+			return stream, entry.models, err
 		}
 	} else {
-		// No query: run the workload's own Table 1/2 query, and echo the
-		// resolved query in the session status.
-		req.Query = qs.Query.String()
-		stream, err = vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, cfg)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "internal", err.Error(), nil)
-			return
+		models := buildModels(nil)
+		build = func(context.Context) (*vaq.Stream, *resilience.Models, error) {
+			stream, err := mkStream(models.Det, models.Rec)
+			return stream, models, err
 		}
 	}
 
-	sess, err := s.reg.Create(req, stream, total, models)
+	sess, err := s.reg.CreateWith(req, total, build)
 	switch {
 	case errors.Is(err, errTooManySessions):
 		writeErr(w, http.StatusTooManyRequests, "too_many_sessions", err.Error(), nil)
 		return
 	case errors.Is(err, errShuttingDown):
 		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err.Error(), nil)
+		return
+	case err != nil && plan != nil:
+		// A parsed plan that still fails stream construction (e.g. an
+		// unsupported relation inside a disjunction) is the client's
+		// query, not a server fault.
+		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error(), err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "internal", err.Error(), nil)
@@ -586,7 +654,26 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		TotalSessions:  s.reg.Total(),
 		Resilience:     s.reg.Resilience(),
 		ShedRequests:   s.shed.Sheds(),
+		Inference:      s.hub.stats(),
+		HedgeLatencies: hedgeLatencies(s.cfg.Tracer),
 	})
+}
+
+// hedgeLatencies filters the tracer's stage snapshot down to the
+// per-backend latency sketches the hedge delay is derived from
+// (resilience.latency.<obj|act>.<backend>); nil when hedging never
+// observed a round.
+func hedgeLatencies(tr *trace.Tracer) map[string]trace.StageStats {
+	var out map[string]trace.StageStats
+	for name, st := range tr.Stages() {
+		if strings.HasPrefix(name, "resilience.latency.") {
+			if out == nil {
+				out = map[string]trace.StageStats{}
+			}
+			out[name] = st
+		}
+	}
+	return out
 }
 
 // handleTracez dumps the tracer's retained spans as parent-linked trees,

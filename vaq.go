@@ -40,6 +40,7 @@ import (
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
+	"vaq/internal/infer"
 	"vaq/internal/ingest"
 	"vaq/internal/interval"
 	"vaq/internal/pool"
@@ -98,10 +99,11 @@ type Stream struct {
 // with disjunctions or multiple actions run the CNF extension engine
 // (footnotes 3–4). Relation predicates inside disjunctions are not
 // supported.
-func NewStream(plan *Plan, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig) (*Stream, error) {
+func NewStream(plan *Plan, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig, opts ...StreamOption) (*Stream, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("vaq: nil plan")
 	}
+	det, rec = applyStreamOptions(det, rec, opts)
 	if q, relPreds, ok := plan.SimpleQueryWithRelations(); ok {
 		eng, err := svaq.New(q, det, rec, geom, cfg)
 		if err != nil {
@@ -146,12 +148,121 @@ func NewStream(plan *Plan, det ObjectDetector, rec ActionRecognizer, geom Geomet
 
 // NewStreamQuery builds the online engine directly from a conjunctive
 // query, bypassing VQL.
-func NewStreamQuery(q Query, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig) (*Stream, error) {
+func NewStreamQuery(q Query, det ObjectDetector, rec ActionRecognizer, geom Geometry, cfg StreamConfig, opts ...StreamOption) (*Stream, error) {
+	det, rec = applyStreamOptions(det, rec, opts)
 	eng, err := svaq.New(q, det, rec, geom, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{simple: eng}, nil
+}
+
+// StreamOption configures how a Stream reaches its models.
+type StreamOption func(*streamOptions)
+
+type streamOptions struct {
+	si *SharedInference
+}
+
+// WithSharedInference routes the stream's model invocations through a
+// SharedInference domain: concurrent streams wrapping the same backends
+// coalesce duplicate in-flight calls, share the memoized score cache
+// and ride the same micro-batches. Streams passing the same
+// SharedInference must wrap interchangeable backends (same scene per
+// backend name).
+func WithSharedInference(si *SharedInference) StreamOption {
+	return func(o *streamOptions) { o.si = si }
+}
+
+func applyStreamOptions(det ObjectDetector, rec ActionRecognizer, opts []StreamOption) (ObjectDetector, ActionRecognizer) {
+	var o streamOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if o.si != nil {
+		det = o.si.WrapDetector(det)
+		rec = o.si.WrapRecognizer(rec)
+	}
+	return det, rec
+}
+
+// SharedInferenceConfig sizes a SharedInference domain; see
+// docs/INFERENCE.md for tuning guidance. The zero value enables dedup
+// only (no cache, no batching).
+type SharedInferenceConfig struct {
+	// CacheCapacity bounds the memoized score cache in entries (one per
+	// (backend, unit, label-set) key); <= 0 disables the cache.
+	CacheCapacity int
+	// BatchWindow holds the first invocation of a micro-batch open
+	// waiting for same-label-set companions; <= 0 disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps units per vectorized call (default 16).
+	BatchMax int
+	// Tracer receives the infer.* counters and stage sketches.
+	Tracer *Tracer
+}
+
+// InferenceStats snapshots a SharedInference domain's counters.
+type InferenceStats = infer.Stats
+
+// SharedInference is a shared-inference domain for library users: one
+// cache, one dedup group and one batch accumulator shared by every
+// stream built with WithSharedInference. The serving daemon builds its
+// own domains per (workload, scale, model) — this facade is for
+// embedding the engines directly.
+type SharedInference struct {
+	sh  *infer.Shared
+	mu  sync.Mutex
+	obj map[string]*infer.ObjectFlight
+	act map[string]*infer.ActionFlight
+}
+
+// NewSharedInference builds a domain from cfg.
+func NewSharedInference(cfg SharedInferenceConfig) *SharedInference {
+	return &SharedInference{
+		sh: infer.New(infer.Config{
+			CacheCapacity: cfg.CacheCapacity,
+			BatchWindow:   cfg.BatchWindow,
+			BatchMax:      cfg.BatchMax,
+			Tracer:        cfg.Tracer,
+		}),
+		obj: make(map[string]*infer.ObjectFlight),
+		act: make(map[string]*infer.ActionFlight),
+	}
+}
+
+// Stats snapshots the domain's hit/miss/coalesce/batch counters.
+func (si *SharedInference) Stats() InferenceStats { return si.sh.Stats() }
+
+// WrapDetector routes det through the domain. The first detector seen
+// under each Name() becomes the domain's backend for that name; later
+// detectors with the same name share its flight, cache entries and
+// batches (they must be interchangeable).
+func (si *SharedInference) WrapDetector(det ObjectDetector) ObjectDetector {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	f, ok := si.obj[det.Name()]
+	if !ok {
+		backend := si.sh.Object(detect.AsFallibleObject(det))
+		f = si.sh.ObjectFlight(det.Name(), infer.FallibleObjectSource(backend))
+		si.obj[det.Name()] = f
+	}
+	return f.Bind(context.Background())
+}
+
+// WrapRecognizer routes rec through the domain (see WrapDetector).
+func (si *SharedInference) WrapRecognizer(rec ActionRecognizer) ActionRecognizer {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	f, ok := si.act[rec.Name()]
+	if !ok {
+		backend := si.sh.Action(detect.AsFallibleAction(rec))
+		f = si.sh.ActionFlight(rec.Name(), infer.FallibleActionSource(backend))
+		si.act[rec.Name()] = f
+	}
+	return f.Bind(context.Background())
 }
 
 // Tracer re-exports the observability tracer (package internal/trace):
