@@ -177,6 +177,21 @@ func (s *csvSink) manySessions(res *experiments.ManySessionsResult) error {
 	}})
 }
 
+func (s *csvSink) plan(res *experiments.PlanResult) error {
+	out := make([][]string, len(res.Legs))
+	for i, l := range res.Legs {
+		out[i] = []string{
+			fint(l.Rate), ffloat(l.F1), fint64(l.Invocations), ffloat(l.Reduction),
+			fint(l.Accepted), fint(l.Pruned), fint(l.Densified),
+			strconv.FormatBool(l.MatchesDense), strconv.FormatBool(l.Deterministic),
+		}
+	}
+	return s.write("plan", []string{
+		"rate", "f1", "invocations", "reduction",
+		"accepted", "pruned", "densified", "matches_dense", "deterministic",
+	}, out)
+}
+
 func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {

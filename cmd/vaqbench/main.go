@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead, chaos, hedge, manysessions.
+// trace-overhead, chaos, hedge, manysessions, plan.
 package main
 
 import (
@@ -156,6 +156,13 @@ func main() {
 				return err
 			}
 			return sink.manySessions(res)
+		}},
+		{[]string{"plan"}, func() error {
+			res, err := ctx.Plan()
+			if err != nil {
+				return err
+			}
+			return sink.plan(res)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

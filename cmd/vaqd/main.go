@@ -60,6 +60,8 @@ func main() {
 		cacheFlag    = flag.Int("infer-cache", 0, "shared score cache capacity in entries (0 = default 65536, negative = dedup only)")
 		batchWFlag   = flag.Duration("batch-window", 0, "hold shared-inference invocations this long to micro-batch same-profile units (0 = off)")
 		batchNFlag   = flag.Int("batch-max", 16, "max units per micro-batched detector call")
+		planRFlag    = flag.Int("plan-rate", 0, "adaptive sampling base rate: evaluate predicates on 1 unit in N, densifying only undecided clips (0 = dense, 1 = planner with the dense rung)")
+		planLFlag    = flag.Int("plan-levels", 0, "cap on the densification ladder length (0 = full ladder down to stride 1)")
 	)
 	flag.Parse()
 
@@ -90,6 +92,21 @@ func main() {
 	}
 	if *hedgeFlag != 0 && (*hedgeFlag <= 0 || *hedgeFlag >= 1) {
 		fatal(fmt.Errorf("-hedge-quantile must be in (0, 1), got %v", *hedgeFlag))
+	}
+	// Sizing bugs are fatal at startup, not deferred to the first session
+	// that exercises them.
+	if *batchNFlag <= 0 {
+		fatal(fmt.Errorf("-batch-max must be positive, got %d", *batchNFlag))
+	}
+	if *batchWFlag < 0 {
+		fatal(fmt.Errorf("-batch-window must be non-negative, got %v", *batchWFlag))
+	}
+	if err := (vaq.PlanConfig{Rate: *planRFlag, Levels: *planLFlag}).Validate(); err != nil {
+		fatal(err)
+	}
+	cfg.PlanRate, cfg.PlanLevels = *planRFlag, *planLFlag
+	if *planRFlag > 0 {
+		fmt.Printf("vaqd: adaptive sampling planner armed: rate %d, levels %d\n", *planRFlag, *planLFlag)
 	}
 	if *chainFlag != "" {
 		for _, m := range strings.Split(*chainFlag, ",") {

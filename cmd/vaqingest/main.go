@@ -32,11 +32,27 @@ func main() {
 		seedFlag    = flag.Int64("fault-seed", 1, "seed for the fault schedule and resilience jitter")
 		batchWFlag  = flag.Duration("batch-window", 0, "micro-batch same-label detector calls arriving within this window into one vectorized call (0 = off)")
 		batchNFlag  = flag.Int("batch-max", infer.DefaultBatchMax, "max units per micro-batched detector call")
+		planRFlag   = flag.Int("plan-rate", 0, "adaptive sampling base rate: score 1 unit in N per clip, densifying only undecided labels (0 = dense, 1 = planner with the dense rung)")
+		planLFlag   = flag.Int("plan-levels", 0, "cap on the densification ladder length (0 = full ladder down to stride 1)")
 	)
 	flag.Parse()
 	workers := *workersFlag
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	// Sizing bugs die at flag parsing, not as a late construction panic.
+	if *batchNFlag <= 0 {
+		fatal(fmt.Errorf("-batch-max must be positive, got %d", *batchNFlag))
+	}
+	if *batchWFlag < 0 {
+		fatal(fmt.Errorf("-batch-window must be non-negative, got %v", *batchWFlag))
+	}
+	planCfg := vaq.PlanConfig{Rate: *planRFlag, Levels: *planLFlag}
+	if err := planCfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if planCfg.Enabled() {
+		fmt.Printf("vaqingest: adaptive sampling planner armed: rate %d, levels %d (sequential ingest)\n", *planRFlag, *planLFlag)
 	}
 	var sched fault.Schedule
 	if *faultFlag != "" {
@@ -75,7 +91,8 @@ func main() {
 		// the repository bytes don't change either — only the call count.
 		var sh *infer.Shared
 		if *batchWFlag > 0 {
-			sh = infer.New(infer.Config{BatchWindow: *batchWFlag, BatchMax: *batchNFlag})
+			// The flags were validated above, so construction cannot fail.
+			sh = infer.MustNew(infer.Config{BatchWindow: *batchWFlag, BatchMax: *batchNFlag})
 			fdet, frec = sh.Object(fdet), sh.Action(frec)
 		}
 		if !sched.Empty() {
@@ -87,7 +104,8 @@ func main() {
 		models := resilience.WrapFallible(fdet, frec, pol, resilience.Options{})
 		det, rec = models.Det, models.Rec
 		truth := qs.World.Truth
-		vd, err := vaq.IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), vaq.IngestConfig{Workers: workers})
+		vd, err := vaq.IngestVideo(det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(),
+			vaq.IngestConfig{Workers: workers, Plan: planCfg})
 		if err != nil {
 			fatal(fmt.Errorf("ingest %s: %w", name, err))
 		}

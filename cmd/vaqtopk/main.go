@@ -53,10 +53,22 @@ func main() {
 		discountFlag = flag.Float64("discount", 0, "down-weight clips the repository marked degraded at ingest by this factor in (0, 1] and flag matching results (0 = off)")
 		batchWFlag   = flag.Duration("batch-window", 0, "micro-batch same-label detector calls during -synth ingestion (0 = off)")
 		batchNFlag   = flag.Int("batch-max", infer.DefaultBatchMax, "max units per micro-batched detector call")
+		planRFlag    = flag.Int("plan-rate", 0, "coarse-to-fine sampling during -synth ingestion: base rate 1-in-N (0 = dense, 1 = dense through the planner)")
+		planLFlag    = flag.Int("plan-levels", 0, "cap the planner's densification ladder (0 = full ladder)")
 	)
 	flag.Parse()
 	if *discountFlag < 0 || *discountFlag > 1 {
 		fatal(fmt.Errorf("-discount must be in [0, 1], got %v", *discountFlag))
+	}
+	if *batchNFlag <= 0 {
+		fatal(fmt.Errorf("-batch-max must be positive, got %d", *batchNFlag))
+	}
+	if *batchWFlag < 0 {
+		fatal(fmt.Errorf("-batch-window must be non-negative, got %v", *batchWFlag))
+	}
+	planCfg := vaq.PlanConfig{Rate: *planRFlag, Levels: *planLFlag}
+	if err := planCfg.Validate(); err != nil {
+		fatal(err)
 	}
 
 	ctx := context.Background()
@@ -91,7 +103,11 @@ func main() {
 	var repo *vaq.Repository
 	var err error
 	if *synthFlag != "" {
-		repo, err = ingestSynth(ctx, *synthFlag, *scaleFlag, *batchWFlag, *batchNFlag, &q)
+		var dens map[string]vaq.Densify
+		repo, dens, err = ingestSynth(ctx, *synthFlag, *scaleFlag, *batchWFlag, *batchNFlag, planCfg, &q)
+		// In-process ingestion keeps the detectors around, so planned
+		// repositories answer with exact scores via densification.
+		eo.Densifiers = dens
 	} else {
 		repo, err = vaq.OpenRepository(*dirFlag)
 	}
@@ -129,10 +145,10 @@ func main() {
 			emitJSON(out)
 			return
 		}
-		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses)%s%s:\n",
+		fmt.Printf("top-%d for %v across %v (wall %v, cpu %v, %d random accesses)%s%s%s:\n",
 			*kFlag, q, repo.Videos(), stats.Runtime.Round(time.Microsecond),
 			stats.CPURuntime.Round(time.Microsecond), stats.Accesses.Random,
-			incompleteMark(stats), degradedMark(stats))
+			incompleteMark(stats), degradedMark(stats), plannedMark(stats))
 		for i, r := range results {
 			fmt.Printf("  %2d. %-24s clips %v  score %.2f%s\n", i+1, r.Video, r.Seq, r.Score, degradedFlag(r.Degraded))
 		}
@@ -160,9 +176,9 @@ func main() {
 		emitJSON(out)
 		return
 	}
-	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d)%s%s:\n",
+	fmt.Printf("top-%d for %v on %s (%v, %d random accesses, |Pq|=%d)%s%s%s:\n",
 		*kFlag, q, *videoFlag, stats.Runtime.Round(time.Microsecond), stats.Accesses.Random, stats.Candidates,
-		incompleteMark(stats), degradedMark(stats))
+		incompleteMark(stats), degradedMark(stats), plannedMark(stats))
 	for i, r := range results {
 		fmt.Printf("  %2d. clips %v  score %.2f%s\n", i+1, r.Seq, r.Score, degradedFlag(r.Degraded))
 	}
@@ -204,17 +220,20 @@ func main() {
 // synthetic movies in-process; with a tracer in ctx the ingestion spans
 // land in the same tree as the query's. An empty query is filled from
 // the first movie's own Table 2 query. The backing directory is removed
-// before returning — the repository keeps every video in memory.
-func ingestSynth(ctx context.Context, names string, scale float64, batchWindow time.Duration, batchMax int, q *vaq.Query) (*vaq.Repository, error) {
+// before returning — the repository keeps every video in memory. With
+// planning armed, the returned densifier map completes planned clips
+// exactly through the same in-process detectors.
+func ingestSynth(ctx context.Context, names string, scale float64, batchWindow time.Duration, batchMax int, planCfg vaq.PlanConfig, q *vaq.Query) (*vaq.Repository, map[string]vaq.Densify, error) {
 	tmp, err := os.MkdirTemp("", "vaqtopk-synth-")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer os.RemoveAll(tmp)
 	repo, err := vaq.OpenRepository(tmp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	densifiers := map[string]vaq.Densify{}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -222,7 +241,7 @@ func ingestSynth(ctx context.Context, names string, scale float64, batchWindow t
 		}
 		qs, err := synth.MovieScaled(name, scale)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if q.Action == "" && len(q.Objects) == 0 {
 			*q = qs.Query
@@ -235,8 +254,9 @@ func ingestSynth(ctx context.Context, names string, scale float64, batchWindow t
 			// are byte-identical to per-unit calls, so the repository — and
 			// therefore the query answer — doesn't change, only the call
 			// count. The pass-through resilience wrap restores the plain
-			// detector interfaces IngestVideoCtx consumes.
-			sh := infer.New(infer.Config{BatchWindow: batchWindow, BatchMax: batchMax})
+			// detector interfaces IngestVideoCtx consumes. The flags were
+			// validated above, so construction cannot fail.
+			sh := infer.MustNew(infer.Config{BatchWindow: batchWindow, BatchMax: batchMax})
 			models := resilience.WrapFallible(
 				sh.Object(detect.AsFallibleObject(det)),
 				sh.Action(detect.AsFallibleAction(rec)),
@@ -245,15 +265,25 @@ func ingestSynth(ctx context.Context, names string, scale float64, batchWindow t
 		}
 		truth := qs.World.Truth
 		vd, err := vaq.IngestVideoCtx(ctx, det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(),
-			vaq.IngestConfig{Workers: runtime.NumCPU()})
+			vaq.IngestConfig{Workers: runtime.NumCPU(), Plan: planCfg})
 		if err != nil {
-			return nil, fmt.Errorf("ingest %s: %w", name, err)
+			return nil, nil, fmt.Errorf("ingest %s: %w", name, err)
 		}
 		if err := repo.Add(name, vd); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if vd.Plan != nil {
+			d, err := vaq.NewDensifier(vd, det, rec, *q)
+			if err != nil {
+				return nil, nil, fmt.Errorf("densifier %s: %w", name, err)
+			}
+			densifiers[name] = d
 		}
 	}
-	return repo, nil
+	if len(densifiers) == 0 {
+		return repo, nil, nil
+	}
+	return repo, densifiers, nil
 }
 
 // incompleteMark flags a deadline-truncated ranking in the text output.
@@ -268,6 +298,17 @@ func incompleteMark(stats vaq.TopKStats) string {
 func degradedMark(stats vaq.TopKStats) string {
 	if stats.DegradedClips > 0 {
 		return fmt.Sprintf(" [%d degraded clips discounted]", stats.DegradedClips)
+	}
+	return ""
+}
+
+// plannedMark summarizes planner-related score handling in the output.
+func plannedMark(stats vaq.TopKStats) string {
+	switch {
+	case stats.Bounded:
+		return " [BOUNDED: planned repository without densifier, scores are lower bounds]"
+	case stats.DensifiedClips > 0:
+		return fmt.Sprintf(" [%d clips densified]", stats.DensifiedClips)
 	}
 	return ""
 }

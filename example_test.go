@@ -73,7 +73,10 @@ func ExampleWithSharedInference() {
 	det := detect.NewSimObjectDetector(scene, detect.IdealObject, &meter)
 	rec := detect.NewSimActionRecognizer(scene, detect.IdealAction, &meter)
 
-	si := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 16})
+	si, err := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 16})
+	if err != nil {
+		log.Fatal(err)
+	}
 	plan, _ := vaq.ParseQuery(`
 		SELECT MERGE(clipID) FROM (PROCESS cam PRODUCE clipID, obj, act)
 		WHERE act = 'loading' AND obj.include('truck')`)

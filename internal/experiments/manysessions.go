@@ -83,7 +83,10 @@ func (c *Context) ManySessions() (*ManySessionsResult, error) {
 	// session wraps the same pair, so the cache and dedup group span all
 	// of them. The cache is sized to hold the video's full working set.
 	var sharedMeter detect.CostMeter
-	si := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 18})
+	si, err := vaq.NewSharedInference(vaq.SharedInferenceConfig{CacheCapacity: 1 << 18})
+	if err != nil {
+		return nil, err
+	}
 	sdet := detect.NewSimObjectDetector(scene, c.ObjProfile, &sharedMeter)
 	srec := detect.NewSimActionRecognizer(scene, c.ActProfile, &sharedMeter)
 	sharedSeqs, err := runLeg(func(int) (vaq.ObjectDetector, vaq.ActionRecognizer, []vaq.StreamOption) {

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/plan"
+	"vaq/internal/svaq"
+	"vaq/internal/synth"
+)
+
+// PlanLeg is one row of the adaptive-sampling planner study: the online
+// engine over one query at one base sampling rate.
+type PlanLeg struct {
+	// Rate is the planner's base subsampling rate; 0 is the dense
+	// baseline, 1 arms the planner with only the dense rung (and must
+	// reproduce the baseline exactly).
+	Rate        int
+	F1          float64
+	Invocations int64 // backend detector+recognizer calls
+	// Reduction is dense-leg invocations divided by this leg's.
+	Reduction float64
+	// Planner outcome counters (zero on the dense leg).
+	Accepted  int
+	Pruned    int
+	Densified int
+	// MatchesDense reports whether the leg returned exactly the dense
+	// leg's sequences.
+	MatchesDense bool
+	// Deterministic reports whether a repeat run reproduced the same
+	// sequences and the same invocation count.
+	Deterministic bool
+}
+
+// PlanResult reports the coarse-to-fine planner study.
+type PlanResult struct {
+	Query string
+	Legs  []PlanLeg
+}
+
+// planRates is the sweep of the planner study: dense baseline, the
+// degenerate rate-1 planner (identity check), then real subsampling.
+var planRates = []int{0, 1, 2, 4, 8}
+
+// planLeg runs the online engine once at the given rate and returns the
+// result sequences, the backend invocation count and the planner stats.
+func (c *Context) planLeg(qs *synth.QuerySet, q annot.Query, rate int) (interval.Set, int64, plan.Stats, error) {
+	scene := qs.World.Scene()
+	var meter detect.CostMeter
+	det := detect.NewSimObjectDetector(scene, c.ObjProfile, &meter)
+	rec := detect.NewSimActionRecognizer(scene, c.ActProfile, &meter)
+	meta := qs.World.Truth.Meta
+	cfg := svaq.Config{
+		Dynamic:      true,
+		HorizonClips: meta.Clips(),
+		Plan:         plan.Config{Rate: rate},
+	}
+	eng, err := svaq.New(q, det, rec, meta.Geom, cfg)
+	if err != nil {
+		return nil, 0, plan.Stats{}, err
+	}
+	seqs, err := eng.Run(meta.Clips())
+	if err != nil {
+		return nil, 0, plan.Stats{}, err
+	}
+	return seqs, meter.Calls(), eng.PlanStats(), nil
+}
+
+// Plan runs the coarse-to-fine adaptive sampling study: the online
+// blowing-leaves query evaluated densely and under the planner at base
+// rates 1 (identity), 2, 4 and 8. Each leg reports sequence-level F1
+// against ground truth and the backend invocation count; every leg runs
+// twice to confirm byte-determinism. The planner trades a bounded
+// amount of accuracy (scaled accepts can fire on clips a dense scan
+// would reject, truncated ladders extrapolate) for a large cut in model
+// invocations — the paper-level claim is ≥2x fewer invocations within
+// one F1 point of dense.
+func (c *Context) Plan() (*PlanResult, error) {
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	truth, err := qs.World.Truth.GroundTruthClips(qs.Query)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PlanResult{Query: qs.Query.String()}
+	var denseSeqs interval.Set
+	var denseCalls int64
+	c.printf("Adaptive sampling planner (%v, %d clips):\n", qs.Query, qs.World.Truth.Meta.Clips())
+	for _, rate := range planRates {
+		seqs, calls, st, err := c.planLeg(qs, qs.Query, rate)
+		if err != nil {
+			return nil, err
+		}
+		seqs2, calls2, _, err := c.planLeg(qs, qs.Query, rate)
+		if err != nil {
+			return nil, err
+		}
+		if rate == 0 {
+			denseSeqs, denseCalls = seqs, calls
+		}
+		leg := PlanLeg{
+			Rate:          rate,
+			F1:            f1(seqs, truth),
+			Invocations:   calls,
+			Accepted:      st.Accepted,
+			Pruned:        st.Pruned,
+			Densified:     st.Densified,
+			MatchesDense:  seqs.Equal(denseSeqs),
+			Deterministic: seqs2.Equal(seqs) && calls2 == calls,
+		}
+		if calls > 0 {
+			leg.Reduction = float64(denseCalls) / float64(calls)
+		}
+		res.Legs = append(res.Legs, leg)
+		label := "dense"
+		if rate > 0 {
+			label = "planned"
+		}
+		c.printf("  rate %d (%s): F1 %.4f  %8d invocations (%.2fx)  accept/prune/densify %d/%d/%d  matches dense: %v  deterministic: %v\n",
+			rate, label, leg.F1, leg.Invocations, leg.Reduction,
+			leg.Accepted, leg.Pruned, leg.Densified, leg.MatchesDense, leg.Deterministic)
+	}
+	return res, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestPlanQuick runs the adaptive-sampling planner study at test scale
+// and checks the PR's acceptance criteria: some planned leg cuts
+// detector invocations at least 2x at F1 within one point of dense,
+// every leg is byte-deterministic, and the rate-1 leg is identical to
+// the dense path in both results and invocation count.
+func TestPlanQuick(t *testing.T) {
+	res, err := Quick(nil).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Legs) < 3 {
+		t.Fatalf("only %d legs", len(res.Legs))
+	}
+	dense := res.Legs[0]
+	if dense.Rate != 0 || dense.Invocations == 0 {
+		t.Fatalf("degenerate dense leg: %+v", dense)
+	}
+	best := 0.0
+	for _, l := range res.Legs {
+		if !l.Deterministic {
+			t.Errorf("rate %d: not deterministic across repeat runs", l.Rate)
+		}
+		if l.Rate == 1 {
+			if !l.MatchesDense {
+				t.Error("rate-1 leg diverged from the dense sequences")
+			}
+			if l.Invocations != dense.Invocations {
+				t.Errorf("rate-1 invocations %d != dense %d", l.Invocations, dense.Invocations)
+			}
+		}
+		if l.Rate > 1 && l.F1 >= dense.F1-0.01 && l.Reduction > best {
+			best = l.Reduction
+		}
+	}
+	if best < 2 {
+		t.Errorf("best matched-accuracy reduction %.2fx, want >= 2x", best)
+	}
+}

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,16 +43,28 @@ type batchOut[T any] struct {
 	err error
 }
 
+// newAccumulator validates its sizing at construction. A maxN ≤ 0 would
+// silently degenerate the batcher — every arrival is instantly "full",
+// so nothing ever batches while a window timer is still armed per call
+// — and a window ≤ 0 would flush every group the moment its timer is
+// created; both are configuration bugs, not operating points, so they
+// are rejected rather than clamped.
 func newAccumulator[T any](window time.Duration, maxN int,
 	run func(ctx context.Context, units []int, labels []annot.Label) ([]T, error),
-	observe func(n int, d time.Duration)) *accumulator[T] {
+	observe func(n int, d time.Duration)) (*accumulator[T], error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("infer: batch window must be positive, got %v", window)
+	}
+	if maxN <= 0 {
+		return nil, fmt.Errorf("infer: batch max must be positive, got %d", maxN)
+	}
 	return &accumulator[T]{
 		window:  window,
 		maxN:    maxN,
 		run:     run,
 		observe: observe,
 		groups:  make(map[string]*bgroup[T]),
-	}
+	}, nil
 }
 
 // do enqueues unit under the label-set key and waits for its result

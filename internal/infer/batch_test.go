@@ -11,6 +11,19 @@ import (
 	"vaq/internal/annot"
 )
 
+// mustAccumulator unwraps newAccumulator for tests exercising valid
+// configurations.
+func mustAccumulator[T any](t *testing.T, window time.Duration, maxN int,
+	run func(context.Context, []int, []annot.Label) ([]T, error),
+	observe func(int, time.Duration)) *accumulator[T] {
+	t.Helper()
+	acc, err := newAccumulator(window, maxN, run, observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
 // echoRun returns each unit's value as 10*unit, recording every flush.
 func echoRun(flushes *[][]int, mu *sync.Mutex) func(context.Context, []int, []annot.Label) ([]int, error) {
 	return func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
@@ -25,10 +38,33 @@ func echoRun(flushes *[][]int, mu *sync.Mutex) func(context.Context, []int, []an
 	}
 }
 
+// TestAccumulatorRejectsDegenerateSizing pins the construction-time
+// validation: a maxN ≤ 0 or window ≤ 0 accumulator must be an error,
+// not a silently degenerate batcher.
+func TestAccumulatorRejectsDegenerateSizing(t *testing.T) {
+	run := func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
+		return make([]int, len(units)), nil
+	}
+	for _, tc := range []struct {
+		name   string
+		window time.Duration
+		maxN   int
+	}{
+		{"zero maxN", time.Millisecond, 0},
+		{"negative maxN", time.Millisecond, -3},
+		{"zero window", 0, 8},
+		{"negative window", -time.Millisecond, 8},
+	} {
+		if _, err := newAccumulator(tc.window, tc.maxN, run, nil); err == nil {
+			t.Errorf("%s: newAccumulator accepted the configuration", tc.name)
+		}
+	}
+}
+
 func TestBatchWindowGroupsArrivals(t *testing.T) {
 	var mu sync.Mutex
 	var flushes [][]int
-	acc := newAccumulator(30*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
+	acc := mustAccumulator(t, 30*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
 
 	const n = 4
 	got := make([]int, n)
@@ -64,7 +100,7 @@ func TestBatchMaxFlushesWithoutWaiting(t *testing.T) {
 	var mu sync.Mutex
 	var flushes [][]int
 	// An hour-long window: only the maxN trigger can flush in test time.
-	acc := newAccumulator(time.Hour, 2, echoRun(&flushes, &mu), nil)
+	acc := mustAccumulator(t, time.Hour, 2, echoRun(&flushes, &mu), nil)
 
 	done := make(chan int, 2)
 	for i := 0; i < 2; i++ {
@@ -86,7 +122,7 @@ func TestBatchMaxFlushesWithoutWaiting(t *testing.T) {
 func TestBatchDistinctKeysDoNotMix(t *testing.T) {
 	var mu sync.Mutex
 	var flushes [][]int
-	acc := newAccumulator(20*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
+	acc := mustAccumulator(t, 20*time.Millisecond, 100, echoRun(&flushes, &mu), nil)
 
 	var wg sync.WaitGroup
 	for i, key := range []string{"A", "B"} {
@@ -110,7 +146,7 @@ func TestBatchShapeErrorFansOut(t *testing.T) {
 	bad := func(_ context.Context, units []int, _ []annot.Label) ([]int, error) {
 		return make([]int, len(units)+1), nil
 	}
-	acc := newAccumulator(5*time.Millisecond, 100, bad, nil)
+	acc := mustAccumulator(t, 5*time.Millisecond, 100, bad, nil)
 	if _, err := acc.do(context.Background(), "L", 0, nil); !errors.Is(err, errBatchShape) {
 		t.Fatalf("err = %v, want errBatchShape", err)
 	}
@@ -119,7 +155,7 @@ func TestBatchShapeErrorFansOut(t *testing.T) {
 func TestBatchRunErrorFansOut(t *testing.T) {
 	boom := errors.New("boom")
 	fail := func(context.Context, []int, []annot.Label) ([]int, error) { return nil, boom }
-	acc := newAccumulator(5*time.Millisecond, 100, fail, nil)
+	acc := mustAccumulator(t, 5*time.Millisecond, 100, fail, nil)
 	if _, err := acc.do(context.Background(), "L", 0, nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
@@ -138,7 +174,7 @@ func TestBatchWaiterCancelAbandonsOnlyItsWait(t *testing.T) {
 		}
 		return out, nil
 	}
-	acc := newAccumulator(5*time.Millisecond, 100, run, nil)
+	acc := mustAccumulator(t, 5*time.Millisecond, 100, run, nil)
 
 	survivor := make(chan int, 1)
 	go func() {
@@ -172,7 +208,7 @@ func TestBatchObserveReportsSize(t *testing.T) {
 	obs := func(size int, _ time.Duration) { n.Store(int64(size)) }
 	var mu sync.Mutex
 	var flushes [][]int
-	acc := newAccumulator(time.Hour, 3, echoRun(&flushes, &mu), obs)
+	acc := mustAccumulator(t, time.Hour, 3, echoRun(&flushes, &mu), obs)
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)

@@ -108,7 +108,7 @@ func TestCacheDoorkeeperEpochReset(t *testing.T) {
 // atomics Stats() reads, or the two surfaces silently disagree.
 func TestCacheTraceCountersMirrorStats(t *testing.T) {
 	tr := trace.New()
-	sh := New(Config{CacheCapacity: 1, Tracer: tr})
+	sh := MustNew(Config{CacheCapacity: 1, Tracer: tr})
 	sh.cache.put("a", 1) // direct admit (free slot)
 	sh.cache.put("b", 2) // doorkeeper reject (first sighting under pressure)
 	sh.cache.put("b", 2) // admit + evict a

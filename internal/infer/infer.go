@@ -33,6 +33,7 @@
 package infer
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,9 +121,27 @@ type Shared struct {
 	sBatchSize, sBatchFlush               *trace.Stage
 }
 
+// Validate rejects unusable configurations. Zero values stay legal
+// ("default" for BatchMax, "disabled" for the window and cache);
+// negative values are configuration bugs — a negative BatchMax would
+// silently disable batching while still arming a window timer per
+// invocation — and are reported rather than clamped.
+func (cfg Config) Validate() error {
+	if cfg.BatchMax < 0 {
+		return fmt.Errorf("infer: BatchMax must be positive (or 0 for the default %d), got %d", DefaultBatchMax, cfg.BatchMax)
+	}
+	if cfg.BatchWindow < 0 {
+		return fmt.Errorf("infer: BatchWindow must be positive (or 0 to disable batching), got %v", cfg.BatchWindow)
+	}
+	return nil
+}
+
 // New builds a Shared domain from cfg.
-func New(cfg Config) *Shared {
-	if cfg.BatchMax <= 0 {
+func New(cfg Config) (*Shared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchMax == 0 {
 		cfg.BatchMax = DefaultBatchMax
 	}
 	sh := &Shared{cfg: cfg}
@@ -143,6 +162,16 @@ func New(cfg Config) *Shared {
 	sh.sBatchFlush = tr.Stage("infer.batch_flush")
 	if sh.cache != nil {
 		sh.cache.cAdmit, sh.cache.cEvict, sh.cache.cDoor = sh.cAdmit, sh.cEvict, sh.cDoor
+	}
+	return sh, nil
+}
+
+// MustNew is New for configurations already validated upstream (e.g.
+// the serving daemon's flag parsing); it panics on error.
+func MustNew(cfg Config) *Shared {
+	sh, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return sh
 }

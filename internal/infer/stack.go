@@ -120,10 +120,12 @@ func (sh *Shared) newBatchedObject(backend detect.FallibleObjectDetector) *batch
 		}
 		return out, nil
 	}
-	return &batchedObject{
-		inner: backend,
-		acc:   newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush),
+	acc, err := newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush)
+	if err != nil {
+		// Unreachable: New rejects invalid batching configurations.
+		panic(err)
 	}
+	return &batchedObject{inner: backend, acc: acc}
 }
 
 func (b *batchedObject) Name() string { return b.inner.Name() }
@@ -162,10 +164,12 @@ func (sh *Shared) newBatchedAction(backend detect.FallibleActionRecognizer) *bat
 		}
 		return out, nil
 	}
-	return &batchedAction{
-		inner: backend,
-		acc:   newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush),
+	acc, err := newAccumulator(sh.cfg.BatchWindow, sh.cfg.BatchMax, run, sh.observeFlush)
+	if err != nil {
+		// Unreachable: New rejects invalid batching configurations.
+		panic(err)
 	}
+	return &batchedAction{inner: backend, acc: acc}
 }
 
 func (b *batchedAction) Name() string { return b.inner.Name() }

@@ -48,7 +48,7 @@ func (f *fakeObj) DetectCtx(_ context.Context, v video.FrameIdx, labels []annot.
 
 func TestCachedObjectMemoizes(t *testing.T) {
 	fk := &fakeObj{name: "fake"}
-	sh := New(Config{CacheCapacity: 16})
+	sh := MustNew(Config{CacheCapacity: 16})
 	wrapped := sh.Object(fk)
 	labels := []annot.Label{"car"}
 
@@ -74,7 +74,7 @@ func TestCachedObjectMemoizes(t *testing.T) {
 
 func TestCachedObjectClonesAcrossCallers(t *testing.T) {
 	fk := &fakeObj{name: "fake"}
-	sh := New(Config{CacheCapacity: 16})
+	sh := MustNew(Config{CacheCapacity: 16})
 	wrapped := sh.Object(fk)
 	labels := []annot.Label{"car"}
 
@@ -92,7 +92,7 @@ func TestCachedObjectDoesNotCacheErrors(t *testing.T) {
 	fk := &fakeObj{name: "fake"}
 	boom := errors.New("boom")
 	fk.setErr(boom)
-	sh := New(Config{CacheCapacity: 16})
+	sh := MustNew(Config{CacheCapacity: 16})
 	wrapped := sh.Object(fk)
 	labels := []annot.Label{"car"}
 
@@ -111,7 +111,7 @@ func TestCachedObjectDoesNotCacheErrors(t *testing.T) {
 
 func TestLabelSetKeyIsOrderInsensitive(t *testing.T) {
 	fk := &fakeObj{name: "fake"}
-	sh := New(Config{CacheCapacity: 16})
+	sh := MustNew(Config{CacheCapacity: 16})
 	wrapped := sh.Object(fk)
 
 	if _, err := wrapped.DetectCtx(context.Background(), 2, []annot.Label{"car", "person"}); err != nil {
@@ -145,7 +145,7 @@ func TestBatchedObjectVectorizesAndMatchesPerUnit(t *testing.T) {
 
 	var meter detect.CostMeter
 	sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, &meter)
-	sh := New(Config{BatchWindow: 20 * time.Millisecond, BatchMax: 8})
+	sh := MustNew(Config{BatchWindow: 20 * time.Millisecond, BatchMax: 8})
 	wrapped := sh.Object(detect.AsFallibleObject(sim))
 
 	const n = 4
@@ -204,7 +204,7 @@ func TestChaosDeterminismCacheOnOff(t *testing.T) {
 		sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
 		var backend detect.FallibleObjectDetector = detect.AsFallibleObject(sim)
 		if withCache {
-			backend = New(Config{CacheCapacity: 1024}).Object(backend)
+			backend = MustNew(Config{CacheCapacity: 1024}).Object(backend)
 		}
 		inj := fault.NewObject(backend, sched)
 		var out []obs
@@ -246,7 +246,7 @@ func (s srcFromFake) DetectCtx(ctx context.Context, v video.FrameIdx, labels []a
 
 func TestFlightBindDropsDegradedAndError(t *testing.T) {
 	fk := &fakeObj{name: "fake"}
-	sh := New(Config{})
+	sh := MustNew(Config{})
 	f := sh.ObjectFlight("fake", srcFromFake{fk})
 	det := f.Bind(context.Background())
 	if det.Name() != "fake" {
@@ -263,7 +263,7 @@ func TestFlightCoalescesAndClonesPerWaiter(t *testing.T) {
 	started := make(chan struct{})
 	var calls atomic.Int64
 	src := blockingSrc{release: release, started: started, calls: &calls}
-	sh := New(Config{})
+	sh := MustNew(Config{})
 	f := sh.ObjectFlight("b", src)
 	labels := []annot.Label{"car"}
 
@@ -324,7 +324,7 @@ func TestFlightWaiterCancellation(t *testing.T) {
 	started := make(chan struct{})
 	var calls atomic.Int64
 	src := blockingSrc{release: release, started: started, calls: &calls}
-	sh := New(Config{})
+	sh := MustNew(Config{})
 	f := sh.ObjectFlight("b", src)
 	labels := []annot.Label{"car"}
 
@@ -391,7 +391,7 @@ func TestSharedRaceSmoke(t *testing.T) {
 		frames = 64
 	}
 	sim := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
-	sh := New(Config{CacheCapacity: 32, BatchWindow: time.Millisecond, BatchMax: 4})
+	sh := MustNew(Config{CacheCapacity: 32, BatchWindow: time.Millisecond, BatchMax: 4})
 	f := sh.ObjectFlight("m", FallibleObjectSource(sh.Object(detect.AsFallibleObject(sim))))
 
 	var wg sync.WaitGroup
@@ -417,7 +417,7 @@ func TestActionPathFullStack(t *testing.T) {
 	var meter detect.CostMeter
 	sim := detect.NewSimActionRecognizer(scene, detect.I3D, &meter)
 	ref := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
-	sh := New(Config{CacheCapacity: 16, BatchWindow: 5 * time.Millisecond, BatchMax: 8})
+	sh := MustNew(Config{CacheCapacity: 16, BatchWindow: 5 * time.Millisecond, BatchMax: 8})
 	if sh.Config().BatchMax != 8 {
 		t.Fatalf("Config.BatchMax = %d", sh.Config().BatchMax)
 	}

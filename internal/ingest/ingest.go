@@ -24,6 +24,7 @@ import (
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/interval"
+	"vaq/internal/plan"
 	"vaq/internal/score"
 	"vaq/internal/svaq"
 	"vaq/internal/tables"
@@ -57,6 +58,18 @@ type Config struct {
 	// tracking stages stay sequential, so results are identical to a
 	// serial run. 0 or 1 means serial.
 	Workers int
+	// Plan arms the coarse-to-fine adaptive sampling planner: each
+	// clip's units are scored sparsely (1 in Plan.Rate) and densified
+	// only while some label's indicator is still undecided by the scan-
+	// statistic rules. Partially sampled clips materialize lower-bound
+	// table scores, recorded in VideoData.Plan so the query phase keeps
+	// its bounds sound (see docs/PLANNER.md); the bound arithmetic
+	// assumes the additive scoring scheme h (the default). Planned
+	// ingestion interleaves inference with the statistics, so it runs
+	// sequentially — Workers is ignored. The zero value is a dense
+	// ingest; Rate 1 runs the planner's dense rung, byte-identical to
+	// dense.
+	Plan plan.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +118,10 @@ type VideoData struct {
 	// scores derived from degraded units.
 	DegradedFrames []int
 	DegradedShots  []int
+	// Plan records the adaptive-sampling state of a planned ingest
+	// (which clips hold lower-bound scores and how loose they can be);
+	// nil after a dense — or fully densified — ingest.
+	Plan *PlanInfo
 }
 
 // DegradedUnits flattens a degraded unit→hop map (the shape the
@@ -162,6 +179,9 @@ func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionR
 	if len(actLabels) > 0 && rec == nil {
 		return nil, fmt.Errorf("ingest: action labels given but no recognizer")
 	}
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	geom := meta.Geom
 	nclips := meta.Clips()
@@ -206,6 +226,10 @@ func VideoCtx(ctx context.Context, det detect.ObjectDetector, rec detect.ActionR
 			return nil, fmt.Errorf("ingest: action %q: %w", l, err)
 		}
 		actTrk[l] = lt
+	}
+
+	if cfg.Plan.Enabled() {
+		return videoPlanned(ctx, det, rec, meta, objLabels, actLabels, cfg, objTrk, actTrk)
 	}
 
 	// Stage 1 — model inference per clip, the dominant cost (§5.2):

@@ -107,6 +107,28 @@ func Merge(videos []*VideoData, names []string) (*Merged, error) {
 		for _, s := range vd.DegradedShots {
 			out.DegradedShots = append(out.DegradedShots, s+base*geom.ShotsPerClip)
 		}
+		// Planned-ingest slack shifts with the namespace too, so a merged
+		// top-k keeps the same sound bounds as the per-video runs. The
+		// unit caps must agree across videos — they describe the model
+		// family, not one video.
+		if !vd.Plan.Empty() {
+			if out.Plan == nil {
+				out.Plan = &PlanInfo{
+					Rate: vd.Plan.Rate, Levels: vd.Plan.Levels,
+					ObjUnitCap: vd.Plan.ObjUnitCap, ActUnitCap: vd.Plan.ActUnitCap,
+					MissingFrames: map[int32]int{}, MissingShots: map[int32]int{},
+				}
+			} else if out.Plan.ObjUnitCap != vd.Plan.ObjUnitCap || out.Plan.ActUnitCap != vd.Plan.ActUnitCap {
+				return nil, fmt.Errorf("ingest: video %q plan unit caps (%v, %v) differ from (%v, %v)",
+					names[i], vd.Plan.ObjUnitCap, vd.Plan.ActUnitCap, out.Plan.ObjUnitCap, out.Plan.ActUnitCap)
+			}
+			for cid, n := range vd.Plan.MissingFrames {
+				out.Plan.MissingFrames[cid+int32(base)] = n
+			}
+			for cid, n := range vd.Plan.MissingShots {
+				out.Plan.MissingShots[cid+int32(base)] = n
+			}
+		}
 		base += nclips + 1 // reserve a gap clip between videos
 	}
 	out.Meta.Frames = base * geom.ClipLen()

@@ -1,0 +1,387 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/interval"
+	"vaq/internal/plan"
+	"vaq/internal/score"
+	"vaq/internal/svaq"
+	"vaq/internal/tables"
+	"vaq/internal/trace"
+	"vaq/internal/video"
+)
+
+// Per-unit score-mass caps of the simulated detector family: one frame
+// contributes at most two object instances per label (scores clamped to
+// [0, 1] each), one shot at most one action score. The planned-ingest
+// score bounds — "a partially sampled clip's true table score is at
+// most its sampled score plus missing·cap" — are sound exactly when the
+// scoring function h is additive in the raw scores (the default scheme)
+// and the per-unit mass respects these caps; deployments with different
+// models override them in PlanInfo before saving.
+const (
+	DefaultObjUnitCap = 2.0
+	DefaultActUnitCap = 1.0
+)
+
+// PlanInfo records the sparse-sampling state of a planned ingest (§4.2
+// under the coarse-to-fine planner): which clips were only partially
+// sampled and how much score mass the unsampled units could hide. The
+// clip score tables of a planned ingest hold LOWER bounds for these
+// clips; PlanInfo is what lets the offline query phase (package rvaq)
+// keep its frontier bounds sound, and — given the original detectors —
+// densify a clip back to its exact score.
+type PlanInfo struct {
+	// Rate and Levels echo the planner configuration that produced the
+	// metadata.
+	Rate   int `json:"rate"`
+	Levels int `json:"levels,omitempty"`
+	// ObjUnitCap / ActUnitCap bound one unsampled unit's contribution
+	// to a clip's per-label score.
+	ObjUnitCap float64 `json:"obj_unit_cap"`
+	ActUnitCap float64 `json:"act_unit_cap"`
+	// MissingFrames / MissingShots count the unsampled units per clip;
+	// clips absent from a map were fully sampled. The counts are shared
+	// across labels of the same kind: the ladder densifies a clip's
+	// units for all labels at once (one model invocation scores every
+	// label).
+	MissingFrames map[int32]int `json:"missing_frames,omitempty"`
+	MissingShots  map[int32]int `json:"missing_shots,omitempty"`
+}
+
+// Empty reports whether the metadata carries no partially sampled clip
+// (nil receiver included): every table score is exact and the query
+// phase can run the classic dense algorithm.
+func (p *PlanInfo) Empty() bool {
+	return p == nil || (len(p.MissingFrames) == 0 && len(p.MissingShots) == 0)
+}
+
+// FrameSlack bounds the score mass the unsampled frames of cid could
+// add to any single object label's clip score; 0 for fully sampled
+// clips.
+func (p *PlanInfo) FrameSlack(cid int32) float64 {
+	if p == nil {
+		return 0
+	}
+	return float64(p.MissingFrames[cid]) * p.ObjUnitCap
+}
+
+// ShotSlack is FrameSlack for action labels.
+func (p *PlanInfo) ShotSlack(cid int32) float64 {
+	if p == nil {
+		return 0
+	}
+	return float64(p.MissingShots[cid]) * p.ActUnitCap
+}
+
+// MaxFrameSlack is the largest FrameSlack over all clips — the sound
+// per-table augmentation of the top frontier (τ_top) in RVAQ.
+func (p *PlanInfo) MaxFrameSlack() float64 {
+	if p == nil {
+		return 0
+	}
+	m := 0
+	for _, n := range p.MissingFrames {
+		if n > m {
+			m = n
+		}
+	}
+	return float64(m) * p.ObjUnitCap
+}
+
+// MaxShotSlack is MaxFrameSlack for action tables.
+func (p *PlanInfo) MaxShotSlack() float64 {
+	if p == nil {
+		return 0
+	}
+	m := 0
+	for _, n := range p.MissingShots {
+		if n > m {
+			m = n
+		}
+	}
+	return float64(m) * p.ActUnitCap
+}
+
+// videoPlanned is the coarse-to-fine counterpart of VideoCtx's two
+// stages: per clip, the frame and shot ladders sample sparsely and
+// densify only while some label's indicator is still undecided by the
+// planner's rules. Inference and statistics interleave per clip (the
+// trackers' critical values are the planner's decision inputs), so the
+// planned path is sequential — cfg.Workers is ignored. At Rate 1 the
+// ladder is the single dense rung and the produced metadata is
+// byte-identical to VideoCtx's.
+func videoPlanned(ctx context.Context, det detect.ObjectDetector, rec detect.ActionRecognizer,
+	meta video.Meta, objLabels, actLabels []annot.Label, cfg Config,
+	objTrk, actTrk map[annot.Label]*svaq.LabelTracker) (*VideoData, error) {
+
+	geom := meta.Geom
+	nclips := meta.Clips()
+	pcfg := cfg.Plan
+	strides := pcfg.Strides()
+
+	tr := trace.FromContext(ctx)
+	ctx, pspan := trace.Start(ctx, "ingest.plan")
+	defer pspan.End()
+	cFrames := tr.Counter("detect.frame_invocations")
+	cShots := tr.Counter("detect.shot_invocations")
+
+	tracker := detect.NewTracker(cfg.TrackerIoU, cfg.TrackerMaxAge)
+	objRows := map[annot.Label][]tables.Row{}
+	actRows := map[annot.Label][]tables.Row{}
+	objInd := map[annot.Label][]bool{}
+	actInd := map[annot.Label][]bool{}
+	rawScores := map[annot.Label][]float64{}
+	counts := map[annot.Label]int{}
+	info := &PlanInfo{
+		Rate: pcfg.Rate, Levels: pcfg.Levels,
+		ObjUnitCap: DefaultObjUnitCap, ActUnitCap: DefaultActUnitCap,
+		MissingFrames: map[int32]int{}, MissingShots: map[int32]int{},
+	}
+
+	for c := 0; c < nclips; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ingest: video %q: %w", meta.Name, err)
+		}
+
+		// Frame ladder: densify while any object label is undecided.
+		if len(objLabels) > 0 {
+			frameLo, frameHi := geom.FrameRangeOfClip(video.ClipIdx(c))
+			w := int(frameHi - frameLo)
+			dets := make([][]detect.Detection, w)
+			sampled := make([]bool, w)
+			m := 0
+			for _, l := range objLabels {
+				counts[l] = 0
+			}
+			decided := map[annot.Label]plan.Decision{}
+			for r := range strides {
+				for _, u := range plan.Offsets(w, strides, r) {
+					d := det.Detect(frameLo+video.FrameIdx(u), objLabels)
+					cFrames.Add(int64(len(objLabels)))
+					dets[u] = d
+					sampled[u] = true
+					m++
+					seen := map[annot.Label]bool{}
+					for _, dd := range d {
+						if dd.Score >= cfg.Thresholds.Object {
+							seen[dd.Label] = true
+						}
+					}
+					for l := range seen {
+						counts[l]++
+					}
+				}
+				all := true
+				for _, l := range objLabels {
+					if decided[l] != plan.Undecided {
+						continue
+					}
+					lt := objTrk[l]
+					if d := pcfg.Decide(w, m, counts[l], lt.K(), lt.P()); d != plan.Undecided {
+						decided[l] = d
+					} else {
+						all = false
+					}
+				}
+				if all {
+					break
+				}
+			}
+			// The tracker and the score tables consume the sampled frames
+			// in ascending order, exactly like the dense stage 2.
+			for _, l := range objLabels {
+				rawScores[l] = rawScores[l][:0]
+			}
+			for u := 0; u < w; u++ {
+				if !sampled[u] {
+					continue
+				}
+				d := tracker.Update(frameLo+video.FrameIdx(u), dets[u])
+				for _, dd := range d {
+					rawScores[dd.Label] = append(rawScores[dd.Label], dd.Score)
+				}
+			}
+			for _, l := range objLabels {
+				if s := cfg.Score.H.CombineLabel(rawScores[l]); s > 0 {
+					objRows[l] = append(objRows[l], tables.Row{CID: int32(c), Score: s})
+				}
+				pos := false
+				switch decided[l] {
+				case plan.Accept:
+					pos = true
+				case plan.Prune:
+					pos = false
+				default: // truncated ladder: extrapolate
+					pos = plan.Finalize(w, m, counts[l], objTrk[l].K())
+				}
+				if err := objTrk[l].ObserveRun(m, counts[l]); err != nil {
+					return nil, fmt.Errorf("ingest: object %q: %w", l, err)
+				}
+				objInd[l] = append(objInd[l], pos)
+			}
+			if m < w {
+				info.MissingFrames[int32(c)] = w - m
+			}
+		}
+
+		// Shot ladder, the action-kind mirror.
+		if len(actLabels) > 0 {
+			shotLo, shotHi := geom.ShotRangeOfClip(video.ClipIdx(c))
+			w := int(shotHi - shotLo)
+			scores := make([][]detect.ActionScore, w)
+			sampled := make([]bool, w)
+			m := 0
+			for _, l := range actLabels {
+				counts[l] = 0
+			}
+			decided := map[annot.Label]plan.Decision{}
+			for r := range strides {
+				for _, u := range plan.Offsets(w, strides, r) {
+					ss := rec.Recognize(shotLo+video.ShotIdx(u), actLabels)
+					cShots.Add(int64(len(actLabels)))
+					scores[u] = ss
+					sampled[u] = true
+					m++
+					for _, a := range ss {
+						if a.Score >= cfg.Thresholds.Action {
+							counts[a.Label]++
+						}
+					}
+				}
+				all := true
+				for _, l := range actLabels {
+					if decided[l] != plan.Undecided {
+						continue
+					}
+					lt := actTrk[l]
+					if d := pcfg.Decide(w, m, counts[l], lt.K(), lt.P()); d != plan.Undecided {
+						decided[l] = d
+					} else {
+						all = false
+					}
+				}
+				if all {
+					break
+				}
+			}
+			for _, l := range actLabels {
+				rawScores[l] = rawScores[l][:0]
+			}
+			for u := 0; u < w; u++ {
+				if !sampled[u] {
+					continue
+				}
+				for _, a := range scores[u] {
+					rawScores[a.Label] = append(rawScores[a.Label], a.Score)
+				}
+			}
+			for _, l := range actLabels {
+				if s := cfg.Score.H.CombineLabel(rawScores[l]); s > 0 {
+					actRows[l] = append(actRows[l], tables.Row{CID: int32(c), Score: s})
+				}
+				pos := false
+				switch decided[l] {
+				case plan.Accept:
+					pos = true
+				case plan.Prune:
+					pos = false
+				default:
+					pos = plan.Finalize(w, m, counts[l], actTrk[l].K())
+				}
+				if err := actTrk[l].ObserveRun(m, counts[l]); err != nil {
+					return nil, fmt.Errorf("ingest: action %q: %w", l, err)
+				}
+				actInd[l] = append(actInd[l], pos)
+			}
+			if m < w {
+				info.MissingShots[int32(c)] = w - m
+			}
+		}
+	}
+
+	vd := &VideoData{
+		Meta:         meta,
+		ObjTables:    map[annot.Label]tables.Table{},
+		ActTables:    map[annot.Label]tables.Table{},
+		ObjSeqs:      map[annot.Label]interval.Set{},
+		ActSeqs:      map[annot.Label]interval.Set{},
+		TracksOpened: tracker.TracksOpened(),
+	}
+	for _, l := range objLabels {
+		vd.ObjTables[l] = tables.NewMemTable(string(l), objRows[l])
+		vd.ObjSeqs[l] = interval.FromIndicators(objInd[l])
+	}
+	for _, l := range actLabels {
+		vd.ActTables[l] = tables.NewMemTable(string(l), actRows[l])
+		vd.ActSeqs[l] = interval.FromIndicators(actInd[l])
+	}
+	// Fully sampled everywhere (Rate 1, or every clip densified): the
+	// metadata is exact and indistinguishable from a dense ingest.
+	if !info.Empty() {
+		vd.Plan = info
+	}
+	return vd, nil
+}
+
+// NewDensifier builds the per-clip exact-score completion RVAQ uses to
+// resolve rankings over a planned repository: given the same detectors
+// the ingest ran (re-reads of already-sampled units hit the shared
+// inference cache when one is armed), it recomputes the queried
+// predicates' clip scores from every unit of the clip and combines them
+// with g — exactly the score a dense ingest would have put in the
+// tables. The clip's Track annotations are irrelevant to scores, so no
+// tracker is needed.
+func NewDensifier(vd *VideoData, det detect.ObjectDetector, rec detect.ActionRecognizer,
+	q annot.Query, fns score.Functions) (func(cid int32) (float64, error), error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Objects) > 0 && det == nil {
+		return nil, fmt.Errorf("ingest: densifier needs an object detector for %v", q.Objects)
+	}
+	if q.Action != "" && rec == nil {
+		return nil, fmt.Errorf("ingest: densifier needs an action recognizer for %q", q.Action)
+	}
+	if fns.H == nil {
+		fns = score.Default()
+	}
+	geom := vd.Meta.Geom
+	nclips := vd.Meta.Clips()
+	return func(cid int32) (float64, error) {
+		if cid < 0 || int(cid) >= nclips {
+			return 0, fmt.Errorf("ingest: densify clip %d outside [0, %d)", cid, nclips)
+		}
+		actScore := 1.0 // neutral, matching rvaq's ScoreClip
+		if q.Action != "" {
+			shotLo, shotHi := geom.ShotRangeOfClip(video.ClipIdx(cid))
+			var raw []float64
+			for s := shotLo; s < shotHi; s++ {
+				for _, a := range rec.Recognize(s, []annot.Label{q.Action}) {
+					if a.Label == q.Action {
+						raw = append(raw, a.Score)
+					}
+				}
+			}
+			actScore = fns.H.CombineLabel(raw)
+		}
+		objScores := make([]float64, len(q.Objects))
+		if len(q.Objects) > 0 {
+			frameLo, frameHi := geom.FrameRangeOfClip(video.ClipIdx(cid))
+			raws := make(map[annot.Label][]float64, len(q.Objects))
+			for v := frameLo; v < frameHi; v++ {
+				for _, d := range det.Detect(v, q.Objects) {
+					raws[d.Label] = append(raws[d.Label], d.Score)
+				}
+			}
+			for i, o := range q.Objects {
+				objScores[i] = fns.H.CombineLabel(raws[o])
+			}
+		}
+		return fns.G.CombineClip(actScore, objScores), nil
+	}, nil
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vaq/internal/annot"
@@ -35,6 +36,63 @@ type manifest struct {
 	// fallback chain served during ingestion (absent for clean ingests).
 	DegradedFrames []int `json:"degraded_frames,omitempty"`
 	DegradedShots  []int `json:"degraded_shots,omitempty"`
+	// Plan persists the adaptive-sampling state of a planned ingest
+	// (absent for dense ingests). JSON object keys are strings, so the
+	// int32 clip ids round-trip through strconv in planToJSON.
+	Plan *planJSON `json:"plan,omitempty"`
+}
+
+// planJSON mirrors PlanInfo with string clip-id keys for JSON.
+type planJSON struct {
+	Rate          int            `json:"rate"`
+	Levels        int            `json:"levels,omitempty"`
+	ObjUnitCap    float64        `json:"obj_unit_cap"`
+	ActUnitCap    float64        `json:"act_unit_cap"`
+	MissingFrames map[string]int `json:"missing_frames,omitempty"`
+	MissingShots  map[string]int `json:"missing_shots,omitempty"`
+}
+
+func planToJSON(p *PlanInfo) *planJSON {
+	if p.Empty() {
+		return nil
+	}
+	out := &planJSON{Rate: p.Rate, Levels: p.Levels, ObjUnitCap: p.ObjUnitCap, ActUnitCap: p.ActUnitCap}
+	if len(p.MissingFrames) > 0 {
+		out.MissingFrames = make(map[string]int, len(p.MissingFrames))
+		for cid, n := range p.MissingFrames {
+			out.MissingFrames[strconv.Itoa(int(cid))] = n
+		}
+	}
+	if len(p.MissingShots) > 0 {
+		out.MissingShots = make(map[string]int, len(p.MissingShots))
+		for cid, n := range p.MissingShots {
+			out.MissingShots[strconv.Itoa(int(cid))] = n
+		}
+	}
+	return out
+}
+
+func planFromJSON(p *planJSON) (*PlanInfo, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := &PlanInfo{Rate: p.Rate, Levels: p.Levels, ObjUnitCap: p.ObjUnitCap, ActUnitCap: p.ActUnitCap,
+		MissingFrames: map[int32]int{}, MissingShots: map[int32]int{}}
+	for s, n := range p.MissingFrames {
+		cid, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: plan clip id %q: %w", s, err)
+		}
+		out.MissingFrames[int32(cid)] = n
+	}
+	for s, n := range p.MissingShots {
+		cid, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: plan clip id %q: %w", s, err)
+		}
+		out.MissingShots[int32(cid)] = n
+	}
+	return out, nil
 }
 
 type intervalJSON struct {
@@ -83,6 +141,7 @@ func (vd *VideoData) Save(dir string) error {
 
 		DegradedFrames: vd.DegradedFrames,
 		DegradedShots:  vd.DegradedShots,
+		Plan:           planToJSON(vd.Plan),
 	}
 	blob, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -132,6 +191,10 @@ func Load(dir string) (*VideoData, error) {
 	if err := json.Unmarshal(blob, &man); err != nil {
 		return nil, fmt.Errorf("ingest: parse manifest: %w", err)
 	}
+	planInfo, err := planFromJSON(man.Plan)
+	if err != nil {
+		return nil, err
+	}
 	vd := &VideoData{
 		Meta:         video.Meta{Name: man.Name, Frames: man.Frames, Geom: man.Geom},
 		ObjTables:    map[annot.Label]tables.Table{},
@@ -142,6 +205,7 @@ func Load(dir string) (*VideoData, error) {
 
 		DegradedFrames: man.DegradedFrames,
 		DegradedShots:  man.DegradedShots,
+		Plan:           planInfo,
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -1,0 +1,373 @@
+// Package plan implements a coarse-to-fine adaptive sampling planner
+// in the style of MIRIS: instead of invoking the models on every
+// occurrence unit (frame or shot) of a clip, a predicate is first
+// evaluated on a sparse subsample (1 unit in Rate), and the clip is
+// accepted or pruned as soon as the scan-statistic critical value
+// k_crit — the uncertainty signal the engines already maintain — makes
+// the remaining units irrelevant. Only undecided clips are recursively
+// densified, rung by rung, until the full density settles the
+// indicator exactly.
+//
+// Four decision rules run at the end of every rung, on a window of w
+// units of which m were sampled and c scored positive:
+//
+//  1. sound accept: c ≥ k. The true count only grows with more
+//     samples, so the indicator (count ≥ k_crit) is already certain.
+//  2. sound prune: c + (w − m) < k. Even if every unsampled unit were
+//     positive the window could not reach k.
+//  3. scaled-k_crit accept: ĉ = c·w/m ≥ Margin·k, AND the sample is
+//     statistically inconsistent with every sub-critical density:
+//     P(X ≥ c) ≤ Tail for X ~ Binomial(m, k/w). The extrapolation
+//     clears the critical value with a safety margin and the
+//     significance gate keeps a couple of detector false positives on
+//     a sparse rung from extrapolating past it.
+//  4. background-tail prune, requiring three things at once: the
+//     power gate — a clip at exactly the critical density k/w would
+//     have shown more than c positives with probability ≥ 1 − Power,
+//     so an unlucky sparse lattice over a marginal true clip cannot
+//     trigger a prune; the sampled units look like background —
+//     P(X ≥ c) > Tail for X ~ Binomial(m, p); and background could
+//     not plausibly fill the gap — P(X ≥ k − c) ≤ Tail for
+//     X ~ Binomial(w − m, p), with p the predicate's background
+//     probability.
+//
+// The statistical rules (3–4) only fire on samples of at least
+// MinSample units, and windows no longer than MinSample units are
+// evaluated densely outright: early stopping on a handful of units
+// saves almost nothing and correlates run length with clip content,
+// which would feed the dynamic background estimator an
+// optional-stopping-biased sample (see Evaluate).
+//
+// Rules 1–2 keep the planner exact in the limit: the final rung is
+// fully dense (stride 1), where rule 1 or rule 2 always fires, so an
+// undecided clip ends with precisely the dense indicator. A planner
+// with Rate ≤ 1 runs that single dense rung and is byte-identical to
+// the unplanned path. See docs/PLANNER.md for the soundness argument
+// and tuning guidance.
+package plan
+
+import (
+	"fmt"
+
+	"vaq/internal/scanstat"
+)
+
+// Default statistical-rule parameters (see Config).
+const (
+	DefaultMargin    = 2.0
+	DefaultTail      = 1e-3
+	DefaultMinSample = 8
+	DefaultPower     = 0.1
+)
+
+// Config parameterizes the planner. The zero value disables planning
+// (dense evaluation).
+type Config struct {
+	// Rate is the base sampling stride: the first rung evaluates one
+	// unit in Rate. 0 disables planning entirely; 1 arms the planner
+	// machinery with the single dense rung (byte-identical to the
+	// unplanned path — the metamorphic check of choice).
+	Rate int
+	// Levels caps the densification ladder length, base rung included.
+	// 0 means the full ladder (Rate, Rate/2, …, 1); a truncated ladder
+	// never reaches full density and settles still-undecided clips by
+	// density extrapolation (ĉ ≥ k), trading exactness for a hard cost
+	// ceiling.
+	Levels int
+	// Margin is the safety factor of the scaled-k_crit accept (rule 3);
+	// must be ≥ 1 when set, 0 means DefaultMargin.
+	Margin float64
+	// Tail is the significance level of the background-tail prune
+	// (rule 4); must be in [0, 1) when set, 0 means DefaultTail.
+	Tail float64
+	// MinSample is the smallest sample on which the statistical rules
+	// (3–4) may decide; rungs with fewer evaluated units can only decide
+	// soundly, otherwise they densify. Binomial reasoning on one or two
+	// units is noise — a short window at a high rate would otherwise be
+	// settled by a couple of detector outputs. 0 means DefaultMinSample;
+	// negative values are rejected (the sound rules ignore this knob, so
+	// MinSample 1 effectively disables it).
+	MinSample int
+	// Power is the false-negative risk of the background-tail prune's
+	// power gate: a rung may prune only once the sample is large enough
+	// that a clip sitting at the critical density k/w would, with
+	// probability ≥ 1 − Power, have shown more positives than observed.
+	// Short windows (a clip's shots) never reach that power before the
+	// dense rung, so they settle exactly — which is what keeps marginal
+	// true clips from being pruned on an unlucky sparse sample. Must be
+	// in (0, 1) when set; 0 means DefaultPower.
+	Power float64
+}
+
+// Enabled reports whether the planner is armed. Rate 1 counts as
+// enabled — the ladder is the single dense rung, so results are
+// byte-identical to the unplanned path while still exercising the
+// planner machinery.
+func (c Config) Enabled() bool { return c.Rate >= 1 }
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Rate < 0 {
+		return fmt.Errorf("plan: Rate must be non-negative, got %d", c.Rate)
+	}
+	if c.Levels < 0 {
+		return fmt.Errorf("plan: Levels must be non-negative, got %d", c.Levels)
+	}
+	if c.Margin != 0 && c.Margin < 1 {
+		return fmt.Errorf("plan: Margin must be >= 1 (or 0 for the default), got %v", c.Margin)
+	}
+	if c.Tail != 0 && !(c.Tail > 0 && c.Tail < 1) {
+		return fmt.Errorf("plan: Tail must be in (0, 1) (or 0 for the default), got %v", c.Tail)
+	}
+	if c.MinSample < 0 {
+		return fmt.Errorf("plan: MinSample must be non-negative (0 for the default), got %d", c.MinSample)
+	}
+	if c.Power != 0 && !(c.Power > 0 && c.Power < 1) {
+		return fmt.Errorf("plan: Power must be in (0, 1) (or 0 for the default), got %v", c.Power)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Margin == 0 {
+		c.Margin = DefaultMargin
+	}
+	if c.Tail == 0 {
+		c.Tail = DefaultTail
+	}
+	if c.MinSample == 0 {
+		c.MinSample = DefaultMinSample
+	}
+	if c.Power == 0 {
+		c.Power = DefaultPower
+	}
+	return c
+}
+
+// Strides returns the densification ladder: the sampling stride of each
+// rung, halving from Rate down to 1, truncated to Levels rungs when
+// Levels > 0. A disabled planner has the single dense rung [1].
+func (c Config) Strides() []int {
+	if c.Rate <= 1 {
+		return []int{1}
+	}
+	var out []int
+	for s := c.Rate; s >= 1; s /= 2 {
+		out = append(out, s)
+	}
+	if out[len(out)-1] != 1 {
+		out = append(out, 1)
+	}
+	if c.Levels > 0 && len(out) > c.Levels {
+		out = out[:c.Levels]
+	}
+	return out
+}
+
+// Offsets returns, in ascending order, the unit offsets of [0, w) newly
+// sampled at rung r of the ladder: the multiples of strides[r] that no
+// earlier rung already covered. Over all rungs of a full ladder the
+// offsets partition [0, w).
+func Offsets(w int, strides []int, r int) []int {
+	var out []int
+units:
+	for u := 0; u < w; u++ {
+		if u%strides[r] != 0 {
+			continue
+		}
+		for _, s := range strides[:r] {
+			if u%s == 0 {
+				continue units
+			}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// Decision is the outcome of one rung's decision rules.
+type Decision int
+
+const (
+	// Undecided means no rule fired: densify another rung.
+	Undecided Decision = iota
+	// Accept decides the indicator positive.
+	Accept
+	// Prune decides the indicator negative.
+	Prune
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Prune:
+		return "prune"
+	default:
+		return "undecided"
+	}
+}
+
+// Decide applies the four decision rules to one predicate window:
+// w units total, sampled of them evaluated, count positive among those,
+// against critical value k and background probability p. At full
+// density (sampled ≥ w) the sound rules always decide.
+func (c Config) Decide(w, sampled, count, k int, p float64) Decision {
+	if count >= k {
+		return Accept // rule 1 (sound)
+	}
+	rest := w - sampled
+	if count+rest < k {
+		return Prune // rule 2 (sound)
+	}
+	c = c.withDefaults()
+	if sampled < c.MinSample {
+		return Undecided // statistical rules need a real sample
+	}
+	// Rule 3: the density extrapolation must clear the scaled critical
+	// value AND the sample must be statistically inconsistent with every
+	// sub-critical density (the most favourable such density is k/w):
+	// without the significance gate, one or two detector false positives
+	// on a sparse rung extrapolate past Margin·k and accept background.
+	if float64(count)*float64(w) >= c.Margin*float64(k)*float64(sampled) &&
+		scanstat.BinomTail(sampled, float64(k)/float64(w), count) <= c.Tail {
+		return Accept // rule 3 (scaled k_crit)
+	}
+	// Rule 4: prune only when three things hold. (a) Power gate: the
+	// sample is statistically inconsistent with the critical density —
+	// a clip at exactly k/w would have shown more than count positives
+	// with probability ≥ 1 − Power, so missing all of a marginal clip's
+	// events on an unlucky sparse lattice cannot trigger a prune.
+	// (b) The sampled units themselves look like background (observing
+	// count or more is unremarkable at rate p). (c) Background could
+	// not plausibly fill the k − count gap. Without (a) and (b), a
+	// boundary clip would be judged by a background model that does not
+	// describe it.
+	if scanstat.BinomTail(sampled, float64(k)/float64(w), count+1) >= 1-c.Power &&
+		scanstat.BinomTail(sampled, p, count) > c.Tail &&
+		scanstat.BinomTail(rest, p, k-count) <= c.Tail {
+		return Prune // rule 4 (background tail)
+	}
+	return Undecided
+}
+
+// Finalize settles a clip a truncated ladder left undecided: the
+// density extrapolation ĉ = count·w/sampled against k, the planner's
+// best estimate of the dense indicator.
+func Finalize(w, sampled, count, k int) bool {
+	return float64(count)*float64(w) >= float64(k)*float64(sampled)
+}
+
+// Result reports one planned predicate evaluation.
+type Result struct {
+	// Positive is the decided clip indicator.
+	Positive bool
+	// Exact marks a decision by the sound rules (1–2) — including any
+	// decision at full density — as opposed to the statistical rules or
+	// a truncated-ladder extrapolation.
+	Exact bool
+	// Sampled and Count are the units evaluated and the positives among
+	// them when the decision fired.
+	Sampled int
+	Count   int
+	// Rungs is the number of ladder rungs evaluated.
+	Rungs int
+}
+
+// Evaluate runs the coarse-to-fine loop for one predicate over a
+// w-unit window with critical value k and background probability p,
+// probing units through eval (offsets in [0, w), each at most once,
+// in deterministic order). Unit evaluation stops the moment a rung's
+// decision fires.
+func (c Config) Evaluate(w, k int, p float64, eval func(unit int) (bool, error)) (Result, error) {
+	if w <= 0 {
+		return Result{}, fmt.Errorf("plan: window must be positive, got %d", w)
+	}
+	strides := c.Strides()
+	// Windows no longer than MinSample evaluate densely: the statistical
+	// rules cannot fire below MinSample units anyway, and even the sound
+	// rules' early stopping is harmful on a handful of units — the run
+	// length then correlates with the clip's content (zero runs stop
+	// early, positive runs go deep), which feeds the dynamic background
+	// estimator an optional-stopping-biased sample. The units saved on
+	// such windows are negligible next to the long (object) windows.
+	if w <= c.withDefaults().MinSample {
+		strides = []int{1}
+	}
+	res := Result{}
+	for r := range strides {
+		for _, u := range Offsets(w, strides, r) {
+			pos, err := eval(u)
+			if err != nil {
+				return res, err
+			}
+			res.Sampled++
+			if pos {
+				res.Count++
+			}
+		}
+		res.Rungs = r + 1
+		switch c.Decide(w, res.Sampled, res.Count, k, p) {
+		case Accept:
+			res.Positive = true
+			res.Exact = res.Count >= k
+			return res, nil
+		case Prune:
+			res.Positive = false
+			res.Exact = res.Count+(w-res.Sampled) < k
+			return res, nil
+		}
+	}
+	// Truncated ladder exhausted while undecided: extrapolate.
+	res.Positive = Finalize(w, res.Sampled, res.Count, k)
+	return res, nil
+}
+
+// Stats accumulates planner outcomes across clips.
+type Stats struct {
+	// Clips counts planned predicate evaluations.
+	Clips int
+	// Accepted / Pruned count decisions made before full density;
+	// Densified counts evaluations that ran the ladder to its last rung.
+	Accepted  int
+	Pruned    int
+	Densified int
+	// Units is the total units evaluated; UnitsDense is what a dense
+	// evaluation would have cost.
+	Units      int64
+	UnitsDense int64
+}
+
+// Observe folds one evaluation over a w-unit window into the stats.
+func (s *Stats) Observe(w int, r Result) {
+	s.Clips++
+	s.Units += int64(r.Sampled)
+	s.UnitsDense += int64(w)
+	switch {
+	case r.Sampled >= w:
+		s.Densified++
+	case r.Positive:
+		s.Accepted++
+	default:
+		s.Pruned++
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Clips += o.Clips
+	s.Accepted += o.Accepted
+	s.Pruned += o.Pruned
+	s.Densified += o.Densified
+	s.Units += o.Units
+	s.UnitsDense += o.UnitsDense
+}
+
+// Savings is the invocation-reduction factor versus dense evaluation
+// (1 when nothing was planned).
+func (s Stats) Savings() float64 {
+	if s.Units == 0 || s.UnitsDense == 0 {
+		return 1
+	}
+	return float64(s.UnitsDense) / float64(s.Units)
+}

@@ -3,6 +3,7 @@ package rvaq
 import (
 	"fmt"
 
+	"vaq/internal/ingest"
 	"vaq/internal/score"
 	"vaq/internal/tables"
 	"vaq/internal/trace"
@@ -43,15 +44,29 @@ type tbClip struct {
 	// for degraded clips. The cache (and hence every bound and result)
 	// holds effective scores.
 	discount func(cid int32) float64
-	// onScored is invoked exactly once per clip when its exact score
-	// becomes known (RVAQ attributes it to the clip's sequence).
-	onScored func(cid int32, s float64)
+	// onScored is invoked exactly once per clip when its score becomes
+	// known (RVAQ attributes it to the clip's sequence). On a planned
+	// repository without a densifier, lo < hi for partially sampled
+	// clips; everywhere else lo == hi is the exact score.
+	onScored func(cid int32, lo, hi float64)
 	// cacheHits, when set by a traced run, counts scoreAndRecord calls
 	// answered from the exact-score cache (nil-safe).
 	cacheHits *trace.Counter
+
+	// plan, when non-nil, marks a planned repository: stored table
+	// scores of partially sampled clips are LOWER bounds (ingest ran
+	// the adaptive sampling planner). scoreAndRecord then either
+	// completes clips exactly through densify or reports (lo, hi)
+	// pairs, and the top frontier is augmented by maxSlack so τtop
+	// still upper-bounds unseen clips' true scores.
+	plan     *ingest.PlanInfo
+	maxSlack []float64 // per table, allTables order
+	densify  func(cid int32) (float64, error)
+	// densified counts clips completed through densify.
+	densified int
 }
 
-func newTBClip(act tables.Table, objs []tables.Table, fns score.Functions, counter *tables.AccessCounter, skip func(int32) bool, onScored func(int32, float64)) *tbClip {
+func newTBClip(act tables.Table, objs []tables.Table, fns score.Functions, counter *tables.AccessCounter, skip func(int32) bool, onScored func(cid int32, lo, hi float64)) *tbClip {
 	nt := len(objs)
 	if act != nil {
 		nt++
@@ -64,6 +79,23 @@ func newTBClip(act tables.Table, objs []tables.Table, fns score.Functions, count
 		onScored: onScored,
 	}
 	return it
+}
+
+// armPlan switches the iterator into planned-repository mode: p's
+// per-clip slack widens random-accessed scores into (lo, hi) pairs and
+// the per-table maximum slack augments the top frontier. densify, when
+// non-nil, instead completes every random-accessed clip to its exact
+// score on first touch.
+func (it *tbClip) armPlan(p *ingest.PlanInfo, densify func(cid int32) (float64, error)) {
+	it.plan = p
+	it.densify = densify
+	it.maxSlack = make([]float64, 0, len(it.objs)+1)
+	if it.act != nil {
+		it.maxSlack = append(it.maxSlack, p.MaxShotSlack())
+	}
+	for range it.objs {
+		it.maxSlack = append(it.maxSlack, p.MaxFrameSlack())
+	}
 }
 
 // allTables yields the tables in canonical order: action first (if any),
@@ -107,9 +139,13 @@ func (it *tbClip) Step() (tauTop, tauBtm float64, err error) {
 			it.frontTop[i] = 0 // table exhausted: every remaining clip is absent from it
 		}
 	}
-	// Bottom pass.
+	// Bottom pass. The top pass of this same step has already consumed
+	// its row (stampTop+1 rows from the top in total), so when exactly
+	// one unconsumed row remained at step entry the two passes would
+	// meet on the same physical row — the bottom pass must stand down
+	// rather than re-read it and double-count a sorted access.
 	for i, t := range ts {
-		if it.stampBtm < t.Len() && it.stampTop+it.stampBtm < t.Len() {
+		if it.stampBtm < t.Len() && it.stampTop+it.stampBtm+1 < t.Len() {
 			row, err := t.ReverseRow(it.stampBtm, it.counter)
 			if err != nil {
 				return 0, 0, err
@@ -124,7 +160,25 @@ func (it *tbClip) Step() (tauTop, tauBtm float64, err error) {
 	}
 	it.stampTop++
 	it.stampBtm++
-	return it.tau(it.frontTop), it.tau(it.frontBtm), nil
+	return it.tauTop(), it.tau(it.frontBtm), nil
+}
+
+// tauTop is tau over the top frontier. On a planned repository each
+// table's frontier score is augmented by the table's maximum slack
+// first: an unseen clip's STORED score sits below the frontier, but its
+// true score may exceed it by up to the slack of its unsampled units,
+// and g's monotonicity turns the per-table upper bounds into a sound
+// clip-score bound — the reason the stopping condition never fires
+// early on planned metadata.
+func (it *tbClip) tauTop() float64 {
+	if it.plan == nil {
+		return it.tau(it.frontTop)
+	}
+	aug := make([]float64, len(it.frontTop))
+	for i, s := range it.frontTop {
+		aug[i] = s + it.maxSlack[i]
+	}
+	return it.tau(aug)
 }
 
 // tau combines per-table frontier scores with g. Queries without an
@@ -161,44 +215,100 @@ func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
 		it.cacheHits.Add(1)
 		return s, nil
 	}
-	s, err := it.ScoreClip(cid)
+	var lo, hi float64
+	var err error
+	if it.densify != nil {
+		// Plan-aware exact completion: recompute the clip's score from
+		// every unit instead of trusting the stored lower bound.
+		lo, err = it.densify(cid)
+		hi = lo
+		it.densified++
+	} else {
+		lo, hi, err = it.scoreBounds(cid)
+	}
 	if err != nil {
 		return 0, err
 	}
 	if it.discount != nil {
-		s *= it.discount(cid)
+		f := it.discount(cid)
+		lo *= f
+		hi *= f
 	}
-	it.scores[cid] = s
+	it.scores[cid] = lo
 	if it.onScored != nil {
-		it.onScored(cid, s)
+		it.onScored(cid, lo, hi)
 	}
-	return s, nil
+	return lo, nil
 }
 
-// ScoreClip computes the exact clip score S_q^(c) (Equation 9) with one
-// random access per query table.
+// ScoreClip computes the clip score S_q^(c) (Equation 9) with one random
+// access per query table. On a planned repository the result is the
+// STORED score — a lower bound for partially sampled clips.
 func (it *tbClip) ScoreClip(cid int32) (float64, error) {
-	actScore := 1.0 // neutral when the query has no action predicate
+	lo, _, err := it.scoreBounds(cid)
+	return lo, err
+}
+
+// scoreBounds performs one random access per query table and combines
+// the stored scores with g. On a dense repository lo == hi is the exact
+// clip score; on a planned one hi additionally absorbs the clip's
+// unsampled-unit slack per table (sound by g's monotonicity over
+// non-negative arguments).
+func (it *tbClip) scoreBounds(cid int32) (lo, hi float64, err error) {
+	actLo, actHi := 1.0, 1.0 // neutral when the query has no action predicate
 	if it.act != nil {
 		s, _, err := it.act.RandomGet(cid, it.counter)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		actScore = s
+		actLo, actHi = s, s+it.plan.ShotSlack(cid) // ShotSlack is nil-safe: 0 when dense
 	}
-	objScores := make([]float64, len(it.objs))
+	objLo := make([]float64, len(it.objs))
+	var objHi []float64
+	if it.plan != nil {
+		objHi = make([]float64, len(it.objs))
+	}
 	for i, t := range it.objs {
 		s, _, err := t.RandomGet(cid, it.counter)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		objScores[i] = s
+		objLo[i] = s
+		if objHi != nil {
+			objHi[i] = s + it.plan.FrameSlack(cid)
+		}
 	}
-	s := it.fns.G.CombineClip(actScore, objScores)
-	if s < 0 {
-		return 0, fmt.Errorf("rvaq: clip %d has negative score %v; the bound maintenance requires non-negative scores", cid, s)
+	lo = it.fns.G.CombineClip(actLo, objLo)
+	if lo < 0 {
+		return 0, 0, fmt.Errorf("rvaq: clip %d has negative score %v; the bound maintenance requires non-negative scores", cid, lo)
 	}
-	return s, nil
+	if it.plan == nil {
+		return lo, lo, nil
+	}
+	return lo, it.fns.G.CombineClip(actHi, objHi), nil
+}
+
+// absentHi upper-bounds the true score of a clip absent from every
+// table: zero on a dense repository, the slack-only combination on a
+// planned one (the clip's unsampled units may hide score mass the
+// tables never saw).
+func (it *tbClip) absentHi(cid int32) float64 {
+	if it.plan == nil {
+		return 0
+	}
+	act := 1.0
+	if it.act != nil {
+		act = it.plan.ShotSlack(cid)
+	}
+	objs := make([]float64, len(it.objs))
+	for i := range objs {
+		objs[i] = it.plan.FrameSlack(cid)
+	}
+	hi := it.fns.G.CombineClip(act, objs)
+	if it.discount != nil {
+		hi *= it.discount(cid)
+	}
+	return hi
 }
 
 // Known returns the exact score of cid if it has been computed.

@@ -42,7 +42,7 @@ func TestTBClipScoresAllClipsExactly(t *testing.T) {
 	var c tables.AccessCounter
 	scored := map[int32]float64{}
 	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false },
-		func(cid int32, s float64) { scored[cid] = s })
+		func(cid int32, lo, _ float64) { scored[cid] = lo })
 	for !it.Exhausted() {
 		if _, _, err := it.Step(); err != nil {
 			t.Fatal(err)
@@ -65,7 +65,7 @@ func TestTBClipOnScoredFiresOnce(t *testing.T) {
 	var c tables.AccessCounter
 	calls := map[int32]int{}
 	it := newTBClip(act, objs, score.Default(), &c, func(int32) bool { return false },
-		func(cid int32, _ float64) { calls[cid]++ })
+		func(cid int32, _, _ float64) { calls[cid]++ })
 	for i := 0; i < 10 && !it.Exhausted(); i++ {
 		if _, _, err := it.Step(); err != nil {
 			t.Fatal(err)
@@ -112,6 +112,55 @@ func TestTBClipKnownAndScoreClip(t *testing.T) {
 	s, err := it.ScoreClip(99) // absent everywhere: score 0
 	if err != nil || s != 0 {
 		t.Fatalf("absent clip score = %v, %v", s, err)
+	}
+}
+
+// TestTBClipSortedAccessCounts pins the exact per-table sorted-access
+// totals of the two-ended scan, regression-testing the bottom-pass
+// stand-down: when the top pass of the same step consumed the last
+// unread row, the bottom pass must not re-read it and double-count a
+// sorted access.
+func TestTBClipSortedAccessCounts(t *testing.T) {
+	// 1-row table: the first step's top pass consumes the only row, so
+	// the bottom pass never reads anything — exactly 1 sorted access
+	// and 0 reverse accesses per table.
+	one := tables.NewMemTable("o1", []tables.Row{{CID: 0, Score: 3}})
+	var c1 tables.AccessCounter
+	it1 := newTBClip(nil, []tables.Table{one}, score.Default(), &c1, func(int32) bool { return false }, nil)
+	for !it1.Exhausted() {
+		if _, _, err := it1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c1.Sorted != 1 || c1.Reverse != 0 {
+		t.Errorf("1-row table: sorted/reverse = %d/%d, want 1/0", c1.Sorted, c1.Reverse)
+	}
+
+	// 3-row table: step 1 reads one row from each end, step 2's top pass
+	// takes the middle row and the bottom pass stands down — 2 sorted
+	// plus 1 reverse access, never 4 reads of 3 rows.
+	three := tables.NewMemTable("o3", []tables.Row{
+		{CID: 0, Score: 9}, {CID: 1, Score: 5}, {CID: 2, Score: 1},
+	})
+	var c3 tables.AccessCounter
+	it3 := newTBClip(nil, []tables.Table{three}, score.Default(), &c3, func(int32) bool { return false }, nil)
+	steps := 0
+	for !it3.Exhausted() {
+		if _, _, err := it3.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if c3.Sorted != 2 || c3.Reverse != 1 {
+		t.Errorf("3-row table: sorted/reverse = %d/%d, want 2/1", c3.Sorted, c3.Reverse)
+	}
+	if steps != 2 {
+		t.Errorf("3-row table took %d steps, want 2", steps)
+	}
+	// Every clip must still have been scored exactly once (3 random
+	// accesses on the single-table query).
+	if c3.Random != 3 {
+		t.Errorf("3-row table: random = %d, want 3", c3.Random)
 	}
 }
 

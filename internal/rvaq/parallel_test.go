@@ -42,7 +42,7 @@ func TestScoreAndRecordAccessesOnce(t *testing.T) {
 	scored := map[int32]int{}
 	it := newTBClip(act, []tables.Table{obj}, score.Default(), &counter,
 		func(int32) bool { return false },
-		func(cid int32, _ float64) { scored[cid]++ })
+		func(cid int32, _, _ float64) { scored[cid]++ })
 
 	for _, cid := range []int32{1, 1, 0, 1, 0} {
 		if _, err := it.scoreAndRecord(cid); err != nil {

@@ -1,0 +1,116 @@
+package rvaq
+
+import (
+	"testing"
+
+	"vaq/internal/annot"
+	"vaq/internal/detect"
+	"vaq/internal/ingest"
+	"vaq/internal/interval"
+	"vaq/internal/plan"
+	"vaq/internal/score"
+	"vaq/internal/video"
+)
+
+// plannedWorld ingests one deterministic scene twice: densely and under
+// the rate-8 sampling planner, returning both repositories plus a
+// densifier over the planned one.
+func plannedWorld(t *testing.T) (dense, planned *ingest.VideoData, densify func(int32) (float64, error), q annot.Query) {
+	t.Helper()
+	geom := video.DefaultGeometry()
+	meta := video.Meta{Name: "pv", Frames: 25000, Geom: geom} // 500 clips
+	truth := annot.NewVideo(meta)
+	truth.AddAction("run", interval.Set{{Lo: 200, Hi: 349}, {Lo: 1800, Hi: 1899}})
+	truth.AddObject("car", interval.Set{{Lo: 2000, Hi: 3999}, {Lo: 17500, Hi: 19499}})
+	scene := &detect.Scene{Truth: truth, Seed: 77}
+	q = annot.Query{Action: "run", Objects: []annot.Label{"car"}}
+
+	mk := func(pcfg plan.Config) *ingest.VideoData {
+		det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+		rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+		vd, err := ingest.Video(det, rec, meta,
+			truth.ObjectLabels(), truth.ActionLabels(), ingest.Config{Plan: pcfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vd
+	}
+	dense = mk(plan.Config{})
+	planned = mk(plan.Config{Rate: 8})
+	if planned.Plan.Empty() {
+		t.Fatal("rate-8 ingest sampled every clip densely")
+	}
+
+	det := detect.NewSimObjectDetector(scene, detect.MaskRCNN, nil)
+	rec := detect.NewSimActionRecognizer(scene, detect.I3D, nil)
+	var err error
+	densify, err = ingest.NewDensifier(planned, det, rec, q, score.Functions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dense, planned, densify, q
+}
+
+// TestPlannedTopKDensifiedMatchesDense: a planned repository queried
+// with a densifier must return exactly the dense repository's top-K —
+// same sequences, same exact scores — because every touched clip is
+// completed to its dense score and τ_top stays a sound upper bound.
+func TestPlannedTopKDensifiedMatchesDense(t *testing.T) {
+	dense, planned, densify, q := plannedWorld(t)
+
+	for _, k := range []int{1, 3, 5} {
+		want, _, err := TopK(dense, q, k, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Densify = densify
+		got, stats, err := TopK(planned, q, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Bounded {
+			t.Errorf("k=%d: densified run reported Bounded", k)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d results vs dense %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Seq != want[i].Seq || got[i].Score != want[i].Score {
+				t.Errorf("k=%d result %d: %+v vs dense %+v", k, i, got[i], want[i])
+			}
+		}
+		if k > 1 && stats.DensifiedClips == 0 {
+			t.Errorf("k=%d: no clip densified on a planned repository", k)
+		}
+	}
+}
+
+// TestPlannedTopKBoundedIsSoundLowerBound: without a densifier the run
+// must flag Stats.Bounded and report scores that never exceed the dense
+// exact score of the same sequence.
+func TestPlannedTopKBoundedIsSoundLowerBound(t *testing.T) {
+	dense, planned, _, q := plannedWorld(t)
+
+	exact := map[interval.Interval]float64{}
+	want, _, err := TopK(dense, q, 10, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		exact[r.Seq] = r.Score
+	}
+
+	got, stats, err := TopK(planned, q, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Bounded {
+		t.Error("planned run without densifier did not report Bounded")
+	}
+	for _, r := range got {
+		if e, ok := exact[r.Seq]; ok && r.Score > e+1e-9 {
+			t.Errorf("sequence %v bounded score %v exceeds dense exact %v", r.Seq, r.Score, e)
+		}
+	}
+}

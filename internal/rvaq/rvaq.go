@@ -48,6 +48,12 @@ type Stats struct {
 	// DegradedClips counts degraded clips inside the candidate
 	// sequences (only computed when Options.DegradedDiscount is armed).
 	DegradedClips int
+	// DensifiedClips counts clips whose scores were completed through
+	// Options.Densify on a planned repository.
+	DensifiedClips int
+	// Bounded marks a run over a planned repository without a
+	// densifier: result scores are sound lower bounds, not exact.
+	Bounded bool
 	// Incomplete marks a partial result: the run's deadline expired
 	// before the stopping condition and Options.Partial returned the
 	// best-so-far ranking (lower-bound scores) instead of an error.
@@ -63,6 +69,8 @@ func (s *Stats) Merge(o Stats) {
 	s.Candidates += o.Candidates
 	s.Iterations += o.Iterations
 	s.DegradedClips += o.DegradedClips
+	s.DensifiedClips += o.DensifiedClips
+	s.Bounded = s.Bounded || o.Bounded
 	s.Incomplete = s.Incomplete || o.Incomplete
 }
 
@@ -106,6 +114,16 @@ type Options struct {
 	// the lower bound. 0 disables (degraded clips score as ingested).
 	// RVAQ only; the baselines ignore it.
 	DegradedDiscount float64
+	// Densify, when non-nil on a planned repository (VideoData.Plan
+	// set), recomputes a clip's exact score from every unit of the
+	// source video, replacing the stored lower bound. With it armed the
+	// run returns exact top-K results: clips are densified on first
+	// touch, the finishing pass settles any membership contention the
+	// bounds leave at exhaustion, and Stats.DensifiedClips counts the
+	// completions. Without it, planned runs rank by lower bounds
+	// (ExactScores is forced off and Stats.Bounded set). Dense
+	// repositories ignore it.
+	Densify func(cid int32) (float64, error)
 }
 
 // DefaultOptions returns the standard RVAQ configuration.
@@ -123,7 +141,11 @@ func (o Options) withDefaults() Options {
 // seqState tracks one candidate sequence's bound bookkeeping.
 type seqState struct {
 	iv         interval.Interval
-	knownScore float64 // F-combined exact scores of known clips
+	knownScore float64 // F-combined (lower-bound) scores of known clips
+	// knownHi is the F-combined upper bounds of the same clips; equal to
+	// knownScore except on a planned repository without a densifier,
+	// where scored clips carry (lo, hi) pairs.
+	knownHi    float64
 	knownCount int
 	up, lo     float64 // current bounds
 	pruned     bool    // conclusively out of the top-K (clips skipped)
@@ -194,7 +216,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 
 	seqs := make([]*seqState, len(pq))
 	for i, iv := range pq {
-		seqs[i] = &seqState{iv: iv, knownScore: fns.F.Zero()}
+		seqs[i] = &seqState{iv: iv, knownScore: fns.F.Zero(), knownHi: fns.F.Zero()}
 	}
 
 	// Degraded-clip discount (armed by DegradedDiscount > 0): mark the
@@ -230,14 +252,27 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 		skip = func(int32) bool { return false }
 	}
 
-	onScored := func(cid int32, s float64) {
+	onScored := func(cid int32, lo, hi float64) {
 		if i, ok := findSeq(pq, cid); ok {
-			seqs[i].knownScore = fns.F.Merge(seqs[i].knownScore, s)
+			seqs[i].knownScore = fns.F.Merge(seqs[i].knownScore, lo)
+			seqs[i].knownHi = fns.F.Merge(seqs[i].knownHi, hi)
 			seqs[i].knownCount++
 		}
 	}
 
 	it := newTBClip(act, objs, fns, &stats.Accesses, skip, onScored)
+	// Planned repository: stored table scores are lower bounds from the
+	// ingest-time adaptive sampling planner. Arm the iterator's slack
+	// bookkeeping so every bound stays sound, and without a densifier
+	// fall back to ranking by lower bounds.
+	planned := !vd.Plan.Empty()
+	if planned {
+		it.armPlan(vd.Plan, opts.Densify)
+		if opts.Densify == nil {
+			opts.ExactScores = false
+			stats.Bounded = true
+		}
+	}
 	if len(degraded) > 0 {
 		d := opts.DegradedDiscount
 		it.discount = func(cid int32) float64 {
@@ -298,21 +333,35 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 		exhausted := it.Exhausted()
 		if exhausted {
 			// Every row has been seen: clips never scored are absent
-			// from every table and carry score zero.
+			// from every table and carry stored score zero. On a dense
+			// repository that is their exact score; on a planned one
+			// their unsampled units may still hide mass, so the hi side
+			// absorbs the slack-only bound per clip.
 			tauTop, tauBtm = 0, 0
 			for _, s := range seqs {
-				if n := s.iv.Len() - s.knownCount; n > 0 && !s.pruned {
-					// Zero-score clips complete the sequence exactly.
-					s.knownScore = fns.F.Merge(s.knownScore, fns.F.MergeN(0, n))
-					s.knownCount = s.iv.Len()
+				n := s.iv.Len() - s.knownCount
+				if n <= 0 || s.pruned {
+					continue
 				}
+				s.knownScore = fns.F.Merge(s.knownScore, fns.F.MergeN(0, n))
+				if planned {
+					for c := s.iv.Lo; c <= s.iv.Hi; c++ {
+						if _, known := it.Known(int32(c)); !known {
+							s.knownHi = fns.F.Merge(s.knownHi, it.absentHi(int32(c)))
+						}
+					}
+				} else {
+					s.knownHi = fns.F.Merge(s.knownHi, fns.F.MergeN(0, n))
+				}
+				s.knownCount = s.iv.Len()
 			}
 		}
-		// Refresh bounds (Equations 13–14): known clips contribute
-		// exactly; each unknown clip is bounded by the frontier values.
+		// Refresh bounds (Equations 13–14): known clips contribute their
+		// (lo, hi) pair — exact outside planned-without-densifier runs —
+		// and each unknown clip is bounded by the frontier values.
 		for _, s := range seqs {
 			unknown := s.iv.Len() - s.knownCount
-			s.up = fns.F.Merge(s.knownScore, fns.F.MergeN(tauTop, unknown))
+			s.up = fns.F.Merge(s.knownHi, fns.F.MergeN(tauTop, unknown))
 			s.lo = fns.F.Merge(s.knownScore, fns.F.MergeN(tauBtm, unknown))
 		}
 		topK, bloK, bupRest := selectTopK(seqs, k)
@@ -431,6 +480,12 @@ const defaultExchangeEvery = 8
 func finish(ctx context.Context, it *tbClip, fns score.Functions, seqs []*seqState, topK []int, k int, opts Options, stats *Stats, start time.Time) ([]SeqResult, Stats, error) {
 	_, fspan := trace.Start(ctx, "rvaq.finish")
 	defer fspan.End()
+	if it.densify != nil && opts.ExactScores {
+		var err error
+		if topK, err = resolveBounded(it, fns, seqs, k); err != nil {
+			return nil, *stats, err
+		}
+	}
 	results := make([]SeqResult, 0, len(topK))
 	for _, i := range topK {
 		s := seqs[i]
@@ -453,9 +508,63 @@ func finish(ctx context.Context, it *tbClip, fns score.Functions, seqs []*seqSta
 	if len(results) > k {
 		results = results[:k]
 	}
+	stats.DensifiedClips = it.densified
 	stats.Runtime = time.Since(start)
 	stats.CPURuntime = stats.Runtime
 	return results, *stats, nil
+}
+
+// resolveBounded settles top-K membership on a planned repository with
+// a densifier. The stopping condition can fire at exhaustion with the
+// lower and upper bounds of contending sequences still overlapping
+// (clips absent from every table may hide mass in their unsampled
+// units). Densifying a sequence pins lo = up = exact, so repeatedly
+// completing the current top-K by lower bound plus every still-bounded
+// contender converges: each round makes at least one more sequence
+// exact, and with every contender exact the membership test
+// B_lo^K ≥ B_up^¬K holds by construction of selectTopK.
+func resolveBounded(it *tbClip, fns score.Functions, seqs []*seqState, k int) ([]int, error) {
+	for {
+		topK, bloK, bupRest := selectTopK(seqs, k)
+		if bloK >= bupRest {
+			return topK, nil
+		}
+		inTop := make(map[int]bool, len(topK))
+		for _, i := range topK {
+			inTop[i] = true
+		}
+		progress := false
+		settle := func(i int) error {
+			s := seqs[i]
+			if s.lo == s.up {
+				return nil
+			}
+			exact, err := exactScore(it, fns, s)
+			if err != nil {
+				return err
+			}
+			s.knownScore, s.knownHi = exact, exact
+			s.knownCount = s.iv.Len()
+			s.lo, s.up = exact, exact
+			progress = true
+			return nil
+		}
+		for _, i := range topK {
+			if err := settle(i); err != nil {
+				return nil, err
+			}
+		}
+		for i, s := range seqs {
+			if !inTop[i] && s.up > bloK {
+				if err := settle(i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !progress {
+			return topK, nil // every contender exact; bounds as tight as they get
+		}
+	}
 }
 
 // exactScore completes a sequence's exact score through the iterator's

@@ -95,6 +95,26 @@ func binomCDF(k, w int, p float64) float64 {
 	return sum
 }
 
+// BinomTail returns P(X ≥ k) for X ~ Binomial(n, p): the probability
+// that at least k of n background units are positive. The adaptive
+// sampling planner (package plan) uses it to prune clips whose
+// unsampled remainder is overwhelmingly unlikely to reach the critical
+// value. k ≤ 0 yields 1; k > n yields 0; n ≤ 0 degenerates to the
+// point mass at zero.
+func BinomTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if n < k {
+		return 0
+	}
+	v := 1 - binomCDF(k-1, n, p)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // q2 returns Q₂ = P(S_w(2w) < k) for Bernoulli trials (Naus 1982, with
 // binomial b(i; w, p), F its CDF, and ψ = w·p):
 //

@@ -49,7 +49,9 @@ func (h *inferHub) entry(key inferKey, build func(sh *infer.Shared) *resilience.
 	if e, ok := h.entries[key]; ok {
 		return e
 	}
-	sh := infer.New(h.cfg)
+	// The hub's config was validated at daemon startup (flag parsing),
+	// so construction cannot fail here.
+	sh := infer.MustNew(h.cfg)
 	models := build(sh)
 	e := &inferEntry{
 		shared:    sh,

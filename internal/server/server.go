@@ -90,6 +90,15 @@ type Config struct {
 	BatchWindow time.Duration
 	// BatchMax caps units per vectorized call (default 16).
 	BatchMax int
+	// PlanRate arms the coarse-to-fine adaptive sampling planner on
+	// every session's stream: predicates are first evaluated on one
+	// unit in PlanRate and only undecided clips densify (vaqd
+	// -plan-rate). 0 disables planning; 1 runs the planner's single
+	// dense rung (byte-identical results).
+	PlanRate int
+	// PlanLevels caps the densification ladder length (vaqd
+	// -plan-levels); 0 means the full ladder down to stride 1.
+	PlanLevels int
 }
 
 // DefaultInferCache is the shared score cache capacity when
@@ -392,7 +401,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if req.Dynamic != nil {
 		dynamic = *req.Dynamic
 	}
-	cfg := vaq.StreamConfig{Dynamic: dynamic, HorizonClips: max(total, meta.Clips())}
+	cfg := vaq.StreamConfig{
+		Dynamic:      dynamic,
+		HorizonClips: max(total, meta.Clips()),
+		Plan:         vaq.PlanConfig{Rate: s.cfg.PlanRate, Levels: s.cfg.PlanLevels},
+	}
 	mkStream := func(det vaq.ObjectDetector, rec vaq.ActionRecognizer) (*vaq.Stream, error) {
 		if plan != nil {
 			return vaq.NewStream(plan, det, rec, meta.Geom, cfg)

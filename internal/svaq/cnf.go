@@ -7,6 +7,7 @@ import (
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/interval"
+	"vaq/internal/plan"
 	"vaq/internal/trace"
 	"vaq/internal/video"
 )
@@ -41,6 +42,7 @@ type CNFEngine struct {
 	nextClip    video.ClipIdx
 	indicators  []bool
 	invocations int
+	planStats   plan.Stats
 
 	// tracing (AttachTrace); nil-safe handles, see Engine.AttachTrace.
 	tr        *trace.Tracer
@@ -68,6 +70,9 @@ func NewCNF(clauses []Clause, det detect.ObjectDetector, rec detect.ActionRecogn
 		return nil, fmt.Errorf("svaq: CNF query has no clauses")
 	}
 	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Plan.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
@@ -144,19 +149,40 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 		if e.tr != nil {
 			predSpan = e.tr.StartSpan("obj:"+string(o), clipSpan.ID())
 		}
-		count := 0
-		for v := frameLo; v < frameHi; v++ {
+		detect1 := func(v video.FrameIdx) bool {
 			e.invocations++
 			for _, d := range e.det.Detect(v, []annot.Label{o}) {
 				if d.Label == o && d.Score >= e.cfg.Thresholds.Object {
-					count++
-					break
+					return true
 				}
 			}
+			return false
 		}
-		e.cFrames.Add(int64(frameHi - frameLo))
+		var pos bool
+		var err error
+		if e.cfg.Plan.Enabled() {
+			w := int(frameHi - frameLo)
+			var pr plan.Result
+			pr, err = e.cfg.Plan.Evaluate(w, lt.K(), lt.P(), func(u int) (bool, error) {
+				return detect1(frameLo + video.FrameIdx(u)), nil
+			})
+			if err == nil {
+				e.cFrames.Add(int64(pr.Sampled))
+				e.planStats.Observe(w, pr)
+				pos = pr.Positive
+				err = lt.ObserveRun(pr.Sampled, pr.Count)
+			}
+		} else {
+			count := 0
+			for v := frameLo; v < frameHi; v++ {
+				if detect1(v) {
+					count++
+				}
+			}
+			e.cFrames.Add(int64(frameHi - frameLo))
+			pos, err = lt.ObserveClip(count)
+		}
 		predSpan.End()
-		pos, err := lt.ObserveClip(count)
 		if err != nil {
 			return false, fmt.Errorf("svaq: object %q: %w", o, err)
 		}
@@ -168,19 +194,40 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 		if e.tr != nil {
 			predSpan = e.tr.StartSpan("act:"+string(a), clipSpan.ID())
 		}
-		count := 0
-		for s := shotLo; s < shotHi; s++ {
+		recognize1 := func(s video.ShotIdx) bool {
 			e.invocations++
 			for _, sc := range e.rec.Recognize(s, []annot.Label{a}) {
 				if sc.Label == a && sc.Score >= e.cfg.Thresholds.Action {
-					count++
-					break
+					return true
 				}
 			}
+			return false
 		}
-		e.cShots.Add(int64(shotHi - shotLo))
+		var pos bool
+		var err error
+		if e.cfg.Plan.Enabled() {
+			w := int(shotHi - shotLo)
+			var pr plan.Result
+			pr, err = e.cfg.Plan.Evaluate(w, lt.K(), lt.P(), func(u int) (bool, error) {
+				return recognize1(shotLo + video.ShotIdx(u)), nil
+			})
+			if err == nil {
+				e.cShots.Add(int64(pr.Sampled))
+				e.planStats.Observe(w, pr)
+				pos = pr.Positive
+				err = lt.ObserveRun(pr.Sampled, pr.Count)
+			}
+		} else {
+			count := 0
+			for s := shotLo; s < shotHi; s++ {
+				if recognize1(s) {
+					count++
+				}
+			}
+			e.cShots.Add(int64(shotHi - shotLo))
+			pos, err = lt.ObserveClip(count)
+		}
 		predSpan.End()
-		pos, err := lt.ObserveClip(count)
 		if err != nil {
 			return false, fmt.Errorf("svaq: action %q: %w", a, err)
 		}
@@ -221,6 +268,10 @@ func (e *CNFEngine) Sequences() interval.Set {
 
 // Invocations returns the total number of model invocations so far.
 func (e *CNFEngine) Invocations() int { return e.invocations }
+
+// PlanStats reports the adaptive sampling planner's outcome counters
+// (zero value when Config.Plan is disabled).
+func (e *CNFEngine) PlanStats() plan.Stats { return e.planStats }
 
 // ClipsProcessed returns the number of clips consumed so far.
 func (e *CNFEngine) ClipsProcessed() int { return int(e.nextClip) }

@@ -18,6 +18,7 @@ import (
 	"vaq/internal/annot"
 	"vaq/internal/detect"
 	"vaq/internal/interval"
+	"vaq/internal/plan"
 	"vaq/internal/trace"
 	"vaq/internal/video"
 )
@@ -80,7 +81,17 @@ type Config struct {
 	// RecordIndicators keeps the per-frame / per-shot prediction
 	// indicator streams for the query labels, enabling the FPR analysis
 	// of Table 5. Off by default (memory proportional to stream length).
+	// Incompatible with an enabled Plan (subsampled evaluation leaves
+	// gaps in the streams).
 	RecordIndicators bool
+	// Plan enables coarse-to-fine adaptive sampling (package plan) for
+	// the object and action predicates: each clip is first evaluated on
+	// a sparse unit subsample and densified only while the scan-
+	// statistic bounds leave the indicator undecided. Relation
+	// predicates always run dense (they spend no model invocations).
+	// The zero value evaluates densely; Plan.Rate == 1 runs the planner
+	// machinery but is byte-identical to the dense path.
+	Plan plan.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +176,9 @@ type Engine struct {
 	nextClip   video.ClipIdx
 	indicators []bool
 
+	// planner outcome accounting (Config.Plan)
+	planStats plan.Stats
+
 	// indicator logs (RecordIndicators)
 	objLog map[annot.Label][]bool
 	actLog []bool
@@ -209,6 +223,12 @@ func New(q annot.Query, det detect.ObjectDetector, rec detect.ActionRecognizer, 
 	}
 	if len(q.Objects) > 0 && det == nil {
 		return nil, fmt.Errorf("svaq: query has object predicates but no object detector")
+	}
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Plan.Enabled() && cfg.RecordIndicators {
+		return nil, fmt.Errorf("svaq: RecordIndicators requires dense evaluation; disable Plan (Rate %d) to record indicator streams", cfg.Plan.Rate)
 	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
@@ -377,6 +397,10 @@ func (e *Engine) Sequences() interval.Set {
 // Invocations returns the total number of model invocations so far
 // (frame detections plus shot recognitions).
 func (e *Engine) Invocations() int { return e.invocations }
+
+// PlanStats reports the adaptive sampling planner's outcome counters
+// (zero value when Config.Plan is disabled).
+func (e *Engine) PlanStats() plan.Stats { return e.planStats }
 
 // ClipsProcessed returns the number of clips consumed so far (the next
 // clip expected by ProcessClip).

@@ -117,6 +117,24 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 	case predObject:
 		o := e.query.Objects[r.idx]
 		frameLo, frameHi := e.geom.FrameRangeOfClip(c)
+		if e.cfg.Plan.Enabled() {
+			lt := e.objTrk[o]
+			w := int(frameHi - frameLo)
+			pr, err := e.cfg.Plan.Evaluate(w, lt.K(), lt.P(), func(u int) (bool, error) {
+				return e.detectObject(frameLo+video.FrameIdx(u), o), nil
+			})
+			if err != nil {
+				return false, fmt.Errorf("svaq: object %q: %w", o, err)
+			}
+			res.Invocations += pr.Sampled
+			e.cFrames.Add(int64(pr.Sampled))
+			res.ObjectCounts[o] = pr.Count
+			e.planStats.Observe(w, pr)
+			if err := lt.ObserveRun(pr.Sampled, pr.Count); err != nil {
+				return false, fmt.Errorf("svaq: object %q: %w", o, err)
+			}
+			return pr.Positive, nil
+		}
 		count := 0
 		for v := frameLo; v < frameHi; v++ {
 			pos := e.detectObject(v, o)
@@ -159,6 +177,23 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 
 	default: // predAction
 		shotLo, shotHi := e.geom.ShotRangeOfClip(c)
+		if e.cfg.Plan.Enabled() {
+			w := int(shotHi - shotLo)
+			pr, err := e.cfg.Plan.Evaluate(w, e.actTrk.K(), e.actTrk.P(), func(u int) (bool, error) {
+				return e.recognizeAction(shotLo + video.ShotIdx(u)), nil
+			})
+			if err != nil {
+				return false, fmt.Errorf("svaq: action %q: %w", e.query.Action, err)
+			}
+			res.Invocations += pr.Sampled
+			e.cShots.Add(int64(pr.Sampled))
+			res.ActionCount = pr.Count
+			e.planStats.Observe(w, pr)
+			if err := e.actTrk.ObserveRun(pr.Sampled, pr.Count); err != nil {
+				return false, fmt.Errorf("svaq: action %q: %w", e.query.Action, err)
+			}
+			return pr.Positive, nil
+		}
 		count := 0
 		for s := shotLo; s < shotHi; s++ {
 			pos := e.recognizeAction(s)

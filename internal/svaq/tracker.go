@@ -2,9 +2,23 @@ package svaq
 
 import (
 	"fmt"
+	"math"
 
 	"vaq/internal/bgprob"
 	"vaq/internal/scanstat"
+)
+
+// MinK sentinels for TrackerConfig.MinK (and Config.MinK). The zero
+// value deliberately means "auto" so existing call sites keep their
+// behavior; callers who want no floor at all say so explicitly.
+const (
+	// MinKAuto applies the engine default floor: 2 for dynamic
+	// trackers (the self-consistent background estimation needs k ≥ 2
+	// to converge, see Config.MinK), 1 otherwise.
+	MinKAuto = 0
+	// MinKNone disables the floor: the critical value may settle at
+	// the scan statistic's raw minimum of 1 even on a dynamic tracker.
+	MinKNone = -1
 )
 
 // LabelTracker is the per-predicate statistical state machine shared by
@@ -34,7 +48,9 @@ type TrackerConfig struct {
 	UnitsPerClip int
 	// HorizonClips is N/w of Equation 5.
 	HorizonClips int
-	// Alpha is the significance level (default 0.05).
+	// Alpha is the significance level, in (0, 1). 0 means the default
+	// 0.05 — an exact significance level of 0 is not meaningful, so the
+	// zero value is unambiguous; out-of-range values are rejected.
 	Alpha float64
 	// P0 is the (initial) background probability.
 	P0 float64
@@ -42,7 +58,9 @@ type TrackerConfig struct {
 	Dynamic bool
 	// KernelU is the estimator kernel scale in occurrence units.
 	KernelU float64
-	// MinK floors the critical value (see Config.MinK).
+	// MinK floors the critical value: MinKAuto (the zero value) applies
+	// the engine default, MinKNone disables the floor, positive values
+	// floor k explicitly; anything below MinKNone is rejected.
 	MinK int
 	// RecomputeTol is the relative probability change that triggers
 	// recomputation (see Config.RecomputeTol).
@@ -58,13 +76,21 @@ func NewLabelTracker(cfg TrackerConfig) (*LabelTracker, error) {
 	if cfg.HorizonClips <= 0 {
 		return nil, fmt.Errorf("svaq: HorizonClips must be positive, got %d", cfg.HorizonClips)
 	}
+	if cfg.Alpha < 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("svaq: Alpha must be in (0, 1) (0 means the 0.05 default), got %v", cfg.Alpha)
+	}
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 0.05
 	}
 	if cfg.KernelU <= 0 {
 		cfg.KernelU = 4000
 	}
-	if cfg.MinK == 0 {
+	switch {
+	case cfg.MinK < MinKNone:
+		return nil, fmt.Errorf("svaq: MinK must be >= %d (MinKNone), got %d", MinKNone, cfg.MinK)
+	case cfg.MinK == MinKNone:
+		cfg.MinK = 1 // the scan statistic never goes below k = 1
+	case cfg.MinK == MinKAuto:
 		if cfg.Dynamic {
 			cfg.MinK = 2
 		} else {
@@ -164,6 +190,39 @@ func (lt *LabelTracker) ObserveClip(count int) (bool, error) {
 		}
 	}
 	return positive, nil
+}
+
+// ObserveRun folds a partially sampled clip into the tracker: the
+// adaptive sampling planner evaluated `units` of the clip's w units and
+// `count` of them were positive. No indicator is derived — the planner
+// decides it from its own bounds — but in dynamic mode the estimator
+// consumes the run (with the exclusion threshold scaled to the sample
+// size, so subsampled background clips are excluded at the same
+// per-unit density as dense ones) and the critical value is refreshed.
+// A fully sampled run (units == w) updates the tracker byte-identically
+// to ObserveClip.
+func (lt *LabelTracker) ObserveRun(units, count int) error {
+	if units <= 0 || units > lt.w {
+		return fmt.Errorf("svaq: ObserveRun units %d outside [1, %d]", units, lt.w)
+	}
+	if !lt.dynamic {
+		return nil
+	}
+	kx := lt.kExcl
+	if units < lt.w {
+		// Floor the scaled threshold at 2, like recompute floors kExcl:
+		// without it a sparse rung's threshold rounds to 1 and every run
+		// containing a single positive is excluded, so the estimator only
+		// ever sees zeros and the background probability collapses.
+		kx = int(math.Ceil(float64(lt.kExcl) * float64(units) / float64(lt.w)))
+		if kx < 2 {
+			kx = 2
+		}
+	}
+	if count < kx {
+		lt.est.ObserveRun(units, count)
+	}
+	return lt.recompute()
 }
 
 // Indicator returns the clip indicator for a count without mutating the

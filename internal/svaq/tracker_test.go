@@ -3,6 +3,8 @@ package svaq
 import (
 	"math/rand"
 	"testing"
+
+	"vaq/internal/scanstat"
 )
 
 func TestLabelTrackerValidation(t *testing.T) {
@@ -143,6 +145,186 @@ func TestSaturatedBackgroundDegradesToFullWindow(t *testing.T) {
 	}
 	if lt.K() != 10 {
 		t.Fatalf("k = %d, want full window 10", lt.K())
+	}
+}
+
+// TestAlphaZeroSentinel pins the MinK/Alpha sentinel semantics: the
+// zero value means "engine default", not "significance level zero",
+// and out-of-range values are rejected rather than silently defaulted.
+func TestAlphaZeroSentinel(t *testing.T) {
+	base := TrackerConfig{UnitsPerClip: 50, HorizonClips: 1000, P0: 1e-3}
+	for _, alpha := range []float64{-0.1, 1, 1.5} {
+		cfg := base
+		cfg.Alpha = alpha
+		if _, err := NewLabelTracker(cfg); err == nil {
+			t.Errorf("Alpha %v accepted", alpha)
+		}
+	}
+	def, err := NewLabelTracker(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Alpha = 0.05
+	exp, err := NewLabelTracker(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.K() != exp.K() {
+		t.Errorf("zero Alpha k = %d, explicit 0.05 k = %d", def.K(), exp.K())
+	}
+}
+
+func TestMinKSentinels(t *testing.T) {
+	base := TrackerConfig{UnitsPerClip: 50, HorizonClips: 100, P0: 1e-9, Dynamic: true}
+
+	cfg := base
+	cfg.MinK = MinKNone - 1
+	if _, err := NewLabelTracker(cfg); err == nil {
+		t.Error("MinK below MinKNone accepted")
+	}
+
+	// MinKNone lifts the dynamic floor of 2: with a near-zero background
+	// the raw critical value is 1 and must be allowed to stand.
+	cfg = base
+	cfg.MinK = MinKNone
+	lt, err := NewLabelTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.K() != 1 {
+		t.Errorf("MinKNone k = %d, want the raw minimum 1", lt.K())
+	}
+
+	// MinKAuto (the zero value) keeps the dynamic default floor.
+	auto, err := NewLabelTracker(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.K() < 2 {
+		t.Errorf("MinKAuto dynamic k = %d, want >= 2", auto.K())
+	}
+}
+
+// TestCriticalOrMax pins the degradation path: when no k rejects at the
+// requested level (ErrNoCriticalValue), the tracker requires a full
+// window of events instead of failing.
+func TestCriticalOrMax(t *testing.T) {
+	pr := scanstat.Params{P: 0.95, W: 10, N: 10000}
+	if _, err := scanstat.CriticalValue(pr, 0.05); err != scanstat.ErrNoCriticalValue {
+		t.Fatalf("precondition: want ErrNoCriticalValue, got %v", err)
+	}
+	k, err := criticalOrMax(pr, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != pr.W {
+		t.Errorf("criticalOrMax = %d, want full window %d", k, pr.W)
+	}
+
+	// The normal path passes the scan-statistic value through.
+	pr2 := scanstat.Params{P: 1e-3, W: 50, N: 100000}
+	want, err := scanstat.CriticalValue(pr2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := criticalOrMax(pr2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("criticalOrMax = %d, want %d", got, want)
+	}
+
+	// Other errors (invalid params) still propagate.
+	if _, err := criticalOrMax(scanstat.Params{P: -1, W: 10, N: 100}, 0.05); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestObserveRunValidation(t *testing.T) {
+	lt, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 100, P0: 1e-3, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, units := range []int{0, -1, 51} {
+		if err := lt.ObserveRun(units, 0); err == nil {
+			t.Errorf("units %d accepted", units)
+		}
+	}
+}
+
+// TestObserveRunFullMatchesObserveClip: a fully sampled run must update
+// the tracker byte-identically to the dense ObserveClip path.
+func TestObserveRunFullMatchesObserveClip(t *testing.T) {
+	mk := func() *LabelTracker {
+		lt, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 2000, P0: 1e-4, Dynamic: true, KernelU: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lt
+	}
+	a, b := mk(), mk()
+	counts := []int{0, 1, 0, 2, 0, 0, 1, 49, 0, 3}
+	for _, c := range counts {
+		if _, err := a.ObserveClip(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ObserveRun(50, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.P() != b.P() || a.K() != b.K() {
+		t.Errorf("full run diverged from dense: P %v/%v, K %d/%d", a.P(), b.P(), a.K(), b.K())
+	}
+}
+
+// TestObserveRunScaledExclusionFloor pins the subsample-exclusion fix:
+// with kExcl at its floor of 2, the threshold scaled to a sparse run
+// rounds to 1, and without the floor every run containing a single
+// positive would be excluded — the estimator would only ever see zeros
+// and the background estimate would collapse.
+func TestObserveRunScaledExclusionFloor(t *testing.T) {
+	mk := func() *LabelTracker {
+		lt, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 2000, P0: 1e-4, Dynamic: true, KernelU: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lt
+	}
+	// 1 positive in a 10-unit run: scaled threshold ceil(2*10/50) = 1,
+	// floored to 2, so the run must be fed to the estimator.
+	lt := mk()
+	before := lt.P()
+	if err := lt.ObserveRun(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if lt.P() == before {
+		t.Error("single-positive sparse run excluded from the estimator")
+	}
+	// A saturated run (every sampled unit positive) always clears the
+	// scaled threshold and must be excluded.
+	lt = mk()
+	before = lt.P()
+	if err := lt.ObserveRun(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if lt.P() != before {
+		t.Error("saturated sparse run contaminated the estimator")
+	}
+}
+
+func TestObserveRunStaticNoop(t *testing.T) {
+	lt, err := NewLabelTracker(TrackerConfig{UnitsPerClip: 50, HorizonClips: 100, P0: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, k := lt.P(), lt.K()
+	if err := lt.ObserveRun(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lt.P() != p || lt.K() != k {
+		t.Error("static tracker mutated by ObserveRun")
 	}
 }
 

@@ -11,6 +11,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"vaq/internal/annot"
 	"vaq/internal/interval"
@@ -170,8 +171,17 @@ func Generate(spec Spec) (*World, error) {
 		truth.AddAction(spec.Action, actionShots)
 		w.ActionDistractors[spec.Action] = episodes(rng, nshots, spec.ActionDistractor)
 	}
-	for a, ep := range spec.ExtraActions {
-		truth.AddAction(a, episodes(rng, nshots, ep))
+	// Iterate the extra actions in sorted order: ranging over the map
+	// directly would consume the seeded rng in a different order each
+	// run, making every label's episode set — and everything downstream
+	// of the generated world — nondeterministic.
+	extraActions := make([]annot.Label, 0, len(spec.ExtraActions))
+	for a := range spec.ExtraActions {
+		extraActions = append(extraActions, a)
+	}
+	sort.Slice(extraActions, func(i, j int) bool { return extraActions[i] < extraActions[j] })
+	for _, a := range extraActions {
+		truth.AddAction(a, episodes(rng, nshots, spec.ExtraActions[a]))
 	}
 
 	shotLen := spec.Geom.ShotLen

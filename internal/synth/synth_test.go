@@ -49,6 +49,34 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateDeterministicManyExtraActions pins the sorted iteration
+// over Spec.ExtraActions: with several entries, map-order iteration
+// would consume the shared RNG in a different order each run and change
+// every timeline drawn after the first extra action.
+func TestGenerateDeterministicManyExtraActions(t *testing.T) {
+	spec := smallSpec()
+	spec.ExtraActions = map[annot.Label]EpisodeSpec{}
+	for _, l := range []annot.Label{"jump", "walk", "sit", "wave", "fall", "spin"} {
+		spec.ExtraActions[l] = EpisodeSpec{MeanOn: 30, MeanOff: 800}
+	}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range spec.ExtraActions {
+		if !a.Truth.Actions[l].Equal(b.Truth.Actions[l]) {
+			t.Fatalf("extra action %s differs across identical generations", l)
+		}
+	}
+	if !a.Truth.Objects["car"].Equal(b.Truth.Objects["car"]) {
+		t.Fatal("object timeline differs across identical generations")
+	}
+}
+
 func TestGenerateSeedsDiffer(t *testing.T) {
 	a, _ := Generate(smallSpec())
 	spec := smallSpec()

@@ -43,8 +43,10 @@ import (
 	"vaq/internal/infer"
 	"vaq/internal/ingest"
 	"vaq/internal/interval"
+	"vaq/internal/plan"
 	"vaq/internal/pool"
 	"vaq/internal/rvaq"
+	"vaq/internal/score"
 	"vaq/internal/svaq"
 	"vaq/internal/temporal"
 	"vaq/internal/trace"
@@ -72,6 +74,13 @@ type (
 	// StreamConfig tunes the online engine (SVAQ when Dynamic is false,
 	// SVAQD when true).
 	StreamConfig = svaq.Config
+	// PlanConfig arms the coarse-to-fine adaptive sampling planner
+	// (StreamConfig.Plan, IngestConfig-level planning and the vaqd
+	// -plan-rate/-plan-levels flags all speak this type).
+	PlanConfig = plan.Config
+	// PlanStats reports planner outcomes (clips decided sparsely vs
+	// densified, units sampled vs dense cost).
+	PlanStats = plan.Stats
 	// Plan is a compiled VQL statement.
 	Plan = vql.Plan
 	// TopKResult is one ranked offline result.
@@ -219,18 +228,25 @@ type SharedInference struct {
 	act map[string]*infer.ActionFlight
 }
 
-// NewSharedInference builds a domain from cfg.
-func NewSharedInference(cfg SharedInferenceConfig) *SharedInference {
+// NewSharedInference builds a domain from cfg. Invalid batching
+// parameters (a negative BatchMax or BatchWindow) are configuration
+// bugs and are rejected here, before any stream is built on the
+// domain.
+func NewSharedInference(cfg SharedInferenceConfig) (*SharedInference, error) {
+	sh, err := infer.New(infer.Config{
+		CacheCapacity: cfg.CacheCapacity,
+		BatchWindow:   cfg.BatchWindow,
+		BatchMax:      cfg.BatchMax,
+		Tracer:        cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &SharedInference{
-		sh: infer.New(infer.Config{
-			CacheCapacity: cfg.CacheCapacity,
-			BatchWindow:   cfg.BatchWindow,
-			BatchMax:      cfg.BatchMax,
-			Tracer:        cfg.Tracer,
-		}),
+		sh:  sh,
 		obj: make(map[string]*infer.ObjectFlight),
 		act: make(map[string]*infer.ActionFlight),
-	}
+	}, nil
 }
 
 // Stats snapshots the domain's hit/miss/coalesce/batch counters.
@@ -346,6 +362,15 @@ func (s *Stream) CriticalValues() (map[Label]int, int) {
 // (critical values, background probabilities); nil for CNF plans.
 func (s *Stream) Engine() *svaq.Engine { return s.simple }
 
+// PlanStats reports the adaptive sampling planner's outcomes so far;
+// the zero value when StreamConfig.Plan is disabled.
+func (s *Stream) PlanStats() PlanStats {
+	if s.simple != nil {
+		return s.simple.PlanStats()
+	}
+	return s.cnf.PlanStats()
+}
+
 // SequencePair is one composite temporal match between two queries'
 // result sequences.
 type SequencePair = temporal.Pair
@@ -453,6 +478,15 @@ type ExecOptions struct {
 	// never got to run (deadline spent waiting for a worker slot)
 	// returns empty results, still flagged Incomplete.
 	Partial bool
+	// Densifiers supplies per-video exact-score completion on planned
+	// repositories (metadata ingested with IngestConfig.Plan): keyed by
+	// video name, each recomputes one clip's exact score from the source
+	// video (see NewDensifier). With a video's densifier present its
+	// top-k results are exact; without one, planned runs return sound
+	// lower-bound rankings with TopKStats.Bounded set. The merged
+	// sequential global path dispatches through the clip-id namespace
+	// and requires a densifier for every video to arm at all.
+	Densifiers map[string]Densify
 	// DegradedDiscount, in (0, 1], down-weights clips the repository
 	// marked degraded at ingest time (their model outputs came from the
 	// resilience fallback chain): each degraded clip's score is
@@ -477,11 +511,26 @@ func (eo ExecOptions) queryCtx() (context.Context, context.CancelFunc) {
 	return eo.ctx(), func() {}
 }
 
-// rvaqOptions builds the per-execution rvaq options.
-func (eo ExecOptions) rvaqOptions() rvaq.Options {
+// Densify recomputes one clip's exact score from the source video — the
+// completion step of a top-k over a planned repository. Build one with
+// NewDensifier.
+type Densify = func(cid int32) (float64, error)
+
+// NewDensifier builds a clip densifier for one video of a planned
+// repository: given the same detectors the ingest ran (wrap them in a
+// SharedInference so re-reads of already-sampled units hit the score
+// cache), it recomputes the queried predicates' exact clip score from
+// every unit. Pass it through ExecOptions.Densifiers.
+func NewDensifier(vd *VideoData, det ObjectDetector, rec ActionRecognizer, q Query) (Densify, error) {
+	return ingest.NewDensifier(vd, det, rec, q, score.Functions{})
+}
+
+// rvaqOptions builds the per-execution rvaq options for one video.
+func (eo ExecOptions) rvaqOptions(videoName string) rvaq.Options {
 	opts := rvaq.DefaultOptions()
 	opts.Partial = eo.Partial
 	opts.DegradedDiscount = eo.DegradedDiscount
+	opts.Densify = eo.Densifiers[videoName]
 	return opts
 }
 
@@ -535,7 +584,7 @@ func (r *Repository) TopKOpts(videoName string, q Query, k int, eo ExecOptions) 
 	defer cancel()
 	err := eo.pool().Do(ctx, func() error {
 		var err error
-		res, stats, err = rvaq.TopKCtx(ctx, vd, q, k, eo.rvaqOptions())
+		res, stats, err = rvaq.TopKCtx(ctx, vd, q, k, eo.rvaqOptions(videoName))
 		return err
 	})
 	if err != nil && eo.partialOnDeadline(err, &stats) {
@@ -548,6 +597,28 @@ func (r *Repository) TopKOpts(videoName string, q Query, k int, eo ExecOptions) 
 type VideoTopKResult struct {
 	Video string
 	TopKResult
+}
+
+// mergedDensifier maps merged clip ids back to (video, local clip) and
+// dispatches to that video's densifier. It arms only when every video
+// has one — with a partial map some clips would complete exactly and
+// others not, which the finishing pass cannot distinguish.
+func mergedDensifier(m *ingest.Merged, ds map[string]Densify) Densify {
+	if len(ds) == 0 {
+		return nil
+	}
+	for _, s := range m.Spans {
+		if ds[s.Name] == nil {
+			return nil
+		}
+	}
+	return func(cid int32) (float64, error) {
+		name, local, ok := m.Locate(int(cid))
+		if !ok {
+			return 0, nil // gap clip between videos: absent everywhere
+		}
+		return ds[name](int32(local))
+	}
 }
 
 // TopKGlobal ranks result sequences across the whole repository (§4.2:
@@ -594,7 +665,9 @@ func (r *Repository) topKGlobalMerged(names []string, q Query, k int, eo ExecOpt
 	if err != nil {
 		return nil, TopKStats{}, err
 	}
-	res, stats, err := rvaq.TopKCtx(ctx, merged.VideoData, q, k, eo.rvaqOptions())
+	mopts := eo.rvaqOptions("")
+	mopts.Densify = mergedDensifier(merged, eo.Densifiers)
+	res, stats, err := rvaq.TopKCtx(ctx, merged.VideoData, q, k, mopts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -649,7 +722,7 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 			sspan.SetInt("shard", int64(i))
 			defer sspan.End()
 			outs[i].err = p.Do(sctx, func() error {
-				opts := eo.rvaqOptions()
+				opts := eo.rvaqOptions(names[i])
 				opts.Bound, opts.Shard = gb, i
 				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, opts)
 				outs[i].res, outs[i].stats = res, stats
@@ -766,7 +839,7 @@ func (r *Repository) TopKAllOpts(q Query, k int, eo ExecOptions) ([]VideoTopKRes
 			sspan.SetAttr("video", names[i])
 			defer sspan.End()
 			outs[i].err = p.Do(sctx, func() error {
-				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, eo.rvaqOptions())
+				res, stats, err := rvaq.TopKCtx(sctx, videos[i], q, k, eo.rvaqOptions(names[i]))
 				outs[i].res, outs[i].stats = res, stats
 				return err
 			})
