@@ -199,3 +199,11 @@ func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	}
 	return s.write("trace_overhead", []string{"mode", "clips", "reps", "us_per_clip", "spans"}, out)
 }
+
+func (s *csvSink) explainOverhead(rows []experiments.ExplainOverheadResult) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mode, fint(r.Clips), fint(r.Reps), ffloat(r.USPerClip), fint64(r.Invocations)}
+	}
+	return s.write("explain_overhead", []string{"mode", "clips", "reps", "us_per_clip", "invocations"}, out)
+}

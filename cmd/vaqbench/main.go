@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead, chaos, hedge, manysessions, plan.
+// trace-overhead, explain, chaos, hedge, manysessions, plan.
 package main
 
 import (
@@ -135,6 +135,13 @@ func main() {
 				return err
 			}
 			return sink.traceOverhead(rows)
+		}},
+		{[]string{"explain"}, func() error {
+			rows, err := ctx.ExplainOverhead()
+			if err != nil {
+				return err
+			}
+			return sink.explainOverhead(rows)
 		}},
 		{[]string{"chaos"}, func() error {
 			res, err := ctx.Chaos()

@@ -62,6 +62,7 @@ func main() {
 		batchNFlag   = flag.Int("batch-max", 16, "max units per micro-batched detector call")
 		planRFlag    = flag.Int("plan-rate", 0, "adaptive sampling base rate: evaluate predicates on 1 unit in N, densifying only undecided clips (0 = dense, 1 = planner with the dense rung)")
 		planLFlag    = flag.Int("plan-levels", 0, "cap on the densification ladder length (0 = full ladder down to stride 1)")
+		explainFlag  = flag.Int("explain-ring", 0, "EXPLAIN profiles retained by /explainz (0 = default 64, negative = disable collection)")
 	)
 	flag.Parse()
 
@@ -89,6 +90,7 @@ func main() {
 		InferCache:      *cacheFlag,
 		BatchWindow:     *batchWFlag,
 		BatchMax:        *batchNFlag,
+		ExplainRing:     *explainFlag,
 	}
 	if *hedgeFlag != 0 && (*hedgeFlag <= 0 || *hedgeFlag >= 1) {
 		fatal(fmt.Errorf("-hedge-quantile must be in (0, 1), got %v", *hedgeFlag))

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"vaq"
 	"vaq/internal/detect"
@@ -33,6 +34,7 @@ func main() {
 		modelFlag = flag.String("model", "maskrcnn", "object detector profile: maskrcnn, yolov3, ideal")
 		jsonFlag  = flag.Bool("json", false, "emit the result sequences as JSON in the server's response shape")
 		traceFlag = flag.Bool("trace", false, "record a span per clip and predicate; print the span tree, counters and stage quantiles after the run")
+		expFlag   = flag.Bool("explain", false, "collect a per-query EXPLAIN profile; print the attribution tree after the run (embedded in the document with -json)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,21 @@ func main() {
 		}
 	}
 
+	var ex *vaq.ExplainCollector
+	var started time.Time
+	if *expFlag {
+		ex = vaq.NewExplainCollector("online")
+		ex.SetID("cli")
+		ex.SetWorkload(*setFlag)
+		if *queryFlag != "" {
+			ex.SetQuery(*queryFlag)
+		} else {
+			ex.SetQuery(fmt.Sprintf("%v", query))
+		}
+		stream.AttachExplain(ex)
+		started = time.Now()
+	}
+
 	var tr *vaq.Tracer
 	var root *trace.Span
 	if *traceFlag {
@@ -107,6 +124,9 @@ func main() {
 		}
 	}
 	seqs := stream.Results()
+	if ex != nil {
+		ex.SetDurUS(time.Since(started).Microseconds())
+	}
 	if tr != nil {
 		root.SetInt("clips", int64(stream.ClipsProcessed()))
 		root.End()
@@ -126,6 +146,10 @@ func main() {
 			ClipsProcessed: stream.ClipsProcessed(),
 			Sequences:      server.Ranges(seqs),
 		}
+		if ex != nil {
+			p := ex.Profile()
+			out.Explain = &p
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -139,6 +163,10 @@ func main() {
 		prf := metrics.SequenceF1(seqs, truth, metrics.DefaultIOUThreshold)
 		fmt.Printf("vs ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
 			prf.Precision, prf.Recall, prf.F1)
+	}
+	if ex != nil {
+		fmt.Println("--- explain ---")
+		vaq.RenderExplain(os.Stdout, ex.Profile())
 	}
 }
 

@@ -4,9 +4,11 @@
 //
 //	vaqstat -dir vaq-repo
 //	vaqstat -dir vaq-repo -video coffee_and_cigarettes -label smoking
+//	vaqstat -dir vaq-repo -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +22,52 @@ import (
 	"vaq/internal/tables"
 )
 
+// statRange is one sequence in the JSON document, the same shape as the
+// server API's Range.
+type statRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// statLabel is one label's coverage row in the JSON document.
+type statLabel struct {
+	Label     string `json:"label"`
+	Kind      string `json:"kind"` // "object" or "action"
+	Rows      int    `json:"rows"`
+	Sequences int    `json:"sequences"`
+	ClipCover int    `json:"clip_cover"`
+	// ScoreMin/ScoreMax bound the label's score table; present only when
+	// the document was restricted with -label (they cost sorted-access
+	// reads).
+	ScoreMin *float64 `json:"score_min,omitempty"`
+	ScoreMax *float64 `json:"score_max,omitempty"`
+	// Seqs lists the label's sequences, present only with -label.
+	Seqs []statRange `json:"seqs,omitempty"`
+}
+
+// statVideo is one video's entry in the JSON document.
+type statVideo struct {
+	Name         string      `json:"name"`
+	Frames       int         `json:"frames"`
+	Clips        int         `json:"clips"`
+	ClipLen      int         `json:"clip_len"`
+	ShotsPerClip int         `json:"shots_per_clip"`
+	Tracks       int         `json:"tracks"`
+	Labels       []statLabel `json:"labels"`
+}
+
+// statDoc is the vaqstat -json document.
+type statDoc struct {
+	Dir    string      `json:"dir"`
+	Videos []statVideo `json:"videos"`
+}
+
 func main() {
 	var (
 		dirFlag   = flag.String("dir", "vaq-repo", "repository directory")
 		videoFlag = flag.String("video", "", "restrict to one video")
 		labelFlag = flag.String("label", "", "show one label's sequences and score range")
+		jsonFlag  = flag.Bool("json", false, "emit the repository statistics as a JSON document")
 	)
 	flag.Parse()
 
@@ -34,9 +77,14 @@ func main() {
 	}
 	names := repo.Videos()
 	if len(names) == 0 {
+		if *jsonFlag {
+			emitJSON(statDoc{Dir: *dirFlag, Videos: []statVideo{}})
+			return
+		}
 		fmt.Printf("repository %s is empty\n", *dirFlag)
 		return
 	}
+	doc := statDoc{Dir: *dirFlag, Videos: []statVideo{}}
 	for _, name := range names {
 		if *videoFlag != "" && name != *videoFlag {
 			continue
@@ -45,8 +93,59 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *jsonFlag {
+			doc.Videos = append(doc.Videos, videoStats(name, vd, annot.Label(*labelFlag)))
+			continue
+		}
 		printVideo(name, vd, annot.Label(*labelFlag))
 	}
+	if *jsonFlag {
+		emitJSON(doc)
+	}
+}
+
+// videoStats assembles one video's JSON entry; a non-empty label
+// restricts the rows to it and adds score bounds and sequences.
+func videoStats(name string, vd *ingest.VideoData, label annot.Label) statVideo {
+	meta := vd.Meta
+	sv := statVideo{
+		Name:         name,
+		Frames:       meta.Frames,
+		Clips:        meta.Clips(),
+		ClipLen:      meta.Geom.ClipLen(),
+		ShotsPerClip: meta.Geom.ShotsPerClip,
+		Tracks:       vd.TracksOpened,
+		Labels:       []statLabel{},
+	}
+	addGroup := func(kind string, tabs map[annot.Label]tables.Table, seqs map[annot.Label]interval.Set) {
+		labels := make([]string, 0, len(tabs))
+		for l := range tabs {
+			if label != "" && l != label {
+				continue
+			}
+			labels = append(labels, string(l))
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			tab, s := tabs[annot.Label(l)], seqs[annot.Label(l)]
+			row := statLabel{Label: l, Kind: kind, Rows: tab.Len(), Sequences: len(s), ClipCover: s.Len()}
+			if label != "" {
+				if tab.Len() > 0 {
+					top, _ := tab.SortedRow(0, nil)
+					btm, _ := tab.ReverseRow(0, nil)
+					row.ScoreMin, row.ScoreMax = &btm.Score, &top.Score
+				}
+				row.Seqs = make([]statRange, 0, len(s))
+				for _, iv := range s {
+					row.Seqs = append(row.Seqs, statRange{Lo: iv.Lo, Hi: iv.Hi})
+				}
+			}
+			sv.Labels = append(sv.Labels, row)
+		}
+	}
+	addGroup("object", vd.ObjTables, vd.ObjSeqs)
+	addGroup("action", vd.ActTables, vd.ActSeqs)
+	return sv
 }
 
 func printVideo(name string, vd *ingest.VideoData, label annot.Label) {
@@ -91,6 +190,14 @@ func printLabel(vd *ingest.VideoData, label annot.Label) {
 	}
 	show("object", vd.ObjTables[label], vd.ObjSeqs[label])
 	show("action", vd.ActTables[label], vd.ActSeqs[label])
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -55,6 +55,7 @@ func main() {
 		batchNFlag   = flag.Int("batch-max", infer.DefaultBatchMax, "max units per micro-batched detector call")
 		planRFlag    = flag.Int("plan-rate", 0, "coarse-to-fine sampling during -synth ingestion: base rate 1-in-N (0 = dense, 1 = dense through the planner)")
 		planLFlag    = flag.Int("plan-levels", 0, "cap the planner's densification ladder (0 = full ladder)")
+		expFlag      = flag.Bool("explain", false, "collect a per-query EXPLAIN profile; print the attribution tree after the results (embedded in the document with -json)")
 	)
 	flag.Parse()
 	if *discountFlag < 0 || *discountFlag > 1 {
@@ -118,6 +119,33 @@ func main() {
 		fatal(err)
 	}
 
+	var ex *vaq.ExplainCollector
+	var qstart time.Time
+	if *expFlag {
+		ex = vaq.NewExplainCollector("topk")
+		ex.SetID("cli")
+		ex.SetWorkload(*videoFlag)
+		ex.SetQuery(fmt.Sprintf("%v", q))
+		eo.Explain = ex
+		qstart = time.Now()
+	}
+	// finishExplain stamps the duration and snapshots the profile; nil
+	// when -explain is off.
+	finishExplain := func() *vaq.ExplainProfile {
+		if ex == nil {
+			return nil
+		}
+		ex.SetDurUS(time.Since(qstart).Microseconds())
+		p := ex.Profile()
+		return &p
+	}
+	printExplain := func() {
+		if p := finishExplain(); p != nil {
+			fmt.Println("--- explain ---")
+			vaq.RenderExplain(os.Stdout, *p)
+		}
+	}
+
 	if *videoFlag == "" {
 		run := repo.TopKAllOpts
 		if *globalFlag {
@@ -137,6 +165,7 @@ func main() {
 				Incomplete:     stats.Incomplete,
 				DegradedClips:  stats.DegradedClips,
 			}
+			out.Explain = finishExplain()
 			for _, r := range results {
 				out.Results = append(out.Results, server.TopKEntry{
 					Video: r.Video, Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score, Degraded: r.Degraded,
@@ -152,6 +181,7 @@ func main() {
 		for i, r := range results {
 			fmt.Printf("  %2d. %-24s clips %v  score %.2f%s\n", i+1, r.Video, r.Seq, r.Score, degradedFlag(r.Degraded))
 		}
+		printExplain()
 		return
 	}
 
@@ -168,6 +198,7 @@ func main() {
 			Incomplete:     stats.Incomplete,
 			DegradedClips:  stats.DegradedClips,
 		}
+		out.Explain = finishExplain()
 		for _, r := range results {
 			out.Results = append(out.Results, server.TopKEntry{
 				Seq: server.Range{Lo: r.Seq.Lo, Hi: r.Seq.Hi}, Score: r.Score, Degraded: r.Degraded,
@@ -182,6 +213,7 @@ func main() {
 	for i, r := range results {
 		fmt.Printf("  %2d. clips %v  score %.2f%s\n", i+1, r.Seq, r.Score, degradedFlag(r.Degraded))
 	}
+	printExplain()
 	if !*compareFlag {
 		return
 	}

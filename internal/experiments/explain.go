@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"vaq/internal/detect"
+	"vaq/internal/explain"
+	"vaq/internal/interval"
+	"vaq/internal/svaq"
+)
+
+// ExplainOverheadResult is one row of the explain-overhead experiment.
+type ExplainOverheadResult struct {
+	Mode      string  // "off" (nil collector) or "on" (full collector)
+	Clips     int     // clips per run
+	Reps      int     // repetitions (the median is reported)
+	USPerClip float64 // median microseconds per clip
+	// Invocations is the profile's engine-attributed invocation total
+	// (0 when off); it must equal the engine's own count exactly.
+	Invocations int64
+}
+
+// ExplainOverhead measures what EXPLAIN collection costs on the online
+// hot path. "off" runs the engine exactly as callers without a
+// collector do — every hook is a nil-receiver no-op — and "on" attaches
+// a full collector (clip outcomes, per-predicate layer attribution,
+// plan aggregates). Beyond timing, each "on" run is checked two ways:
+// the result sequences must be identical to the "off" run's (collection
+// must not perturb evaluation), and the profile's per-layer invocation
+// total must equal the engine's own invocation count exactly (the
+// accounting is exact, not sampled).
+func (c *Context) ExplainOverhead() ([]ExplainOverheadResult, error) {
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	meta := qs.World.Truth.Meta
+	nclips := meta.Clips()
+
+	run := func(ex *explain.Collector) (time.Duration, interval.Set, int, error) {
+		det := detect.NewSimObjectDetector(scene, c.ObjProfile, nil)
+		rec := detect.NewSimActionRecognizer(scene, c.ActProfile, nil)
+		eng, err := svaq.New(qs.Query, det, rec, meta.Geom, svaq.Config{
+			Dynamic: true, HorizonClips: nclips,
+		})
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		eng.AttachExplain(ex)
+		// Settle GC debt before timing so a cycle triggered by the
+		// previous run's garbage doesn't land inside this one.
+		runtime.GC()
+		start := time.Now()
+		seqs, err := eng.Run(nclips)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		return time.Since(start), seqs, eng.Invocations(), nil
+	}
+
+	// The detector simulation dominates the runtime, and run-to-run noise
+	// (GC pauses, CPU frequency, a busy host) is an order of magnitude
+	// larger than the collector's real cost. So the experiment measures
+	// off and on back-to-back as a pair — alternating which of the two
+	// goes first — and reports the median of the per-pair ratios: drift
+	// within one pair is small and the alternation cancels what remains,
+	// where two separate blocks of reps would hand all the drift to
+	// whichever mode ran second.
+	const reps = 15
+	var baseline interval.Set
+	var offDurs, onDurs []time.Duration
+	var ratios []float64
+	var attributed int64
+	for i := 0; i < reps; i++ {
+		var offD, onD time.Duration
+		pair := []*explain.Collector{nil, explain.NewCollector("bench")}
+		if i%2 == 1 {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		for _, ex := range pair {
+			d, seqs, invocations, err := run(ex)
+			if err != nil {
+				return nil, err
+			}
+			if baseline == nil {
+				baseline = seqs
+			} else if !sameSequences(baseline, seqs) {
+				return nil, fmt.Errorf("explain overhead: result sequences diverged: %v vs %v", baseline, seqs)
+			}
+			if ex == nil {
+				offD = d
+				continue
+			}
+			onD = d
+			p := ex.Profile()
+			attributed = p.EngineInvocations()
+			if attributed != int64(invocations) {
+				return nil, fmt.Errorf("explain overhead: attributed %d invocations, engine counted %d", attributed, invocations)
+			}
+		}
+		offDurs = append(offDurs, offD)
+		onDurs = append(onDurs, onD)
+		ratios = append(ratios, float64(onD)/float64(offD))
+	}
+	medianUS := func(durs []time.Duration) float64 {
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		return float64(durs[len(durs)/2].Microseconds()) / float64(nclips)
+	}
+	offUS, onUS := medianUS(offDurs), medianUS(onDurs)
+	sort.Float64s(ratios)
+	ratio := ratios[len(ratios)/2]
+
+	c.printf("EXPLAIN overhead (online path, %d clips, median of %d interleaved pairs):\n", nclips, reps)
+
+	rows := []ExplainOverheadResult{
+		{Mode: "off", Clips: nclips, Reps: reps, USPerClip: offUS},
+		{Mode: "on", Clips: nclips, Reps: reps, USPerClip: onUS, Invocations: attributed},
+	}
+	for _, r := range rows {
+		c.printf("  explain %-3s  %10.1f µs/clip  (%d invocations attributed)\n", r.Mode, r.USPerClip, r.Invocations)
+	}
+	c.printf("  explain-on/off ratio: %.3f\n", ratio)
+	return rows, nil
+}
+
+// sameSequences compares two result sets interval by interval.
+func sameSequences(a, b interval.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

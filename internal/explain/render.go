@@ -1,0 +1,112 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render writes the profile as an indented human-readable tree — the
+// shape the CLIs print under -explain:
+//
+//	explain q1 (topk, video iron_man) 12.4ms
+//	  topk: k 5, candidates 40, iterations 120, ...
+func Render(w io.Writer, p Profile) {
+	head := "explain"
+	if p.ID != "" {
+		head += " " + p.ID
+	}
+	ctxParts := []string{p.Kind}
+	if p.Workload != "" {
+		ctxParts = append(ctxParts, "workload "+p.Workload)
+	}
+	dur := ""
+	if p.DurUS > 0 {
+		d := time.Duration(p.DurUS) * time.Microsecond
+		dur = " " + d.Round(time.Microsecond).String()
+	}
+	fmt.Fprintf(w, "%s (%s)%s\n", head, strings.Join(ctxParts, ", "), dur)
+	if p.Query != "" {
+		fmt.Fprintf(w, "  query: %s\n", p.Query)
+	}
+	if len(p.Clips) > 0 {
+		fmt.Fprintf(w, "  clips: %s\n", countList(p.Clips))
+	}
+	if len(p.Invocations) > 0 {
+		fmt.Fprintf(w, "  invocations: %s (engine total %d)\n", countList(p.Invocations), p.EngineInvocations())
+	}
+	for _, pp := range p.Predicates {
+		mode := "dense"
+		if pp.Planned {
+			mode = "planned"
+		}
+		fmt.Fprintf(w, "  pred %-16s %-7s eval %d  pos %d  units %d", pp.Name, mode, pp.Evaluated, pp.Positive, pp.Units)
+		if pp.Planned {
+			fmt.Fprintf(w, " (base %d)", pp.BaseUnits)
+			if len(pp.Reasons) > 0 {
+				fmt.Fprintf(w, "  reasons: %s", countList(pp.Reasons))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if pl := p.Plan; pl != nil {
+		fmt.Fprintf(w, "  plan: %d evals, %d accepted, %d pruned, %d densified, units %d (base %d)\n",
+			pl.Evaluations, pl.Accepted, pl.Pruned, pl.Densified, pl.Units, pl.BaseUnits)
+		if len(pl.Rungs) > 0 {
+			parts := make([]string, len(pl.Rungs))
+			for i, n := range pl.Rungs {
+				parts[i] = fmt.Sprintf("r%d %d", i+1, n)
+			}
+			fmt.Fprintf(w, "    rungs: %s\n", strings.Join(parts, ", "))
+		}
+	}
+	if in := p.Infer; in != nil {
+		fmt.Fprintf(w, "  infer: cache %d hit / %d miss, flights %d led / %d coalesced, %d batches (%d units)\n",
+			in.CacheHits, in.CacheMisses, in.Leaders, in.Coalesced, in.Batches, in.BatchedUnits)
+	}
+	if rs := p.Resilience; rs != nil {
+		fmt.Fprintf(w, "  resilience: calls %d, errors %d, retries %d, hedges %d (wins %d), deadline %d, shed %d+%d, fallbacks %d over %d units",
+			rs.Calls, rs.Errors, rs.Retries, rs.Hedges, rs.HedgeWins, rs.DeadlineExceeded,
+			rs.BreakerRejects, rs.LabelRejects, rs.Fallbacks, rs.DegradedUnits)
+		if len(rs.FallbackHops) > 0 {
+			fmt.Fprintf(w, ", hops %v", rs.FallbackHops)
+		}
+		fmt.Fprintln(w)
+	}
+	if tk := p.TopK; tk != nil {
+		fmt.Fprintf(w, "  topk: k %d, candidates %d, iterations %d, pruned %d seqs (%d clips), cache hits %d, densified %d, accesses %d random / %d sorted",
+			tk.K, tk.Candidates, tk.Iterations, tk.SeqsPruned, tk.ClipsPruned, tk.ScoreCacheHits, tk.Densified,
+			tk.RandomAccesses, tk.SortedAccesses)
+		if tk.DeadlinePartial {
+			fmt.Fprintf(w, ", PARTIAL")
+		}
+		fmt.Fprintln(w)
+		if n := len(tk.Trajectory); n > 0 {
+			first, last := tk.Trajectory[0], tk.Trajectory[n-1]
+			fmt.Fprintf(w, "    τ trajectory: %d points (dropped %d), τ_top %.4g → %.4g, B_lo^K %.4g → %.4g\n",
+				n, tk.TrajectoryDropped, first.TauTop, last.TauTop, first.BLoK, last.BLoK)
+		}
+	}
+}
+
+// countList formats a counter map as "key value" pairs, largest first
+// (ties by key, so the output is deterministic).
+func countList(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %d", k, m[k])
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,70 @@
+package explain
+
+import "sync"
+
+// Ring retains the last N query profiles — the GET /explainz payload.
+// A nil *Ring is a valid, disabled ring.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []Profile
+	next   int
+	filled bool
+	total  int64
+}
+
+// NewRing builds a ring retaining up to n profiles; n <= 0 returns a
+// nil (disabled) ring.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]Profile, 0, n)}
+}
+
+// Add retains one finished profile, evicting the oldest when full.
+func (r *Ring) Add(p Profile) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, p)
+	} else {
+		r.buf[r.next] = p
+		r.next = (r.next + 1) % cap(r.buf)
+		r.filled = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many profiles were ever added (retained or
+// evicted).
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained profiles, most recent first.
+func (r *Ring) Snapshot() []Profile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Profile, 0, len(r.buf))
+	if r.filled {
+		for i := 0; i < len(r.buf); i++ {
+			out = append(out, r.buf[(r.next-1-i+len(r.buf))%len(r.buf)])
+		}
+	} else {
+		for i := len(r.buf) - 1; i >= 0; i-- {
+			out = append(out, r.buf[i])
+		}
+	}
+	return out
+}

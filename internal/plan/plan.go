@@ -208,21 +208,43 @@ func (d Decision) String() string {
 	}
 }
 
+// Decide reasons: which rule settled a planned evaluation. Reported in
+// Result.Reason and histogrammed by the EXPLAIN profiles.
+const (
+	// ReasonSoundAccept / ReasonSoundPrune are the sound rules (1–2).
+	ReasonSoundAccept = "sound-accept"
+	ReasonSoundPrune  = "sound-prune"
+	// ReasonScaledAccept is the scaled-k_crit accept (rule 3).
+	ReasonScaledAccept = "scaled-accept"
+	// ReasonBgTailPrune is the background-tail prune (rule 4).
+	ReasonBgTailPrune = "bg-tail-prune"
+	// ReasonExtrapolated marks a truncated ladder settled by density
+	// extrapolation (Finalize) rather than a decision rule.
+	ReasonExtrapolated = "extrapolated"
+)
+
 // Decide applies the four decision rules to one predicate window:
 // w units total, sampled of them evaluated, count positive among those,
 // against critical value k and background probability p. At full
 // density (sampled ≥ w) the sound rules always decide.
 func (c Config) Decide(w, sampled, count, k int, p float64) Decision {
+	d, _ := c.decide(w, sampled, count, k, p)
+	return d
+}
+
+// decide is Decide plus the reason constant naming the rule that fired
+// (empty while undecided).
+func (c Config) decide(w, sampled, count, k int, p float64) (Decision, string) {
 	if count >= k {
-		return Accept // rule 1 (sound)
+		return Accept, ReasonSoundAccept // rule 1 (sound)
 	}
 	rest := w - sampled
 	if count+rest < k {
-		return Prune // rule 2 (sound)
+		return Prune, ReasonSoundPrune // rule 2 (sound)
 	}
 	c = c.withDefaults()
 	if sampled < c.MinSample {
-		return Undecided // statistical rules need a real sample
+		return Undecided, "" // statistical rules need a real sample
 	}
 	// Rule 3: the density extrapolation must clear the scaled critical
 	// value AND the sample must be statistically inconsistent with every
@@ -231,7 +253,7 @@ func (c Config) Decide(w, sampled, count, k int, p float64) Decision {
 	// on a sparse rung extrapolate past Margin·k and accept background.
 	if float64(count)*float64(w) >= c.Margin*float64(k)*float64(sampled) &&
 		scanstat.BinomTail(sampled, float64(k)/float64(w), count) <= c.Tail {
-		return Accept // rule 3 (scaled k_crit)
+		return Accept, ReasonScaledAccept // rule 3 (scaled k_crit)
 	}
 	// Rule 4: prune only when three things hold. (a) Power gate: the
 	// sample is statistically inconsistent with the critical density —
@@ -246,9 +268,9 @@ func (c Config) Decide(w, sampled, count, k int, p float64) Decision {
 	if scanstat.BinomTail(sampled, float64(k)/float64(w), count+1) >= 1-c.Power &&
 		scanstat.BinomTail(sampled, p, count) > c.Tail &&
 		scanstat.BinomTail(rest, p, k-count) <= c.Tail {
-		return Prune // rule 4 (background tail)
+		return Prune, ReasonBgTailPrune // rule 4 (background tail)
 	}
-	return Undecided
+	return Undecided, ""
 }
 
 // Finalize settles a clip a truncated ladder left undecided: the
@@ -270,8 +292,16 @@ type Result struct {
 	// them when the decision fired.
 	Sampled int
 	Count   int
+	// BaseSampled is the share of Sampled evaluated on the base rung —
+	// the planner's sparse first look; Sampled − BaseSampled went to
+	// densification. (Decisions fire only at rung boundaries, so the
+	// base rung always completes and the split is exact.)
+	BaseSampled int
 	// Rungs is the number of ladder rungs evaluated.
 	Rungs int
+	// Reason names the decision rule that settled the evaluation (one
+	// of the Reason* constants).
+	Reason string
 }
 
 // Evaluate runs the coarse-to-fine loop for one predicate over a
@@ -306,20 +336,27 @@ func (c Config) Evaluate(w, k int, p float64, eval func(unit int) (bool, error))
 				res.Count++
 			}
 		}
+		if r == 0 {
+			res.BaseSampled = res.Sampled
+		}
 		res.Rungs = r + 1
-		switch c.Decide(w, res.Sampled, res.Count, k, p) {
+		d, reason := c.decide(w, res.Sampled, res.Count, k, p)
+		switch d {
 		case Accept:
 			res.Positive = true
 			res.Exact = res.Count >= k
+			res.Reason = reason
 			return res, nil
 		case Prune:
 			res.Positive = false
 			res.Exact = res.Count+(w-res.Sampled) < k
+			res.Reason = reason
 			return res, nil
 		}
 	}
 	// Truncated ladder exhausted while undecided: extrapolate.
 	res.Positive = Finalize(w, res.Sampled, res.Count, k)
+	res.Reason = ReasonExtrapolated
 	return res, nil
 }
 

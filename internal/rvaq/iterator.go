@@ -3,6 +3,7 @@ package rvaq
 import (
 	"fmt"
 
+	"vaq/internal/explain"
 	"vaq/internal/ingest"
 	"vaq/internal/score"
 	"vaq/internal/tables"
@@ -52,6 +53,8 @@ type tbClip struct {
 	// cacheHits, when set by a traced run, counts scoreAndRecord calls
 	// answered from the exact-score cache (nil-safe).
 	cacheHits *trace.Counter
+	// ex, when set, feeds the EXPLAIN top-k section (nil-safe).
+	ex *explain.Collector
 
 	// plan, when non-nil, marks a planned repository: stored table
 	// scores of partially sampled clips are LOWER bounds (ingest ran
@@ -213,6 +216,7 @@ func (it *tbClip) observe(cid int32) error {
 func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
 	if s, known := it.scores[cid]; known {
 		it.cacheHits.Add(1)
+		it.ex.TopKScoreCacheHit()
 		return s, nil
 	}
 	var lo, hi float64
@@ -223,6 +227,7 @@ func (it *tbClip) scoreAndRecord(cid int32) (float64, error) {
 		lo, err = it.densify(cid)
 		hi = lo
 		it.densified++
+		it.ex.TopKDensified()
 	} else {
 		lo, hi, err = it.scoreBounds(cid)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vaq/internal/annot"
+	"vaq/internal/explain"
 	"vaq/internal/ingest"
 	"vaq/internal/interval"
 	"vaq/internal/pqueue"
@@ -124,6 +125,12 @@ type Options struct {
 	// (ExactScores is forced off and Stats.Bounded set). Dense
 	// repositories ignore it.
 	Densify func(cid int32) (float64, error)
+	// Explain, when non-nil, collects the EXPLAIN top-k section: the
+	// τ_top / B_lo^K bound trajectory, pruning and cache counters, and
+	// the final access totals. Sharded runs share one collector (it is
+	// concurrency-safe) and accumulate, mirroring Stats.Merge. Nil —
+	// the default — costs only nil checks on the iteration path.
+	Explain *explain.Collector
 }
 
 // DefaultOptions returns the standard RVAQ configuration.
@@ -175,6 +182,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	}
 	tr := trace.FromContext(ctx)
 	ctx, qspan := trace.Start(ctx, "rvaq.topk")
+	opts.Explain.TopKConfigure(k)
 	stats := Stats{}
 	if tr != nil {
 		qspan.SetAttr("video", vd.Meta.Name)
@@ -282,6 +290,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 			return 1
 		}
 	}
+	it.ex = opts.Explain
 	var cSeqsPruned, cClipsPruned, cExchange *trace.Counter
 	var stStep *trace.Stage
 	if tr != nil {
@@ -301,6 +310,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 				// establish rather than erroring. Scores are the current
 				// lower bounds; no random accesses are spent finishing.
 				stats.Incomplete = true
+				opts.Explain.TopKPartial()
 				if tr != nil {
 					tr.Counter("rvaq.partial_results").Add(1)
 					qspan.SetAttr("incomplete", "true")
@@ -365,6 +375,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 			s.lo = fns.F.Merge(s.knownScore, fns.F.MergeN(tauBtm, unknown))
 		}
 		topK, bloK, bupRest := selectTopK(seqs, k)
+		opts.Explain.TopKIteration(opts.Shard, stats.Iterations, tauTop, bloK)
 		// Cross-shard exchange: periodically publish this shard's top-k
 		// lower bounds and prune with the global B_lo^K, which is at
 		// least as tight as the local one once other shards have
@@ -400,6 +411,7 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 					// random access B_lo^K saved the query.
 					cSeqsPruned.Add(1)
 					cClipsPruned.Add(int64(s.iv.Len() - s.knownCount))
+					opts.Explain.TopKSeqPruned(s.iv.Len() - s.knownCount)
 				}
 			}
 		}
@@ -511,6 +523,8 @@ func finish(ctx context.Context, it *tbClip, fns score.Functions, seqs []*seqSta
 	stats.DensifiedClips = it.densified
 	stats.Runtime = time.Since(start)
 	stats.CPURuntime = stats.Runtime
+	opts.Explain.TopKFinish(stats.Candidates, stats.Iterations,
+		stats.Accesses.Random, stats.Accesses.Sorted+stats.Accesses.Reverse)
 	return results, *stats, nil
 }
 

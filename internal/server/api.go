@@ -17,14 +17,16 @@
 //	GET    /v1/sessions/{id}/results  result sequences so far (?wait= long-poll)
 //	DELETE /v1/sessions/{id}          cancel and remove
 //	POST   /v1/topk                   offline RVAQ top-k against a repository
-//	GET    /healthz                   liveness
+//	GET    /healthz                   liveness + rolling error-rate / queue-wait windows
 //	GET    /metricsz                  per-endpoint counts and latency quantiles
 //	GET    /tracez                    recent spans as JSON trees, plus counters
 //	GET    /varz                      Prometheus-style counter/stage exposition
+//	GET    /explainz                  EXPLAIN profiles of the last N queries
 package server
 
 import (
 	"vaq"
+	"vaq/internal/explain"
 	"vaq/internal/trace"
 )
 
@@ -118,6 +120,10 @@ type ResultsResponse struct {
 	// affected frames/shots.
 	Degraded      bool `json:"degraded,omitempty"`
 	DegradedUnits int  `json:"degraded_units,omitempty"`
+	// Explain carries the session's EXPLAIN profile so far when the
+	// request asked for it (?explain=true) and the server collects
+	// profiles (-explain-ring not negative).
+	Explain *explain.Profile `json:"explain,omitempty"`
 }
 
 // TopKRequest is an offline ranked query. Either give Action/Objects
@@ -141,6 +147,10 @@ type TopKRequest struct {
 	// marked degraded at ingest time and flags matching results; 0
 	// scores them as ingested.
 	DegradedDiscount float64 `json:"degraded_discount,omitempty"`
+	// Explain asks for the query's EXPLAIN profile inline in the
+	// response (the profile also lands in the /explainz ring whenever
+	// the ring is enabled, whether or not Explain is set).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // TopKEntry is one ranked result.
@@ -174,6 +184,55 @@ type TopKResponse struct {
 	// DegradedClips counts degraded clips inside the query's candidate
 	// sequences (populated when degraded_discount was armed).
 	DegradedClips int `json:"degraded_clips,omitempty"`
+	// Explain is the query's EXPLAIN profile, present when the request
+	// set explain=true.
+	Explain *explain.Profile `json:"explain,omitempty"`
+}
+
+// ExplainzResponse is the GET /explainz payload: the most recent
+// query profiles, newest first. Total counts every profile ever
+// collected (the ring retains the last N).
+type ExplainzResponse struct {
+	Total    int64             `json:"total"`
+	Retained int               `json:"retained"`
+	Profiles []explain.Profile `json:"profiles"`
+}
+
+// HealthzSnapshot is one periodic metrics-history sample: cumulative
+// totals plus the tracer counter snapshot at that moment, so deltas
+// between samples give windowed rates.
+type HealthzSnapshot struct {
+	UnixMS   int64            `json:"unix_ms"`
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"` // responses with status >= 500
+	Sheds    int64            `json:"sheds"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// HealthzResponse is the GET /healthz payload: liveness plus the
+// rolling health windows computed from the metrics-history ring.
+type HealthzResponse struct {
+	Status string `json:"status"` // "ok" or "overloaded"
+	// WindowS is the span (seconds) the windowed rates cover: the age
+	// of the oldest history sample still inside the rolling window, or
+	// 0 when the history is empty (rates are then lifetime totals).
+	WindowS float64 `json:"window_s"`
+	// Requests / Errors / ErrorRate are windowed: the delta between now
+	// and the window's oldest sample.
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// QueueWaitP90MS is the p90 worker-pool queue wait over the shed
+	// window's recent samples (0 until enough samples accrue).
+	QueueWaitP90MS float64 `json:"queue_wait_p90_ms"`
+	ShedRequests   int64   `json:"shed_requests,omitempty"`
+	// Overloaded mirrors the admission controller's verdict (requires
+	// -shed-wait to be armed).
+	Overloaded bool `json:"overloaded,omitempty"`
+	// Snapshots counts retained history samples; History lists them
+	// (newest first) when the request asked with ?history=true.
+	Snapshots int               `json:"snapshots"`
+	History   []HealthzSnapshot `json:"history,omitempty"`
 }
 
 // TracezResponse is the GET /tracez payload: the tracer's retained

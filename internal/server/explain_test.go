@@ -1,0 +1,243 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"vaq/internal/explain"
+)
+
+// TestExplainTopK: explain=true on /v1/topk returns the profile inline,
+// and the /explainz ring retains it (newest first) whether or not the
+// request asked — the flag only gates the inline copy.
+func TestExplainTopK(t *testing.T) {
+	_, ts := startServer(t, Config{Repo: buildRepo(t)})
+
+	var resp TopKResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+		TopKRequest{Video: "q2", Action: "blowing_leaves", Objects: []string{"car"}, K: 3, Explain: true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	p := resp.Explain
+	if p == nil {
+		t.Fatal("explain=true returned no profile")
+	}
+	if p.Kind != "topk" || p.ID == "" || p.Workload != "q2" {
+		t.Fatalf("profile header %+v", p)
+	}
+	if p.TopK == nil || p.TopK.K != 3 {
+		t.Fatalf("topk section %+v", p.TopK)
+	}
+	if p.TopK.Candidates != resp.Candidates {
+		t.Errorf("profile candidates %d, response %d", p.TopK.Candidates, resp.Candidates)
+	}
+	if p.TopK.RandomAccesses != resp.RandomAccesses {
+		t.Errorf("profile random accesses %d, response %d", p.TopK.RandomAccesses, resp.RandomAccesses)
+	}
+
+	// A second query without the flag: no inline profile, still ringed.
+	var plain TopKResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+		TopKRequest{Video: "q2", Action: "blowing_leaves", K: 2}, &plain); code != http.StatusOK {
+		t.Fatalf("plain topk status %d", code)
+	}
+	if plain.Explain != nil {
+		t.Error("profile inlined without explain=true")
+	}
+
+	var ring ExplainzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/explainz", nil, &ring); code != http.StatusOK {
+		t.Fatalf("explainz status %d", code)
+	}
+	if ring.Total != 2 || ring.Retained != 2 {
+		t.Fatalf("ring total %d retained %d, want 2/2", ring.Total, ring.Retained)
+	}
+	// Newest first: the flagless query rings last but lists first.
+	if ring.Profiles[0].ID == p.ID || ring.Profiles[1].ID != p.ID {
+		t.Fatalf("ring order %q, %q; first query was %q",
+			ring.Profiles[0].ID, ring.Profiles[1].ID, p.ID)
+	}
+}
+
+// TestExplainDisabled: a negative ring turns collection off entirely —
+// explain=true gets no profile and /explainz answers 404.
+func TestExplainDisabled(t *testing.T) {
+	_, ts := startServer(t, Config{Repo: buildRepo(t), ExplainRing: -1})
+
+	var resp TopKResponse
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+		TopKRequest{Video: "q2", Action: "blowing_leaves", K: 3, Explain: true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	if resp.Explain != nil {
+		t.Error("disabled ring still produced a profile")
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/explainz", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("explainz status %d, want 404", code)
+	}
+}
+
+// TestExplainSessionResults: ?explain=true on session results carries
+// the online profile, whose clip attribution matches the clips
+// processed; the finished session's profile lands in the ring.
+func TestExplainSessionResults(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	var created SessionInfo
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		CreateSessionRequest{Workload: "q2", Scale: 0.02}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	res := pollDone(t, ts.URL, created.ID)
+	if res.Explain != nil {
+		t.Error("profile inlined without ?explain=true")
+	}
+
+	var withP ResultsResponse
+	if code := doJSON(t, http.MethodGet,
+		ts.URL+"/v1/sessions/"+created.ID+"/results?explain=true", nil, &withP); code != http.StatusOK {
+		t.Fatalf("results status %d", code)
+	}
+	p := withP.Explain
+	if p == nil {
+		t.Fatal("?explain=true returned no profile")
+	}
+	if p.Kind != "online" || p.ID != created.ID || p.Workload != "q2" {
+		t.Fatalf("profile header %+v", p)
+	}
+	var clips int64
+	for _, n := range p.Clips {
+		clips += n
+	}
+	if clips != int64(withP.ClipsProcessed) {
+		t.Errorf("attributed clips %d, processed %d", clips, withP.ClipsProcessed)
+	}
+	if p.EngineInvocations() == 0 {
+		t.Error("no invocations attributed")
+	}
+
+	var ring ExplainzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/explainz", nil, &ring); code != http.StatusOK {
+		t.Fatalf("explainz status %d", code)
+	}
+	found := false
+	for _, rp := range ring.Profiles {
+		if rp.ID == created.ID && rp.Kind == "online" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("finished session %q not in the ring (%d profiles)", created.ID, ring.Retained)
+	}
+}
+
+// TestExplainRingEviction: the ring keeps the newest N profiles while
+// Total keeps counting.
+func TestExplainRingEviction(t *testing.T) {
+	srv, ts := startServer(t, Config{Repo: buildRepo(t), ExplainRing: 2})
+	for i := 0; i < 3; i++ {
+		var resp TopKResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+			TopKRequest{Video: "q2", Action: "blowing_leaves", K: 1}, &resp); code != http.StatusOK {
+			t.Fatalf("topk %d status %d", i, code)
+		}
+	}
+	var ring ExplainzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/explainz", nil, &ring); code != http.StatusOK {
+		t.Fatalf("explainz status %d", code)
+	}
+	if ring.Total != 3 || ring.Retained != 2 {
+		t.Fatalf("ring total %d retained %d, want 3/2", ring.Total, ring.Retained)
+	}
+	if ring.Profiles[0].ID != "q3" || ring.Profiles[1].ID != "q2" {
+		t.Fatalf("ring kept %q, %q; want q3, q2", ring.Profiles[0].ID, ring.Profiles[1].ID)
+	}
+	_ = srv
+}
+
+// TestHealthzHistory: with the sampling cadence collapsed, every
+// request snapshots, /healthz reports windowed rates against the
+// oldest in-window sample, and ?history=true lists the samples newest
+// first with the counter snapshot attached.
+func TestHealthzHistory(t *testing.T) {
+	srv, ts := startServer(t, Config{Repo: buildRepo(t)})
+	srv.hist.every = 0 // sample on every instrumented request
+
+	for i := 0; i < 3; i++ {
+		var resp TopKResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/topk",
+			TopKRequest{Video: "q2", Action: "blowing_leaves", K: 1}, &resp); code != http.StatusOK {
+			t.Fatalf("topk %d status %d", i, code)
+		}
+	}
+
+	var h HealthzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz?history=true", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if h.Snapshots < 3 || len(h.History) != h.Snapshots {
+		t.Fatalf("snapshots %d, history %d", h.Snapshots, len(h.History))
+	}
+	// Newest first, monotone timestamps and request totals.
+	for i := 1; i < len(h.History); i++ {
+		if h.History[i].UnixMS > h.History[i-1].UnixMS {
+			t.Fatalf("history not newest-first at %d", i)
+		}
+		if h.History[i].Requests > h.History[i-1].Requests {
+			t.Fatalf("request totals not monotone at %d", i)
+		}
+	}
+	// Each sample carries the counter catalogue of that moment.
+	if h.History[0].Counters["rvaq.queries"] < 1 {
+		t.Fatalf("newest sample counters %v", h.History[0].Counters)
+	}
+	if h.Errors != 0 || h.ErrorRate != 0 {
+		t.Fatalf("clean run reported errors: %+v", h)
+	}
+	// Windowed requests are a delta against an in-window baseline, so
+	// they cannot exceed the lifetime total.
+	total := h.History[0].Requests
+	if h.Requests > total {
+		t.Fatalf("windowed requests %d exceed total %d", h.Requests, total)
+	}
+
+	// A plain probe without history still reports the sample count.
+	var plain HealthzResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &plain); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if plain.History != nil || plain.Snapshots == 0 {
+		t.Fatalf("plain probe: %+v", plain)
+	}
+}
+
+// TestExplainProfileJSONRoundTrip guards the wire shape: a ringed
+// profile survives the JSON round trip the endpoints perform.
+func TestExplainProfileJSONRoundTrip(t *testing.T) {
+	c := explain.NewCollector("topk")
+	c.SetID("q9")
+	c.TopKConfigure(4)
+	c.TopKIteration(0, 1, 0.9, 0.1)
+	c.TopKFinish(7, 1, 3, 12)
+	before := c.Profile()
+
+	var ring ExplainzResponse
+	srv, ts := startServer(t, Config{})
+	srv.ring.Add(before)
+	if code := doJSON(t, http.MethodGet, ts.URL+"/explainz", nil, &ring); code != http.StatusOK {
+		t.Fatalf("explainz status %d", code)
+	}
+	if ring.Retained != 1 {
+		t.Fatalf("retained %d", ring.Retained)
+	}
+	got := ring.Profiles[0]
+	if got.ID != "q9" || got.TopK == nil || got.TopK.K != 4 ||
+		got.TopK.Candidates != 7 || len(got.TopK.Trajectory) != 1 {
+		t.Fatalf("round-tripped profile %+v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics history: a bounded ring of periodic /varz-style snapshots.
+// The daemon runs no background goroutine for it — samples are taken
+// opportunistically, time-gated, from the instrumented request path
+// (and from /healthz itself), so an idle daemon spends nothing and a
+// busy one samples at the configured cadence. /healthz computes its
+// rolling error-rate window from the deltas between the newest state
+// and the oldest retained sample inside the window.
+
+const (
+	// healthSnapshotEvery is the minimum spacing between history
+	// samples.
+	healthSnapshotEvery = 10 * time.Second
+	// healthHistoryCap bounds the ring (about 10 minutes of history at
+	// the default cadence).
+	healthHistoryCap = 64
+	// healthWindow is the rolling span the /healthz rates cover.
+	healthWindow = 60 * time.Second
+)
+
+// healthHistory is the snapshot ring. now is injectable for tests.
+type healthHistory struct {
+	every time.Duration
+	span  time.Duration
+	now   func() time.Time
+
+	mu     sync.Mutex
+	last   time.Time
+	snaps  []HealthzSnapshot // ring, oldest overwritten
+	next   int
+	filled bool
+}
+
+func newHealthHistory() *healthHistory {
+	return &healthHistory{
+		every: healthSnapshotEvery,
+		span:  healthWindow,
+		now:   time.Now,
+		snaps: make([]HealthzSnapshot, 0, healthHistoryCap),
+	}
+}
+
+// maybeSnapshot records one sample when the cadence allows it. collect
+// runs only when a sample is due, outside any hot path.
+func (h *healthHistory) maybeSnapshot(collect func() HealthzSnapshot) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	now := h.now()
+	if !h.last.IsZero() && now.Sub(h.last) < h.every {
+		h.mu.Unlock()
+		return
+	}
+	h.last = now
+	h.mu.Unlock()
+	// Collect outside the lock: the counter snapshot takes its own
+	// locks and a concurrent sampler racing the cadence gate at worst
+	// adds one extra sample.
+	s := collect()
+	s.UnixMS = now.UnixMilli()
+	h.mu.Lock()
+	if len(h.snaps) < cap(h.snaps) {
+		h.snaps = append(h.snaps, s)
+	} else {
+		h.snaps[h.next] = s
+		h.filled = true
+	}
+	h.next++
+	if h.next == cap(h.snaps) {
+		h.next = 0
+	}
+	h.mu.Unlock()
+}
+
+// snapshots returns the retained samples, newest first.
+func (h *healthHistory) snapshots() []HealthzSnapshot {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.snaps)
+	out := make([]HealthzSnapshot, 0, n)
+	start := h.next - 1
+	if !h.filled {
+		start = len(h.snaps) - 1
+	}
+	for i := 0; i < n; i++ {
+		j := start - i
+		if j < 0 {
+			j += n
+		}
+		out = append(out, h.snaps[j])
+	}
+	return out
+}
+
+// windowBase returns the oldest retained sample still inside the
+// rolling window — the baseline /healthz subtracts current totals from.
+func (h *healthHistory) windowBase() (HealthzSnapshot, bool) {
+	if h == nil {
+		return HealthzSnapshot{}, false
+	}
+	cutoff := h.now().Add(-h.span).UnixMilli()
+	var base HealthzSnapshot
+	found := false
+	h.mu.Lock()
+	for _, s := range h.snaps {
+		if s.UnixMS < cutoff {
+			continue
+		}
+		if !found || s.UnixMS < base.UnixMS {
+			base, found = s, true
+		}
+	}
+	h.mu.Unlock()
+	return base, found
+}

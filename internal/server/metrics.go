@@ -118,6 +118,19 @@ func (m *metrics) observeCPU(route string, d time.Duration) {
 	st.cpu.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// totals sums requests and server-side errors (status >= 500) across
+// all routes — the cumulative counters the health history samples.
+// Client errors (4xx, 499) do not count against server health.
+func (m *metrics) totals() (requests, errors int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.routes {
+		requests += st.count
+		errors += st.s5xx
+	}
+	return requests, errors
+}
+
 func (m *metrics) snapshot() map[string]RouteMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"vaq"
+	"vaq/internal/explain"
+	"vaq/internal/infer"
 	"vaq/internal/pool"
 	"vaq/internal/resilience"
 	"vaq/internal/trace"
@@ -18,6 +21,7 @@ type Registry struct {
 	maxSessions int
 	workers     *pool.Pool
 	tr          *trace.Tracer // nil records nothing
+	exRing      *explain.Ring // nil: sessions run without collectors
 
 	mu       sync.Mutex
 	seq      int
@@ -62,6 +66,12 @@ func (r *Registry) SetTracer(tr *trace.Tracer) {
 	}
 }
 
+// SetExplainRing arms per-session EXPLAIN collection: every subsequent
+// session gets a collector wired through its stream, and the finished
+// profile lands in ring. A nil ring disables collection. Call before
+// the first Create.
+func (r *Registry) SetExplainRing(ring *explain.Ring) { r.exRing = ring }
+
 // errTooManySessions maps to 429.
 var errTooManySessions = fmt.Errorf("server: session limit reached")
 
@@ -73,8 +83,8 @@ var errShuttingDown = fmt.Errorf("server: shutting down")
 // stream's resilience layer (nil when the stream was built without
 // one); the session reads its counters for degraded-result reporting.
 func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total int, models *resilience.Models) (*Session, error) {
-	return r.CreateWith(req, total, func(context.Context) (*vaq.Stream, *resilience.Models, error) {
-		return stream, models, nil
+	return r.CreateWith(req, total, func(context.Context) (*vaq.Stream, *resilience.Models, func() infer.Stats, error) {
+		return stream, models, nil, nil
 	})
 }
 
@@ -83,7 +93,9 @@ func (r *Registry) Create(req CreateSessionRequest, stream *vaq.Stream, total in
 // cross-session flight to it, so a deleted session abandons its waits
 // without cancelling calls other sessions still share. build runs under
 // the registry lock after admission; an error aborts the admission.
-func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ctx context.Context) (*vaq.Stream, *resilience.Models, error)) (*Session, error) {
+// inferStats, when non-nil, reads the session's shared-inference domain
+// counters (the EXPLAIN profile attributes its start/finish delta).
+func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ctx context.Context) (*vaq.Stream, *resilience.Models, func() infer.Stats, error)) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -103,7 +115,7 @@ func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ct
 	r.seq++
 	id := fmt.Sprintf("s%d", r.seq)
 	ctx, cancel := context.WithCancel(r.ctx)
-	stream, models, err := build(ctx)
+	stream, models, inferStats, err := build(ctx)
 	if err != nil {
 		cancel()
 		return nil, err
@@ -116,6 +128,23 @@ func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ct
 		root.SetAttr("workload", req.Workload)
 		stream.AttachTrace(r.tr, root.ID())
 		sess.span = root
+	}
+	if r.exRing != nil {
+		ex := explain.NewCollector("online")
+		ex.SetID(id)
+		ex.SetWorkload(req.Workload)
+		ex.SetQuery(req.Query)
+		stream.AttachExplain(ex)
+		sess.ex = ex
+		sess.exRing = r.exRing
+		sess.started = time.Now()
+		if models != nil {
+			sess.resStart = models.Stats()
+		}
+		if inferStats != nil {
+			sess.inferStats = inferStats
+			sess.inferStart = inferStats()
+		}
 	}
 	r.sessions[id] = sess
 	r.wg.Add(1)

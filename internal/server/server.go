@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vaq"
 	"vaq/internal/detect"
+	"vaq/internal/explain"
 	"vaq/internal/fault"
 	"vaq/internal/infer"
 	"vaq/internal/ingest"
@@ -99,7 +101,16 @@ type Config struct {
 	// PlanLevels caps the densification ladder length (vaqd
 	// -plan-levels); 0 means the full ladder down to stride 1.
 	PlanLevels int
+	// ExplainRing sizes the GET /explainz ring of recent query EXPLAIN
+	// profiles: 0 picks the default (64), negative disables collection
+	// entirely (sessions and top-k requests then run without
+	// collectors, and explain=true requests get no profile).
+	ExplainRing int
 }
+
+// DefaultExplainRing is the /explainz retention when Config.ExplainRing
+// is 0.
+const DefaultExplainRing = 64
 
 // DefaultInferCache is the shared score cache capacity when
 // Config.InferCache is 0.
@@ -121,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.InferCache == 0 {
 		c.InferCache = DefaultInferCache
 	}
+	if c.ExplainRing == 0 {
+		c.ExplainRing = DefaultExplainRing
+	}
 	return c
 }
 
@@ -134,6 +148,9 @@ type Server struct {
 	shed   *shedWindow
 	budget *resilience.AdaptiveBudget // nil unless AdaptiveRetries armed
 	hub    *inferHub                  // nil unless SharedInference armed
+	ring   *explain.Ring              // nil when ExplainRing is negative
+	hist   *healthHistory
+	qseq   atomic.Int64 // top-k query id mint (q1, q2, ...)
 }
 
 // New builds a server and its routes.
@@ -145,8 +162,11 @@ func New(cfg Config) *Server {
 		met:  newMetrics(),
 		mux:  http.NewServeMux(),
 		shed: newShedWindow(cfg.ShedWait),
+		ring: explain.NewRing(cfg.ExplainRing),
+		hist: newHealthHistory(),
 	}
 	s.reg.SetTracer(cfg.Tracer)
+	s.reg.SetExplainRing(s.ring)
 	if cfg.SharedInference {
 		s.hub = newInferHub(infer.Config{
 			CacheCapacity: cfg.InferCache,
@@ -167,7 +187,13 @@ func New(cfg Config) *Server {
 		s.reg.Pool().SetObserver(s.shed.observe)
 	}
 	route := func(pattern string, h http.HandlerFunc) {
-		s.mux.HandleFunc(pattern, s.met.instrument(pattern, h))
+		wrapped := s.met.instrument(pattern, h)
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			wrapped(w, r)
+			// Opportunistic, time-gated metrics-history sampling: no
+			// background goroutine, one cheap clock read per request.
+			s.hist.maybeSnapshot(s.healthSample)
+		})
 	}
 	route("POST /v1/sessions", s.timed(s.handleCreateSession))
 	route("GET /v1/sessions", s.handleListSessions)
@@ -179,6 +205,7 @@ func New(cfg Config) *Server {
 	route("GET /metricsz", s.handleMetricsz)
 	route("GET /tracez", s.handleTracez)
 	route("GET /varz", s.handleVarz)
+	route("GET /explainz", s.handleExplainz)
 	return s
 }
 
@@ -413,22 +440,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return vaq.NewStreamQuery(qs.Query, det, rec, meta.Geom, cfg)
 	}
 
-	var build func(ctx context.Context) (*vaq.Stream, *resilience.Models, error)
+	var build func(ctx context.Context) (*vaq.Stream, *resilience.Models, func() infer.Stats, error)
 	if s.hub != nil {
 		// Shared inference: one backend stack per (workload, scale,
 		// model), fronted by the cross-session flights. Binding the
 		// flights to the session context makes a deleted session abandon
 		// its waits without cancelling calls other sessions share.
 		entry := s.hub.entry(inferKey{req.Workload, req.Scale, req.Model}, buildModels)
-		build = func(ctx context.Context) (*vaq.Stream, *resilience.Models, error) {
+		build = func(ctx context.Context) (*vaq.Stream, *resilience.Models, func() infer.Stats, error) {
 			stream, err := mkStream(entry.objFlight.Bind(ctx), entry.actFlight.Bind(ctx))
-			return stream, entry.models, err
+			return stream, entry.models, entry.shared.Stats, err
 		}
 	} else {
 		models := buildModels(nil)
-		build = func(context.Context) (*vaq.Stream, *resilience.Models, error) {
+		build = func(context.Context) (*vaq.Stream, *resilience.Models, func() infer.Stats, error) {
 			stream, err := mkStream(models.Det, models.Rec)
-			return stream, models, err
+			return stream, models, nil, err
 		}
 	}
 
@@ -504,6 +531,9 @@ func (s *Server) handleSessionResults(w http.ResponseWriter, r *http.Request) {
 		writeCtxErr(w, err)
 		return
 	}
+	if r.URL.Query().Get("explain") == "true" {
+		snap.Explain = sess.ExplainProfile()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -578,13 +608,27 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// Offline queries honour the request context and draw worker slots
 	// from the registry's session pool, so online and offline work
 	// compete for the same concurrency budget. The context carries the
-	// server tracer: the whole run records under one "http.topk" span.
+	// server tracer: the whole run records under one "http.topk" span,
+	// tagged with a minted query id so /tracez trees and the slow-query
+	// log correlate with /explainz.
+	qid := fmt.Sprintf("q%d", s.qseq.Add(1))
 	ctx := trace.NewContext(r.Context(), s.cfg.Tracer)
 	ctx, qspan := trace.Start(ctx, "http.topk")
+	qspan.SetAttr("id", qid)
 	qspan.SetAttr("video", req.Video)
 	qspan.SetInt("k", int64(k))
 	defer qspan.End()
-	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount}
+	// Collection runs whenever the ring is enabled — explain=true only
+	// gates the inline copy in the response.
+	var ex *explain.Collector
+	if s.ring != nil {
+		ex = explain.NewCollector("topk")
+		ex.SetID(qid)
+		ex.SetWorkload(req.Video)
+		ex.SetQuery(q.String())
+	}
+	qstart := time.Now()
+	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount, Explain: ex}
 	if req.TimeoutMS > 0 {
 		// The per-request deadline layers inside the handler's
 		// RequestTimeout context, so it can only shorten it.
@@ -644,6 +688,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.DegradedClips = stats.DegradedClips
 		s.met.observeCPU("POST /v1/topk", cpuOrWall(stats))
 	}
+	if ex != nil {
+		ex.SetDurUS(time.Since(qstart).Microseconds())
+		s.ring.Add(ex.Profile())
+		if req.Explain {
+			p := ex.Profile()
+			resp.Explain = &p
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -656,8 +708,53 @@ func cpuOrWall(stats vaq.TopKStats) time.Duration {
 	return stats.Runtime
 }
 
+// healthSample takes one metrics-history snapshot: cumulative request
+// and 5xx totals, the shed counter, and the tracer counter catalogue.
+func (s *Server) healthSample() HealthzSnapshot {
+	requests, errors := s.met.totals()
+	return HealthzSnapshot{
+		Requests: requests,
+		Errors:   errors,
+		Sheds:    s.shed.Sheds(),
+		Counters: s.cfg.Tracer.Counters(),
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Health probes also feed the history, so a quiet daemon scraped by
+	// a monitor still accrues samples.
+	s.hist.maybeSnapshot(s.healthSample)
+	requests, errors := s.met.totals()
+	resp := HealthzResponse{
+		Status:       "ok",
+		Requests:     requests,
+		Errors:       errors,
+		ShedRequests: s.shed.Sheds(),
+		Overloaded:   s.shed.overloaded(),
+	}
+	// Windowed rates: subtract the oldest history sample still inside
+	// the rolling window; before any sample exists the rates cover the
+	// daemon's lifetime (WindowS 0 says so).
+	if base, ok := s.hist.windowBase(); ok {
+		resp.WindowS = float64(s.hist.now().UnixMilli()-base.UnixMS) / 1000
+		resp.Requests = requests - base.Requests
+		resp.Errors = errors - base.Errors
+	}
+	if resp.Requests > 0 {
+		resp.ErrorRate = float64(resp.Errors) / float64(resp.Requests)
+	}
+	if p90, ok := s.shed.waitP90(); ok {
+		resp.QueueWaitP90MS = float64(p90) / float64(time.Millisecond)
+	}
+	if resp.Overloaded {
+		resp.Status = "overloaded"
+	}
+	hist := s.hist.snapshots()
+	resp.Snapshots = len(hist)
+	if r.URL.Query().Get("history") == "true" {
+		resp.History = hist
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {

@@ -117,12 +117,12 @@ func pollDone(t *testing.T, base, id string) ResultsResponse {
 
 func TestHealthz(t *testing.T) {
 	_, ts := startServer(t, Config{})
-	var out map[string]string
+	var out HealthzResponse
 	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &out); code != http.StatusOK {
 		t.Fatalf("healthz status %d", code)
 	}
-	if out["status"] != "ok" {
-		t.Fatalf("healthz body %v", out)
+	if out.Status != "ok" {
+		t.Fatalf("healthz body %+v", out)
 	}
 }
 

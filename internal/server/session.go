@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"vaq"
+	"vaq/internal/explain"
+	"vaq/internal/infer"
 	"vaq/internal/pool"
 	"vaq/internal/resilience"
 	"vaq/internal/trace"
@@ -38,6 +40,17 @@ type Session struct {
 	// stream was built outside the server path); its counters feed the
 	// degraded-result reporting. All reads are internally synchronized.
 	models *resilience.Models
+	// EXPLAIN collection (nil when the registry has no ring). The
+	// collector accumulates clip/predicate attribution as the engine
+	// runs; finish computes the infer/resilience deltas against the
+	// start snapshots and publishes the profile to exRing. Set before
+	// the session goroutine starts, read-only afterwards.
+	ex         *explain.Collector
+	exRing     *explain.Ring
+	started    time.Time
+	resStart   resilience.Stats
+	inferStats func() infer.Stats // nil without shared inference
+	inferStart infer.Stats
 
 	mu          sync.Mutex
 	changed     chan struct{}
@@ -155,11 +168,41 @@ func (s *Session) step(c int) error {
 }
 
 func (s *Session) finish(state string, err error) {
+	s.finalizeExplain()
 	s.mu.Lock()
 	s.state = state
 	s.failure = err
 	s.broadcastLocked()
 	s.mu.Unlock()
+}
+
+// finalizeExplain closes out the session's EXPLAIN profile: duration,
+// the infer/resilience deltas since session start, and publication to
+// the /explainz ring. Runs once, on the session goroutine, as part of
+// reaching a terminal state.
+func (s *Session) finalizeExplain() {
+	if s.ex == nil {
+		return
+	}
+	s.ex.SetDurUS(time.Since(s.started).Microseconds())
+	if s.models != nil {
+		s.ex.SetResilience(resilienceDelta(s.models.Stats(), s.resStart))
+	}
+	if s.inferStats != nil {
+		s.ex.SetInfer(inferDelta(s.inferStats(), s.inferStart))
+	}
+	s.exRing.Add(s.ex.Profile())
+}
+
+// ExplainProfile snapshots the session's EXPLAIN profile so far (the
+// infer/resilience deltas appear once the session reaches a terminal
+// state); nil when collection is off.
+func (s *Session) ExplainProfile() *explain.Profile {
+	if s.ex == nil {
+		return nil
+	}
+	p := s.ex.Profile()
+	return &p
 }
 
 // broadcastLocked wakes every waiter; callers hold mu.

@@ -48,8 +48,10 @@ func newShedWindow(threshold time.Duration) *shedWindow {
 }
 
 // observe records one pool-acquisition wait; wired via pool.SetObserver.
+// Samples are kept even when the shed threshold is disabled — /healthz
+// reports the p90 queue wait whether or not admission control is armed.
 func (sw *shedWindow) observe(wait time.Duration) {
-	if sw == nil || sw.threshold <= 0 {
+	if sw == nil {
 		return
 	}
 	sw.mu.Lock()
@@ -69,6 +71,16 @@ func (sw *shedWindow) overloaded() bool {
 	if sw == nil || sw.threshold <= 0 {
 		return false
 	}
+	p90, ok := sw.waitP90()
+	return ok && p90 >= sw.threshold
+}
+
+// waitP90 computes the p90 queue wait over the fresh samples; ok is
+// false with fewer than minSamp of them.
+func (sw *shedWindow) waitP90() (time.Duration, bool) {
+	if sw == nil {
+		return 0, false
+	}
 	cutoff := sw.now().Add(-sw.span)
 	sw.mu.Lock()
 	n := sw.next
@@ -83,11 +95,10 @@ func (sw *shedWindow) overloaded() bool {
 	}
 	sw.mu.Unlock()
 	if len(fresh) < sw.minSamp {
-		return false
+		return 0, false
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
-	p90 := fresh[len(fresh)*9/10]
-	return p90 >= sw.threshold
+	return fresh[len(fresh)*9/10], true
 }
 
 // shed counts one rejected request and returns the Retry-After hint in

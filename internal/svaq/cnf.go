@@ -6,6 +6,7 @@ import (
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
+	"vaq/internal/explain"
 	"vaq/internal/interval"
 	"vaq/internal/plan"
 	"vaq/internal/trace"
@@ -51,6 +52,9 @@ type CNFEngine struct {
 	cShots    *trace.Counter
 	cClips    *trace.Counter
 	stClip    *trace.Stage
+
+	// EXPLAIN collection (AttachExplain); see Engine.AttachExplain.
+	ex *explain.Collector
 }
 
 // AttachTrace wires the CNF engine to a tracer: per-clip spans with one
@@ -62,6 +66,24 @@ func (e *CNFEngine) AttachTrace(tr *trace.Tracer, parent trace.SpanID) {
 	e.cShots = tr.Counter("detect.shot_invocations")
 	e.cClips = tr.Counter("svaq.clips")
 	e.stClip = tr.Stage("svaq.clip")
+}
+
+// AttachExplain wires the CNF engine to an EXPLAIN collector; see
+// Engine.AttachExplain.
+func (e *CNFEngine) AttachExplain(c *explain.Collector) { e.ex = c }
+
+// explainPred feeds one per-label evaluation to the EXPLAIN collector.
+func (e *CNFEngine) explainPred(name string, planned bool, pos bool, units int, pr plan.Result) {
+	if e.ex == nil {
+		return
+	}
+	o := explain.PredObservation{Name: name, Positive: pos, Planned: planned, Units: units}
+	if planned {
+		o.BaseUnits = pr.BaseSampled
+		o.Rungs = pr.Rungs
+		o.Reason = pr.Reason
+	}
+	e.ex.ObservePredicate(o)
 }
 
 // NewCNF builds an engine for the given clauses.
@@ -171,6 +193,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 				e.planStats.Observe(w, pr)
 				pos = pr.Positive
 				err = lt.ObserveRun(pr.Sampled, pr.Count)
+				e.explainPred("obj:"+string(o), true, pos, pr.Sampled, pr)
 			}
 		} else {
 			count := 0
@@ -181,6 +204,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 			}
 			e.cFrames.Add(int64(frameHi - frameLo))
 			pos, err = lt.ObserveClip(count)
+			e.explainPred("obj:"+string(o), false, pos, int(frameHi-frameLo), plan.Result{})
 		}
 		predSpan.End()
 		if err != nil {
@@ -216,6 +240,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 				e.planStats.Observe(w, pr)
 				pos = pr.Positive
 				err = lt.ObserveRun(pr.Sampled, pr.Count)
+				e.explainPred("act:"+string(a), true, pos, pr.Sampled, pr)
 			}
 		} else {
 			count := 0
@@ -226,6 +251,7 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 			}
 			e.cShots.Add(int64(shotHi - shotLo))
 			pos, err = lt.ObserveClip(count)
+			e.explainPred("act:"+string(a), false, pos, int(shotHi-shotLo), plan.Result{})
 		}
 		predSpan.End()
 		if err != nil {
@@ -245,6 +271,21 @@ func (e *CNFEngine) ProcessClip(c video.ClipIdx) (bool, error) {
 		if !clause {
 			positive = false
 			break
+		}
+	}
+	// The CNF combination settles the clip from all per-label
+	// indicators at once; attribute it to whichever machinery produced
+	// them (the planner when armed, the scan statistic otherwise).
+	if e.ex != nil {
+		switch {
+		case positive && e.cfg.Plan.Enabled():
+			e.ex.ClipOutcome(explain.ClipPlanAccept)
+		case positive:
+			e.ex.ClipOutcome(explain.ClipScanAccept)
+		case e.cfg.Plan.Enabled():
+			e.ex.ClipOutcome(explain.ClipPlanPrune)
+		default:
+			e.ex.ClipOutcome(explain.ClipScanReject)
 		}
 	}
 	e.indicators = append(e.indicators, positive)

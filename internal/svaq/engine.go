@@ -17,6 +17,7 @@ import (
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
+	"vaq/internal/explain"
 	"vaq/internal/interval"
 	"vaq/internal/plan"
 	"vaq/internal/trace"
@@ -193,6 +194,10 @@ type Engine struct {
 	cShots    *trace.Counter
 	cClips    *trace.Counter
 	stClip    *trace.Stage
+
+	// EXPLAIN collection (AttachExplain); nil when off — the collector
+	// is nil-safe, the e.ex guards just skip building observations.
+	ex *explain.Collector
 }
 
 // AttachTrace wires the engine to a tracer: every subsequent clip
@@ -208,6 +213,12 @@ func (e *Engine) AttachTrace(tr *trace.Tracer, parent trace.SpanID) {
 	e.cClips = tr.Counter("svaq.clips")
 	e.stClip = tr.Stage("svaq.clip")
 }
+
+// AttachExplain wires the engine to an EXPLAIN collector: every
+// subsequent predicate evaluation and clip outcome is attributed to
+// its decision source and invocation layer. Call before the first
+// ProcessClip; a nil collector leaves collection off.
+func (e *Engine) AttachExplain(c *explain.Collector) { e.ex = c }
 
 // New builds an engine for query q over a stream with the given
 // geometry, using the supplied models.
@@ -351,7 +362,25 @@ func (e *Engine) evaluateClip(c video.ClipIdx) (ClipResult, error) {
 		}
 		e.observePass(ref, positive)
 		if !positive {
+			// The first failing predicate settles the clip; attribute the
+			// rejection to its decision machinery (relations always run
+			// dense, so they reject via the scan statistic even when the
+			// planner is armed).
+			if res.Positive && e.ex != nil {
+				if ref.kind != predRelation && e.cfg.Plan.Enabled() {
+					e.ex.ClipOutcome(explain.ClipPlanPrune)
+				} else {
+					e.ex.ClipOutcome(explain.ClipScanReject)
+				}
+			}
 			res.Positive = false
+		}
+	}
+	if res.Positive && e.ex != nil {
+		if e.cfg.Plan.Enabled() {
+			e.ex.ClipOutcome(explain.ClipPlanAccept)
+		} else {
+			e.ex.ClipOutcome(explain.ClipScanAccept)
 		}
 	}
 	return res, nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"vaq/internal/explain"
+	"vaq/internal/plan"
 	"vaq/internal/video"
 )
 
@@ -133,6 +135,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 			if err := lt.ObserveRun(pr.Sampled, pr.Count); err != nil {
 				return false, fmt.Errorf("svaq: object %q: %w", o, err)
 			}
+			e.explainPlanned(r, pr)
 			return pr.Positive, nil
 		}
 		count := 0
@@ -152,6 +155,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 		if err != nil {
 			return false, fmt.Errorf("svaq: object %q: %w", o, err)
 		}
+		e.explainDense(r, positive, int(frameHi-frameLo))
 		return positive, nil
 
 	case predRelation:
@@ -173,6 +177,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 		if err != nil {
 			return false, fmt.Errorf("svaq: relation %v: %w", rs.rd.Relation(), err)
 		}
+		e.explainDense(r, positive, int(frameHi-frameLo))
 		return positive, nil
 
 	default: // predAction
@@ -192,6 +197,7 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 			if err := e.actTrk.ObserveRun(pr.Sampled, pr.Count); err != nil {
 				return false, fmt.Errorf("svaq: action %q: %w", e.query.Action, err)
 			}
+			e.explainPlanned(r, pr)
 			return pr.Positive, nil
 		}
 		count := 0
@@ -211,8 +217,39 @@ func (e *Engine) evalPredicate(r predRef, c video.ClipIdx, res *ClipResult) (boo
 		if err != nil {
 			return false, fmt.Errorf("svaq: action %q: %w", e.query.Action, err)
 		}
+		e.explainDense(r, positive, int(shotHi-shotLo))
 		return positive, nil
 	}
+}
+
+// explainPlanned feeds one planned predicate evaluation to the EXPLAIN
+// collector (no-op when collection is off).
+func (e *Engine) explainPlanned(r predRef, pr plan.Result) {
+	if e.ex == nil {
+		return
+	}
+	e.ex.ObservePredicate(explain.PredObservation{
+		Name:      e.predName(r),
+		Positive:  pr.Positive,
+		Planned:   true,
+		Units:     pr.Sampled,
+		BaseUnits: pr.BaseSampled,
+		Rungs:     pr.Rungs,
+		Reason:    pr.Reason,
+	})
+}
+
+// explainDense feeds one dense predicate evaluation to the EXPLAIN
+// collector (no-op when collection is off).
+func (e *Engine) explainDense(r predRef, positive bool, units int) {
+	if e.ex == nil {
+		return
+	}
+	e.ex.ObservePredicate(explain.PredObservation{
+		Name:     e.predName(r),
+		Positive: positive,
+		Units:    units,
+	})
 }
 
 // predName is the human-readable name of one predicate stage, shared by

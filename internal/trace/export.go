@@ -145,9 +145,13 @@ func metricName(name string) string {
 	}, name)
 }
 
-// slowEntry is the one-line JSON shape of the slow-query log.
+// slowEntry is the one-line JSON shape of the slow-query log. ID is
+// the root span's "id" attribute when present (session or query id),
+// so slow-log lines correlate with /explainz profiles and /tracez
+// roots.
 type slowEntry struct {
 	Slow  string `json:"slow"`
+	ID    string `json:"id,omitempty"`
 	DurUS int64  `json:"dur_us"`
 	Spans int    `json:"spans"`
 	Tree  *Node  `json:"tree"`
@@ -170,7 +174,14 @@ func (t *Tracer) logSlow(root SpanRecord) {
 		tree = &Node{SpanRecord: root}
 		nspans = 1
 	}
-	line, err := json.Marshal(slowEntry{Slow: root.Name, DurUS: root.DurUS, Spans: nspans, Tree: tree})
+	id := ""
+	for _, a := range root.Attrs {
+		if a.Key == "id" {
+			id = a.Value
+			break
+		}
+	}
+	line, err := json.Marshal(slowEntry{Slow: root.Name, ID: id, DurUS: root.DurUS, Spans: nspans, Tree: tree})
 	if err != nil {
 		return
 	}

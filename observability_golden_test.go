@@ -1,0 +1,127 @@
+package vaq
+
+import (
+	"context"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"vaq/internal/detect"
+	"vaq/internal/infer"
+	"vaq/internal/resilience"
+	"vaq/internal/rvaq"
+	"vaq/internal/trace"
+)
+
+// This golden test keeps docs/OBSERVABILITY.md's counter catalogue and
+// the code in lockstep, in both directions: every counter any pipeline
+// registers must have a catalogue row, and every catalogued name must
+// still be registered by some code path. It works because counters
+// register at construction (trace.Tracer.Counter is a LoadOrStore, so
+// a registered-but-never-incremented counter still appears in the
+// Counters() snapshot at value 0) — exercising each subsystem once with
+// a tracer attached materialises its whole counter family.
+
+var backtickRE = regexp.MustCompile("`([^`]+)`")
+
+// catalogueCounters parses the "## Counter catalogue" table and returns
+// the backticked names from its first column. Rows may list several
+// names in one cell (`a`, `b`); the per-backend fault counters appear
+// as the single pattern token `resilience.faults.<backend>`.
+func catalogueCounters(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	in := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			in = strings.HasPrefix(line, "## Counter catalogue")
+			continue
+		}
+		if !in || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		for _, m := range backtickRE.FindAllStringSubmatch(cells[1], -1) {
+			names[m[1]] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no counters parsed from docs/OBSERVABILITY.md's catalogue table")
+	}
+	return names
+}
+
+func TestCounterCatalogueGolden(t *testing.T) {
+	want := catalogueCounters(t)
+	tr := trace.New()
+
+	// Online engine: detect.* and svaq.clips register at AttachTrace.
+	qs, det, rec := streamWorld(t, 0.1)
+	meta := qs.World.Truth.Meta
+	s, err := NewStreamQuery(qs.Query, det, rec, meta.Geom, StreamConfig{HorizonClips: meta.Clips()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachTrace(tr, 0)
+	if _, err := s.Run(meta.Clips()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingestion: ingest.* register from the context tracer.
+	ctx := trace.NewContext(context.Background(), tr)
+	truth := qs.World.Truth
+	vd, err := IngestVideoCtx(ctx, det, rec, truth.Meta, truth.ObjectLabels(), truth.ActionLabels(), IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared inference and resilience register their whole families at
+	// construction when handed a tracer — no traffic needed.
+	sh := infer.MustNew(infer.Config{Tracer: tr, CacheCapacity: 64})
+	_ = resilience.WrapFallible(
+		sh.Object(detect.AsFallibleObject(det)),
+		sh.Action(detect.AsFallibleAction(rec)),
+		resilience.DefaultPolicy(), resilience.Options{Tracer: tr})
+
+	// Offline top-k registers the rvaq.* family.
+	if _, _, err := rvaq.TopKCtx(ctx, vd, qs.Query, 3, rvaq.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	// rvaq.partial_results registers only on the deadline-partial
+	// branch: run again under an already-expired deadline.
+	dctx, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel()
+	popts := rvaq.DefaultOptions()
+	popts.Partial = true
+	if _, stats, err := rvaq.TopKCtx(dctx, vd, qs.Query, 3, popts); err != nil || !stats.Incomplete {
+		t.Fatalf("expired-deadline partial run: incomplete=%v err=%v", stats.Incomplete, err)
+	}
+
+	got := map[string]bool{}
+	for name := range tr.Counters() {
+		if strings.HasPrefix(name, "resilience.faults.") {
+			name = "resilience.faults.<backend>"
+		}
+		got[name] = true
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("counter %q is registered by the code but missing from docs/OBSERVABILITY.md's catalogue", name)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("docs/OBSERVABILITY.md catalogues %q but this test registered no such counter", name)
+		}
+	}
+}

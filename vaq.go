@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,6 +41,7 @@ import (
 
 	"vaq/internal/annot"
 	"vaq/internal/detect"
+	"vaq/internal/explain"
 	"vaq/internal/infer"
 	"vaq/internal/ingest"
 	"vaq/internal/interval"
@@ -302,6 +304,38 @@ func (s *Stream) AttachTrace(tr *Tracer, parent trace.SpanID) {
 	s.cnf.AttachTrace(tr, parent)
 }
 
+// ExplainCollector accumulates one query's EXPLAIN profile (package
+// internal/explain): every settled clip attributed to its decision
+// source, every detector invocation to the layer that issued it, and —
+// for top-k — the τ_top / B_lo^K bound trajectory. A nil
+// *ExplainCollector is valid everywhere and records nothing, so
+// collection costs only nil checks when off.
+type ExplainCollector = explain.Collector
+
+// ExplainProfile is one query's assembled EXPLAIN record; see
+// docs/EXPLAIN.md for the schema and decision taxonomy.
+type ExplainProfile = explain.Profile
+
+// NewExplainCollector builds a collector for one query. kind labels the
+// profile: "online" for stream sessions, "topk" for offline queries.
+func NewExplainCollector(kind string) *ExplainCollector { return explain.NewCollector(kind) }
+
+// RenderExplain writes a profile as the human-readable tree the CLIs
+// print under -explain.
+func RenderExplain(w io.Writer, p ExplainProfile) { explain.Render(w, p) }
+
+// AttachExplain wires the stream to an EXPLAIN collector: every
+// subsequent clip evaluation attributes its outcome and detector units
+// to the profile. A nil collector records nothing. Call before
+// ProcessClip.
+func (s *Stream) AttachExplain(c *ExplainCollector) {
+	if s.simple != nil {
+		s.simple.AttachExplain(c)
+		return
+	}
+	s.cnf.AttachExplain(c)
+}
+
 // ProcessClip evaluates the next clip (fed in order from 0) and reports
 // whether it satisfies the query.
 func (s *Stream) ProcessClip(c int) (bool, error) {
@@ -493,6 +527,10 @@ type ExecOptions struct {
 	// multiplied by (1 − DegradedDiscount) and matching results carry
 	// TopKResult.Degraded. 0 disables.
 	DegradedDiscount float64
+	// Explain, when non-nil, collects the query's EXPLAIN profile
+	// (bound trajectory, pruning, cache and access attribution). Global
+	// and multi-video paths share the one collector across shards.
+	Explain *ExplainCollector
 }
 
 func (eo ExecOptions) ctx() context.Context {
@@ -531,6 +569,7 @@ func (eo ExecOptions) rvaqOptions(videoName string) rvaq.Options {
 	opts.Partial = eo.Partial
 	opts.DegradedDiscount = eo.DegradedDiscount
 	opts.Densify = eo.Densifiers[videoName]
+	opts.Explain = eo.Explain
 	return opts
 }
 
