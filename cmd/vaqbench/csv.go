@@ -192,6 +192,27 @@ func (s *csvSink) plan(res *experiments.PlanResult) error {
 	}, out)
 }
 
+func (s *csvSink) brownout(res *experiments.BrownoutResult) error {
+	traj := make([][]string, len(res.Trajectory))
+	for i, r := range res.Trajectory {
+		traj[i] = []string{
+			fint(r.Step), ffloat(r.P90MS), r.Level,
+			strconv.FormatBool(r.Transitioned), strconv.FormatBool(res.Deterministic),
+		}
+	}
+	if err := s.write("brownout", []string{"step", "p90_ms", "level", "transitioned", "deterministic"}, traj); err != nil {
+		return err
+	}
+	levels := make([][]string, len(res.Levels))
+	for i, r := range res.Levels {
+		levels[i] = []string{
+			r.Level, ffloat(r.F1), ffloat(r.USPerClip),
+			fint64(r.Fallbacks), fint(r.DegradedUnits),
+		}
+	}
+	return s.write("brownout_levels", []string{"level", "f1", "us_per_clip", "fallbacks", "degraded_units"}, levels)
+}
+
 func (s *csvSink) traceOverhead(rows []experiments.TraceOverheadResult) error {
 	out := make([][]string, len(rows))
 	for i, r := range rows {

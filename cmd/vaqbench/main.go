@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig2, fig3, table3, table4, table5, fig4, fig5 (alias
 // fig45), runtime, drift, table6, table7, table8, parallel, ablation,
-// trace-overhead, explain, chaos, hedge, manysessions, plan.
+// trace-overhead, explain, chaos, hedge, manysessions, plan, brownout.
 package main
 
 import (
@@ -170,6 +170,13 @@ func main() {
 				return err
 			}
 			return sink.plan(res)
+		}},
+		{[]string{"brownout"}, func() error {
+			res, err := ctx.Brownout()
+			if err != nil {
+				return err
+			}
+			return sink.brownout(res)
 		}},
 		{[]string{"ablation"}, func() error {
 			if _, err := ctx.AblationShortCircuit(); err != nil {

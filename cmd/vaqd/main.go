@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"vaq"
+	"vaq/internal/brownout"
 	"vaq/internal/fault"
 	"vaq/internal/resilience"
 	"vaq/internal/server"
@@ -47,6 +48,9 @@ func main() {
 		slowFlag     = flag.Duration("slow-query", 0, "log root spans slower than this to stderr as one-line JSON (0 = off)")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		shedFlag     = flag.Duration("shed-wait", 0, "shed create/top-k requests (503 + Retry-After) when the p90 worker-queue wait reaches this (0 = off)")
+		brownFlag    = flag.Duration("brownout", 0, "arm the brownout ladder: step the degradation level up when the p90 worker-queue wait reaches this (0 = off)")
+		brownLoFlag  = flag.Duration("brownout-low", 0, "step the brownout level back down when the p90 wait falls to this (0 = half of -brownout)")
+		brownDwFlag  = flag.Duration("brownout-dwell", 0, "minimum time between brownout level changes (0 = default 2s)")
 		retriesFlag  = flag.Int("retries", resilience.DefaultPolicy().MaxRetries, "detector retry budget per invocation")
 		brkFailFlag  = flag.Int("breaker-failures", resilience.DefaultPolicy().BreakerFailures, "consecutive detector failures that open the circuit breaker (0 = off)")
 		brkCoolFlag  = flag.Duration("breaker-cooldown", resilience.DefaultPolicy().BreakerCooldown, "how long an open breaker rejects before a half-open probe")
@@ -94,6 +98,26 @@ func main() {
 	}
 	if *hedgeFlag != 0 && (*hedgeFlag <= 0 || *hedgeFlag >= 1) {
 		fatal(fmt.Errorf("-hedge-quantile must be in (0, 1), got %v", *hedgeFlag))
+	}
+	if *brownLoFlag < 0 || *brownDwFlag < 0 || *brownFlag < 0 {
+		fatal(fmt.Errorf("-brownout flags must be non-negative"))
+	}
+	if *brownFlag == 0 && (*brownLoFlag > 0 || *brownDwFlag > 0) {
+		fatal(fmt.Errorf("-brownout-low and -brownout-dwell require -brownout"))
+	}
+	if *brownFlag > 0 {
+		if *brownLoFlag >= *brownFlag {
+			fatal(fmt.Errorf("-brownout-low (%v) must be below -brownout (%v)", *brownLoFlag, *brownFlag))
+		}
+		cfg.Brownout = brownout.Config{High: *brownFlag, Low: *brownLoFlag, Dwell: *brownDwFlag}
+		lo, dw := *brownLoFlag, *brownDwFlag
+		if lo <= 0 {
+			lo = *brownFlag / 2
+		}
+		if dw <= 0 {
+			dw = brownout.DefaultDwell
+		}
+		fmt.Printf("vaqd: brownout ladder armed: high %v, low %v, dwell %v\n", *brownFlag, lo, dw)
 	}
 	// Sizing bugs are fatal at startup, not deferred to the first session
 	// that exercises them.

@@ -109,10 +109,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("ingest %s: %w", name, err))
 		}
-		// Degraded units persist with the video: vaqtopk and /v1/topk can
-		// then flag (and optionally discount) sequences built on them.
-		vd.DegradedFrames = models.Det.DegradedFrames()
-		vd.DegradedShots = models.Rec.DegradedShots()
+		// Degraded units persist with the video, hop-by-hop: vaqtopk and
+		// /v1/topk can then flag sequences built on them and discount each
+		// clip by the fallback hop that actually served it.
+		vd.SetDegradedFrames(models.Det.DegradedHops())
+		vd.SetDegradedShots(models.Rec.DegradedHops())
 		if err := repo.Add(name, vd); err != nil {
 			fatal(err)
 		}

@@ -14,6 +14,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"vaq"
 	"vaq/internal/annot"
@@ -47,13 +49,19 @@ type statLabel struct {
 
 // statVideo is one video's entry in the JSON document.
 type statVideo struct {
-	Name         string      `json:"name"`
-	Frames       int         `json:"frames"`
-	Clips        int         `json:"clips"`
-	ClipLen      int         `json:"clip_len"`
-	ShotsPerClip int         `json:"shots_per_clip"`
-	Tracks       int         `json:"tracks"`
-	Labels       []statLabel `json:"labels"`
+	Name         string `json:"name"`
+	Frames       int    `json:"frames"`
+	Clips        int    `json:"clips"`
+	ClipLen      int    `json:"clip_len"`
+	ShotsPerClip int    `json:"shots_per_clip"`
+	Tracks       int    `json:"tracks"`
+	// DegradedFrames/DegradedShots count units the ingest-time fallback
+	// served; DegradedHops breaks them down by 1-based chain hop ("0"
+	// collects legacy units with no recorded hop).
+	DegradedFrames int            `json:"degraded_frames,omitempty"`
+	DegradedShots  int            `json:"degraded_shots,omitempty"`
+	DegradedHops   map[string]int `json:"degraded_hops,omitempty"`
+	Labels         []statLabel    `json:"labels"`
 }
 
 // statDoc is the vaqstat -json document.
@@ -117,6 +125,9 @@ func videoStats(name string, vd *ingest.VideoData, label annot.Label) statVideo 
 		Tracks:       vd.TracksOpened,
 		Labels:       []statLabel{},
 	}
+	sv.DegradedFrames = len(vd.DegradedFrames)
+	sv.DegradedShots = len(vd.DegradedShots)
+	sv.DegradedHops = hopCounts(vd)
 	addGroup := func(kind string, tabs map[annot.Label]tables.Table, seqs map[annot.Label]interval.Set) {
 		labels := make([]string, 0, len(tabs))
 		for l := range tabs {
@@ -148,10 +159,39 @@ func videoStats(name string, vd *ingest.VideoData, label annot.Label) statVideo 
 	return sv
 }
 
+// hopCounts tallies the video's degraded units by fallback hop. Units
+// recorded before hop persistence land under "0" (hop unknown).
+func hopCounts(vd *ingest.VideoData) map[string]int {
+	if len(vd.DegradedFrames) == 0 && len(vd.DegradedShots) == 0 {
+		return nil
+	}
+	out := map[string]int{}
+	for _, f := range vd.DegradedFrames {
+		out[strconv.Itoa(vd.DegradedFrameHops[f])]++
+	}
+	for _, s := range vd.DegradedShots {
+		out[strconv.Itoa(vd.DegradedShotHops[s])]++
+	}
+	return out
+}
+
 func printVideo(name string, vd *ingest.VideoData, label annot.Label) {
 	meta := vd.Meta
 	fmt.Printf("%s: %d frames, %d clips (%d-frame clips of %d shots), %d tracks\n",
 		name, meta.Frames, meta.Clips(), meta.Geom.ClipLen(), meta.Geom.ShotsPerClip, vd.TracksOpened)
+	if hops := hopCounts(vd); hops != nil {
+		keys := make([]string, 0, len(hops))
+		for h := range hops {
+			keys = append(keys, h)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, h := range keys {
+			parts = append(parts, fmt.Sprintf("hop %s: %d", h, hops[h]))
+		}
+		fmt.Printf("  degraded: %d frames, %d shots (%s)\n",
+			len(vd.DegradedFrames), len(vd.DegradedShots), strings.Join(parts, ", "))
+	}
 	if label != "" {
 		printLabel(vd, label)
 		fmt.Println()

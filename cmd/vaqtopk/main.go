@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 		deadlineFlag = flag.Duration("deadline", 0, "bound the whole query (0 = none)")
 		partialFlag  = flag.Bool("partial", false, "on deadline expiry return the best-so-far ranking flagged incomplete instead of failing")
 		discountFlag = flag.Float64("discount", 0, "down-weight clips the repository marked degraded at ingest by this factor in (0, 1] and flag matching results (0 = off)")
+		hopDiscFlag  = flag.String("hop-discounts", "", "comma-separated per-hop discount factors in [0, 1]: entry h discounts clips whose worst degraded unit came from fallback hop h (mutually exclusive with -discount)")
 		batchWFlag   = flag.Duration("batch-window", 0, "micro-batch same-label detector calls during -synth ingestion (0 = off)")
 		batchNFlag   = flag.Int("batch-max", infer.DefaultBatchMax, "max units per micro-batched detector call")
 		planRFlag    = flag.Int("plan-rate", 0, "coarse-to-fine sampling during -synth ingestion: base rate 1-in-N (0 = dense, 1 = dense through the planner)")
@@ -60,6 +62,22 @@ func main() {
 	flag.Parse()
 	if *discountFlag < 0 || *discountFlag > 1 {
 		fatal(fmt.Errorf("-discount must be in [0, 1], got %v", *discountFlag))
+	}
+	var hopDiscounts []float64
+	if *hopDiscFlag != "" {
+		if *discountFlag > 0 {
+			fatal(fmt.Errorf("-discount and -hop-discounts are mutually exclusive"))
+		}
+		for _, s := range strings.Split(*hopDiscFlag, ",") {
+			d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(fmt.Errorf("-hop-discounts: %w", err))
+			}
+			if d < 0 || d > 1 {
+				fatal(fmt.Errorf("-hop-discounts entries must be in [0, 1], got %v", d))
+			}
+			hopDiscounts = append(hopDiscounts, d)
+		}
 	}
 	if *batchNFlag <= 0 {
 		fatal(fmt.Errorf("-batch-max must be positive, got %d", *batchNFlag))
@@ -92,7 +110,7 @@ func main() {
 			tr.WriteVarz(out)
 		}()
 	}
-	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx, Deadline: *deadlineFlag, Partial: *partialFlag, DegradedDiscount: *discountFlag}
+	eo := vaq.ExecOptions{Workers: *workersFlag, Ctx: ctx, Deadline: *deadlineFlag, Partial: *partialFlag, DegradedDiscount: *discountFlag, HopDiscounts: hopDiscounts}
 
 	q := vaq.Query{Action: vaq.Label(*actionFlag)}
 	for _, o := range strings.Split(*objectsFlag, ",") {

@@ -40,8 +40,8 @@ func degradedRepo(t *testing.T) (*Repository, Query) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vd.DegradedFrames = models.Det.DegradedFrames()
-	vd.DegradedShots = models.Rec.DegradedShots()
+	vd.SetDegradedFrames(models.Det.DegradedHops())
+	vd.SetDegradedShots(models.Rec.DegradedHops())
 	if len(vd.DegradedFrames) == 0 && len(vd.DegradedShots) == 0 {
 		t.Fatal("no degraded units under a 70% error burst; the fault injector is not engaged")
 	}
@@ -68,6 +68,13 @@ func degradedRepo(t *testing.T) (*Repository, Query) {
 		!reflect.DeepEqual(loaded.DegradedShots, vd.DegradedShots) {
 		t.Fatalf("degraded sets did not survive the disk round-trip:\nframes %v vs %v\nshots %v vs %v",
 			loaded.DegradedFrames, vd.DegradedFrames, loaded.DegradedShots, vd.DegradedShots)
+	}
+	// The per-unit fallback hops must survive too — hop-aware
+	// discounting reads them from the manifest, never from memory.
+	if !reflect.DeepEqual(loaded.DegradedFrameHops, vd.DegradedFrameHops) ||
+		!reflect.DeepEqual(loaded.DegradedShotHops, vd.DegradedShotHops) {
+		t.Fatalf("degraded hops did not survive the disk round-trip:\nframes %v vs %v\nshots %v vs %v",
+			loaded.DegradedFrameHops, vd.DegradedFrameHops, loaded.DegradedShotHops, vd.DegradedShotHops)
 	}
 	return reopened, qs.Query
 }
@@ -122,6 +129,54 @@ func TestDegradedIngestPersistsAndDiscounts(t *testing.T) {
 	}
 	if flagged == 0 {
 		t.Error("discount on: no ranked sequence flagged degraded (raise k or the fault rate if the workload changed)")
+	}
+}
+
+// TestHopDiscountsEndToEnd drives the per-hop discount table down the
+// same vaqingest → vaqtopk path: the persisted hops are visible to
+// offline top-k, degraded sequences are down-weighted and flagged, and
+// mixing the flat and per-hop forms is rejected.
+func TestHopDiscountsEndToEnd(t *testing.T) {
+	repo, q := degradedRepo(t)
+	const k = 8
+
+	off, _, err := repo.TopKOpts("q2", q, k, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, onStats, err := repo.TopKOpts("q2", q, k, ExecOptions{HopDiscounts: []float64{0.3, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onStats.DegradedClips == 0 {
+		t.Fatal("hop table on: repository's degraded clips invisible to top-k")
+	}
+	offScore := make(map[Sequence]float64, len(off))
+	for _, r := range off {
+		offScore[r.Seq] = r.Score
+	}
+	flagged := 0
+	for _, r := range on {
+		raw, shared := offScore[r.Seq]
+		if r.Degraded {
+			flagged++
+			if shared && r.Score >= raw {
+				t.Errorf("degraded sequence %v not down-weighted: %v vs raw %v", r.Seq, r.Score, raw)
+			}
+		} else if shared && r.Score != raw {
+			t.Errorf("clean sequence %v rescored under the hop table: %v vs %v", r.Seq, r.Score, raw)
+		}
+	}
+	if flagged == 0 {
+		t.Error("hop table on: no ranked sequence flagged degraded")
+	}
+
+	if _, _, err := repo.TopKOpts("q2", q, 3,
+		ExecOptions{DegradedDiscount: 0.5, HopDiscounts: []float64{0.3}}); err == nil {
+		t.Error("mixing DegradedDiscount and HopDiscounts accepted, want error")
+	}
+	if _, _, err := repo.TopKOpts("q2", q, 3, ExecOptions{HopDiscounts: []float64{1.2}}); err == nil {
+		t.Error("hop discount entry above 1 accepted, want error")
 	}
 }
 

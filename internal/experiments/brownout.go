@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vaq/internal/brownout"
+	"vaq/internal/detect"
+	"vaq/internal/resilience"
+	"vaq/internal/svaq"
+)
+
+// BrownoutTrajRow is one step of the load-ramp trajectory: the p90
+// queue-wait signal fed to the controller and the ladder level in
+// force afterwards.
+type BrownoutTrajRow struct {
+	Step         int
+	P90MS        float64
+	Level        string
+	Transitioned bool // this step moved the ladder
+}
+
+// BrownoutLevelRow is one ladder level's quality/latency point: the
+// online engine run with every session backend pinned to the level's
+// resilience posture.
+type BrownoutLevelRow struct {
+	Level         string
+	F1            float64
+	USPerClip     float64
+	Fallbacks     int64
+	DegradedUnits int
+}
+
+// BrownoutResult bundles the brownout experiment: the hysteretic level
+// trajectory under a deterministic load ramp (byte-identical across
+// two runs when Deterministic) and the accuracy/latency each ladder
+// level trades away.
+type BrownoutResult struct {
+	Clips         int
+	Deterministic bool
+	Trajectory    []BrownoutTrajRow
+	Levels        []BrownoutLevelRow
+}
+
+// brownoutRamp is the synthetic p90 queue-wait trace: quiet, a climb
+// through the High threshold to 3x, a plateau, then decay back to
+// calm. One sample per simulated second.
+func brownoutRamp(high time.Duration) []time.Duration {
+	var ramp []time.Duration
+	for i := 0; i < 4; i++ {
+		ramp = append(ramp, high/10)
+	}
+	for i := 1; i <= 12; i++ {
+		ramp = append(ramp, high*time.Duration(i)/4)
+	}
+	for i := 0; i < 6; i++ {
+		ramp = append(ramp, high*3)
+	}
+	for i := 12; i >= 0; i-- {
+		ramp = append(ramp, high*time.Duration(i)/4)
+	}
+	for i := 0; i < 6; i++ {
+		ramp = append(ramp, 0)
+	}
+	return ramp
+}
+
+// runRamp walks one controller over the ramp under a fake clock that
+// advances one second per sample, so the trajectory depends only on
+// the thresholds and the dwell — never the host's wall clock.
+func runRamp(high time.Duration) ([]BrownoutTrajRow, error) {
+	clock := time.Unix(0, 0)
+	ctl, err := brownout.New(brownout.Config{
+		High:  high,
+		Dwell: 2 * time.Second,
+		Now:   func() time.Time { return clock },
+	}, brownout.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ramp := brownoutRamp(high)
+	rows := make([]BrownoutTrajRow, 0, len(ramp))
+	prev := brownout.LevelFull
+	for i, p90 := range ramp {
+		clock = clock.Add(time.Second)
+		lvl := ctl.Observe(p90, true)
+		rows = append(rows, BrownoutTrajRow{
+			Step:         i,
+			P90MS:        float64(p90) / float64(time.Millisecond),
+			Level:        lvl.String(),
+			Transitioned: lvl != prev,
+		})
+		prev = lvl
+	}
+	return rows, nil
+}
+
+// levelMode maps a ladder level to the resilience posture the server
+// pins session backends to (LevelShed serves nothing — the experiment
+// measures it as ModePrior, what in-flight sessions still drain at).
+func levelMode(l brownout.Level) resilience.Mode {
+	switch {
+	case l >= brownout.LevelPrior:
+		return resilience.ModePrior
+	case l == brownout.LevelCheap:
+		return resilience.ModeCheap
+	case l == brownout.LevelNoHedge:
+		return resilience.ModeNoHedge
+	}
+	return resilience.ModeFull
+}
+
+// Brownout measures the degradation ladder twice over: the control
+// side (a deterministic load ramp walked through the hysteretic
+// controller, twice, to pin the trajectory) and the data side (the
+// online engine run with backends pinned at each level, to price the
+// quality each rung trades for headroom).
+func (c *Context) Brownout() (*BrownoutResult, error) {
+	const high = 100 * time.Millisecond
+
+	traj, err := runRamp(high)
+	if err != nil {
+		return nil, err
+	}
+	again, err := runRamp(high)
+	if err != nil {
+		return nil, err
+	}
+	deterministic := len(traj) == len(again)
+	for i := range traj {
+		if !deterministic || traj[i] != again[i] {
+			deterministic = false
+			break
+		}
+	}
+
+	qs, err := c.youtube("q2")
+	if err != nil {
+		return nil, err
+	}
+	scene := qs.World.Scene()
+	meta := qs.World.Truth.Meta
+	nclips := meta.Clips()
+	truth, err := qs.World.Truth.GroundTruthClips(qs.Query)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BrownoutResult{Clips: nclips, Deterministic: deterministic, Trajectory: traj}
+	c.printf("Brownout (ladder trajectory over a %d-step ramp, high %v; per-level quality on %d clips):\n",
+		len(traj), high, nclips)
+	prev := ""
+	for _, r := range traj {
+		if r.Transitioned || prev == "" {
+			c.printf("  step %3d  p90 %6.1f ms  -> %s\n", r.Step, r.P90MS, r.Level)
+		}
+		prev = r.Level
+	}
+	c.printf("  trajectory deterministic across two runs: %v\n", deterministic)
+
+	for _, lvl := range brownout.Levels() {
+		mode := &resilience.ModeVar{}
+		mode.Set(levelMode(lvl))
+		// The chain's one cheap hop is the YOLOv3 profile, so
+		// cheap-profile differs measurably from both full and prior-only.
+		opt := resilience.Options{
+			Mode: mode,
+			FallbackObjects: []detect.FallibleObjectDetector{
+				detect.AsFallibleObject(detect.NewSimObjectDetector(scene, detect.YOLOv3, nil)),
+			},
+			FallbackActions: []detect.FallibleActionRecognizer{
+				detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, detect.I3D, nil)),
+			},
+		}
+		pol := resilience.DefaultPolicy()
+		pol.Seed = 7
+		m := resilience.WrapFallible(
+			detect.AsFallibleObject(detect.NewSimObjectDetector(scene, c.ObjProfile, nil)),
+			detect.AsFallibleAction(detect.NewSimActionRecognizer(scene, c.ActProfile, nil)),
+			pol, opt)
+		eng, err := svaq.New(qs.Query, m.Det, m.Rec, meta.Geom, svaq.Config{
+			Dynamic: true, HorizonClips: nclips,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		seqs, err := eng.Run(nclips)
+		if err != nil {
+			return nil, fmt.Errorf("level %s: %w", lvl, err)
+		}
+		d := time.Since(start)
+		st := m.Stats()
+		row := BrownoutLevelRow{
+			Level:         lvl.String(),
+			F1:            f1(seqs, truth),
+			USPerClip:     float64(d.Microseconds()) / float64(nclips),
+			Fallbacks:     st.Fallbacks,
+			DegradedUnits: st.DegradedUnits,
+		}
+		res.Levels = append(res.Levels, row)
+		c.printf("  level %-13s F1 %.3f  %8.1f µs/clip  fallbacks %6d  degraded %6d\n",
+			row.Level, row.F1, row.USPerClip, row.Fallbacks, row.DegradedUnits)
+	}
+	return res, nil
+}

@@ -159,6 +159,10 @@ type Profile struct {
 	Query    string `json:"query,omitempty"`
 	Workload string `json:"workload,omitempty"`
 	DurUS    int64  `json:"dur_us,omitempty"`
+	// Brownout is the degradation-ladder level in force when the query
+	// finished (empty when the server runs without a brownout
+	// controller).
+	Brownout string `json:"brownout,omitempty"`
 
 	// Clips attributes each settled clip to its decision source.
 	Clips map[string]int64 `json:"clips,omitempty"`
@@ -245,6 +249,16 @@ func (c *Collector) SetWorkload(w string) {
 	}
 	c.mu.Lock()
 	c.p.Workload = w
+	c.mu.Unlock()
+}
+
+// SetBrownout records the brownout ladder level in force at finish.
+func (c *Collector) SetBrownout(level string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.p.Brownout = level
 	c.mu.Unlock()
 }
 

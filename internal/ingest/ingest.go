@@ -118,6 +118,15 @@ type VideoData struct {
 	// scores derived from degraded units.
 	DegradedFrames []int
 	DegradedShots  []int
+	// DegradedFrameHops / DegradedShotHops map each degraded unit to
+	// the 1-based fallback-chain hop that served it (1..len(chain) are
+	// the configured profiles, len(chain)+1 the prior sampler) — the
+	// per-unit quality record hop-aware score discounting reads. Nil
+	// for clean ingests and for repositories written before hops were
+	// persisted; such legacy units carry hop 0 ("unknown") and are
+	// discounted at the table's worst entry.
+	DegradedFrameHops map[int]int
+	DegradedShotHops  map[int]int
 	// Plan records the adaptive-sampling state of a planned ingest
 	// (which clips hold lower-bound scores and how loose they can be);
 	// nil after a dense — or fully densified — ingest.
@@ -139,6 +148,33 @@ func DegradedUnits(m map[int]int) []int {
 	return out
 }
 
+// SetDegradedFrames records the degraded frame set from a resilience
+// hop map (Detector.DegradedHops): the sorted index list plus the
+// per-unit hops, kept in lockstep so the manifest never persists one
+// without the other.
+func (vd *VideoData) SetDegradedFrames(hops map[int]int) {
+	vd.DegradedFrames = DegradedUnits(hops)
+	vd.DegradedFrameHops = copyHops(hops)
+}
+
+// SetDegradedShots mirrors SetDegradedFrames for shots
+// (Recognizer.DegradedHops).
+func (vd *VideoData) SetDegradedShots(hops map[int]int) {
+	vd.DegradedShots = DegradedUnits(hops)
+	vd.DegradedShotHops = copyHops(hops)
+}
+
+func copyHops(m map[int]int) map[int]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]int, len(m))
+	for u, hop := range m {
+		out[u] = hop
+	}
+	return out
+}
+
 // DegradedClips maps the degraded frame and shot sets onto the clips
 // whose materialized scores they fed (frame → clip via the clip length,
 // shot → clip via shots-per-clip). Nil when the video ingested cleanly.
@@ -154,6 +190,38 @@ func (vd *VideoData) DegradedClips() map[int32]bool {
 	}
 	for _, s := range vd.DegradedShots {
 		out[int32(g.ClipOfShot(video.ShotIdx(s)))] = true
+	}
+	return out
+}
+
+// DegradedClipHops maps each degraded clip to the worst (highest)
+// fallback hop among the degraded units that fed its scores — the
+// pessimistic choice, since a clip is only as trustworthy as its least
+// trustworthy input. Units recorded without hop information (legacy
+// manifests) contribute hop 0, which discount tables treat as
+// "unknown, assume the worst". Nil when the video ingested cleanly.
+func (vd *VideoData) DegradedClipHops() map[int32]int {
+	if len(vd.DegradedFrames) == 0 && len(vd.DegradedShots) == 0 {
+		return nil
+	}
+	g := vd.Meta.Geom
+	out := make(map[int32]int, len(vd.DegradedFrames)+len(vd.DegradedShots))
+	note := func(cid int32, hop int) {
+		old, seen := out[cid]
+		switch {
+		case !seen:
+			out[cid] = hop
+		case old == 0 || hop == 0:
+			out[cid] = 0 // an unknown hop anywhere taints the clip
+		case hop > old:
+			out[cid] = hop
+		}
+	}
+	for _, f := range vd.DegradedFrames {
+		note(int32(g.ClipOfFrame(video.FrameIdx(f))), vd.DegradedFrameHops[f])
+	}
+	for _, s := range vd.DegradedShots {
+		note(int32(g.ClipOfShot(video.ShotIdx(s))), vd.DegradedShotHops[s])
 	}
 	return out
 }

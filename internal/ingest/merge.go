@@ -107,6 +107,20 @@ func Merge(videos []*VideoData, names []string) (*Merged, error) {
 		for _, s := range vd.DegradedShots {
 			out.DegradedShots = append(out.DegradedShots, s+base*geom.ShotsPerClip)
 		}
+		// Per-unit hops shift with the same offsets; the hop values
+		// themselves are namespace-free (they index the fallback chain).
+		for f, hop := range vd.DegradedFrameHops {
+			if out.DegradedFrameHops == nil {
+				out.DegradedFrameHops = map[int]int{}
+			}
+			out.DegradedFrameHops[f+base*geom.ClipLen()] = hop
+		}
+		for s, hop := range vd.DegradedShotHops {
+			if out.DegradedShotHops == nil {
+				out.DegradedShotHops = map[int]int{}
+			}
+			out.DegradedShotHops[s+base*geom.ShotsPerClip] = hop
+		}
 		// Planned-ingest slack shifts with the namespace too, so a merged
 		// top-k keeps the same sound bounds as the per-video runs. The
 		// unit caps must agree across videos — they describe the model

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"reflect"
 	"testing"
 
 	"vaq/internal/annot"
@@ -79,6 +80,46 @@ func TestMergeValidation(t *testing.T) {
 	b.Meta.Geom.ShotLen = 20
 	if _, err := Merge([]*VideoData{a, b}, []string{"A", "B"}); err == nil {
 		t.Error("geometry mismatch accepted")
+	}
+}
+
+// TestMergeRemapsDegradedHops verifies the per-unit fallback hops ride
+// the clip-namespace shift: unit indices move by the span base, hop
+// values (chain positions) stay as recorded, and the per-clip worst-hop
+// view lands on the merged clip ids.
+func TestMergeRemapsDegradedHops(t *testing.T) {
+	a, b := mergeScenes(t)
+	g := a.Meta.Geom
+	// a: frame 1003 (clip 20) at hop 1, shot 101 (also clip 20) at hop 2.
+	a.SetDegradedFrames(map[int]int{1003: 1})
+	a.SetDegradedShots(map[int]int{101: 2})
+	// b: frame 5007 (clip 100) at hop 3, frame 5100 (clip 102) hop-unknown.
+	b.SetDegradedFrames(map[int]int{5007: 3, 5100: 0})
+
+	m, err := Merge([]*VideoData{a, b}, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Spans[1].Base // 201
+	wantFrames := map[int]int{
+		1003:                    1,
+		5007 + base*g.ClipLen(): 3,
+		5100 + base*g.ClipLen(): 0,
+	}
+	wantShots := map[int]int{101: 2}
+	if !reflect.DeepEqual(m.DegradedFrameHops, wantFrames) {
+		t.Errorf("merged frame hops = %v, want %v", m.DegradedFrameHops, wantFrames)
+	}
+	if !reflect.DeepEqual(m.DegradedShotHops, wantShots) {
+		t.Errorf("merged shot hops = %v, want %v", m.DegradedShotHops, wantShots)
+	}
+	wantClips := map[int32]int{
+		20:                2, // worst of frame hop 1 and shot hop 2
+		int32(base + 100): 3,
+		int32(base + 102): 0, // unknown stays unknown
+	}
+	if got := m.DegradedClipHops(); !reflect.DeepEqual(got, wantClips) {
+		t.Errorf("merged clip hops = %v, want %v", got, wantClips)
 	}
 }
 

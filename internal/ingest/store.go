@@ -36,6 +36,13 @@ type manifest struct {
 	// fallback chain served during ingestion (absent for clean ingests).
 	DegradedFrames []int `json:"degraded_frames,omitempty"`
 	DegradedShots  []int `json:"degraded_shots,omitempty"`
+	// DegradedFrameHops / DegradedShotHops persist each degraded
+	// unit's fallback hop (JSON object keys are strings, so the int
+	// unit indices round-trip through strconv like the plan's clip
+	// ids). Absent in pre-hop manifests: those units load with hop 0,
+	// "unknown".
+	DegradedFrameHops map[string]int `json:"degraded_frame_hops,omitempty"`
+	DegradedShotHops  map[string]int `json:"degraded_shot_hops,omitempty"`
 	// Plan persists the adaptive-sampling state of a planned ingest
 	// (absent for dense ingests). JSON object keys are strings, so the
 	// int32 clip ids round-trip through strconv in planToJSON.
@@ -95,6 +102,32 @@ func planFromJSON(p *planJSON) (*PlanInfo, error) {
 	return out, nil
 }
 
+func hopsToJSON(m map[int]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for u, hop := range m {
+		out[strconv.Itoa(u)] = hop
+	}
+	return out
+}
+
+func hopsFromJSON(m map[string]int) (map[int]int, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[int]int, len(m))
+	for s, hop := range m {
+		u, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: degraded unit index %q: %w", s, err)
+		}
+		out[u] = hop
+	}
+	return out, nil
+}
+
 type intervalJSON struct {
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`
@@ -139,9 +172,11 @@ func (vd *VideoData) Save(dir string) error {
 		ActSeqs: seqsToJSON(vd.ActSeqs),
 		Tracks:  vd.TracksOpened,
 
-		DegradedFrames: vd.DegradedFrames,
-		DegradedShots:  vd.DegradedShots,
-		Plan:           planToJSON(vd.Plan),
+		DegradedFrames:    vd.DegradedFrames,
+		DegradedShots:     vd.DegradedShots,
+		DegradedFrameHops: hopsToJSON(vd.DegradedFrameHops),
+		DegradedShotHops:  hopsToJSON(vd.DegradedShotHops),
+		Plan:              planToJSON(vd.Plan),
 	}
 	blob, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -195,6 +230,14 @@ func Load(dir string) (*VideoData, error) {
 	if err != nil {
 		return nil, err
 	}
+	frameHops, err := hopsFromJSON(man.DegradedFrameHops)
+	if err != nil {
+		return nil, err
+	}
+	shotHops, err := hopsFromJSON(man.DegradedShotHops)
+	if err != nil {
+		return nil, err
+	}
 	vd := &VideoData{
 		Meta:         video.Meta{Name: man.Name, Frames: man.Frames, Geom: man.Geom},
 		ObjTables:    map[annot.Label]tables.Table{},
@@ -203,9 +246,11 @@ func Load(dir string) (*VideoData, error) {
 		ActSeqs:      seqsFromJSON(man.ActSeqs),
 		TracksOpened: man.Tracks,
 
-		DegradedFrames: man.DegradedFrames,
-		DegradedShots:  man.DegradedShots,
-		Plan:           planInfo,
+		DegradedFrames:    man.DegradedFrames,
+		DegradedShots:     man.DegradedShots,
+		DegradedFrameHops: frameHops,
+		DegradedShotHops:  shotHops,
+		Plan:              planInfo,
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -206,8 +206,9 @@ type invoker struct {
 	policy  Policy
 	breaker *Breaker
 	budget  *AdaptiveBudget
-	salt    string // distinguishes obj/act streams under one seed
-	fast    bool   // backend is an infallible adapter; see fastPath
+	mode    *ModeVar // host-mutated posture (brownout ladder); nil = ModeFull
+	salt    string   // distinguishes obj/act streams under one seed
+	fast    bool     // backend is an infallible adapter; see fastPath
 
 	calls, errs, retries, fallbacks, deadlines, rejects atomic.Int64
 	hedges, hedgeWins, trims, labelRejects              atomic.Int64
@@ -234,6 +235,7 @@ func newInvoker(p Policy, salt, backend string, opt Options) *invoker {
 		policy:     p,
 		breaker:    NewBreaker(p.BreakerFailures, p.BreakerCooldown),
 		budget:     opt.Budget,
+		mode:       opt.Mode,
 		salt:       salt,
 		degraded:   map[int]int{},
 		cRetries:   tr.Counter("resilience.retries"),
@@ -392,7 +394,7 @@ func runAttempt[T any](in *invoker, ctx context.Context, attempt, replica int, c
 // quantile of successful rounds, floored at hedgeFloor, once enough
 // samples exist.
 func (in *invoker) hedgeDelay() (time.Duration, bool) {
-	if in.lat == nil {
+	if in.lat == nil || in.mode.Get() >= ModeNoHedge {
 		return 0, false
 	}
 	in.latMu.Lock()
@@ -560,6 +562,46 @@ func (in *invoker) stats() Stats {
 	}
 }
 
+// Mode is the policy posture a brownout level imposes on the
+// wrappers. It orders from full service to maximum degradation; each
+// step strictly contains the previous one's restrictions.
+type Mode int32
+
+const (
+	// ModeFull applies the configured policy unchanged.
+	ModeFull Mode = iota
+	// ModeNoHedge suppresses hedged duplicate calls.
+	ModeNoHedge
+	// ModeCheap skips the primary backend: every unit is served by
+	// the fallback chain's first surviving hop (the cheaper profile)
+	// and recorded as a degraded serve.
+	ModeCheap
+	// ModePrior skips models entirely: every unit is served by the
+	// bgprob prior sampler (the chain's implicit last hop).
+	ModePrior
+)
+
+// ModeVar is a shared, atomically-updated Mode. One var is consulted
+// per call by every wrapper built with it, so the host (the brownout
+// controller) flips all sessions' posture at once without walking
+// them. The nil ModeVar is pinned at ModeFull.
+type ModeVar struct{ v atomic.Int32 }
+
+// Set publishes a new posture.
+func (m *ModeVar) Set(md Mode) {
+	if m != nil {
+		m.v.Store(int32(md))
+	}
+}
+
+// Get returns the current posture (ModeFull on nil).
+func (m *ModeVar) Get() Mode {
+	if m == nil {
+		return ModeFull
+	}
+	return Mode(m.v.Load())
+}
+
 // Options configures the wrappers beyond the policy.
 type Options struct {
 	// Ctx is the base context of infallible-interface calls (the
@@ -582,6 +624,13 @@ type Options struct {
 	// Thresholds separate above/below-threshold fallback scores;
 	// zero means detect.DefaultThresholds.
 	Thresholds detect.Thresholds
+	// Mode, when set, lets the host degrade the policy in place (the
+	// brownout ladder): ModeNoHedge mutes hedging, ModeCheap routes
+	// every call straight to the fallback chain, ModePrior straight
+	// to the prior sampler — each recorded through the normal
+	// degraded-unit accounting so downstream score discounting stays
+	// honest. Nil pins ModeFull.
+	Mode *ModeVar
 }
 
 func (o Options) ctx() context.Context {
@@ -639,6 +688,22 @@ func (d *Detector) Detect(v video.FrameIdx, labels []annot.Label) []detect.Detec
 // DetectCtx runs one resilient detection and reports whether any part
 // of the result came from the fallback chain (degraded).
 func (d *Detector) DetectCtx(ctx context.Context, v video.FrameIdx, labels []annot.Label) ([]detect.Detection, bool) {
+	if mode := d.in.mode.Get(); mode >= ModeCheap {
+		// Brownout posture: skip the primary (even an infallible one)
+		// and serve degraded — the cheap chain hop, or the prior
+		// outright — so overload sheds model cost, not correctness
+		// accounting.
+		d.in.calls.Add(1)
+		var dets []detect.Detection
+		var hop int
+		if mode >= ModePrior {
+			dets, hop = priorDetections(d.seed, d.p0, d.thr, v, labels), len(d.chain)+1
+		} else {
+			dets, hop = d.chainDetect(ctx, v, labels)
+		}
+		d.in.noteDegraded(int(v), hop)
+		return dets, true
+	}
 	if d.in.fastPath(ctx) {
 		if dets, err := d.backend.DetectCtx(ctx, v, labels); err == nil {
 			d.in.calls.Add(1)
@@ -754,6 +819,18 @@ func (r *Recognizer) Recognize(s video.ShotIdx, labels []annot.Label) []detect.A
 // RecognizeCtx runs one resilient recognition and reports whether the
 // result is degraded.
 func (r *Recognizer) RecognizeCtx(ctx context.Context, s video.ShotIdx, labels []annot.Label) ([]detect.ActionScore, bool) {
+	if mode := r.in.mode.Get(); mode >= ModeCheap {
+		r.in.calls.Add(1)
+		var scores []detect.ActionScore
+		var hop int
+		if mode >= ModePrior {
+			scores, hop = priorScores(r.seed, r.p0, r.thr, s, labels), len(r.chain)+1
+		} else {
+			scores, hop = r.chainRecognize(ctx, s, labels)
+		}
+		r.in.noteDegraded(int(s), hop)
+		return scores, true
+	}
 	if r.in.fastPath(ctx) {
 		if scores, err := r.backend.RecognizeCtx(ctx, s, labels); err == nil {
 			r.in.calls.Add(1)

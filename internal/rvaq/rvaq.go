@@ -115,6 +115,19 @@ type Options struct {
 	// the lower bound. 0 disables (degraded clips score as ingested).
 	// RVAQ only; the baselines ignore it.
 	DegradedDiscount float64
+	// HopDiscounts generalizes DegradedDiscount to a per-hop table:
+	// entry h−1 is the discount applied to clips whose worst degraded
+	// unit was served by fallback hop h (1-based, as recorded in
+	// VideoData.DegradedFrameHops/DegradedShotHops), so a hop-1
+	// cheap-profile serve is down-weighted less than a hop-3
+	// prior-only one. Hops past the table clamp to its last entry;
+	// units with no recorded hop (pre-hop manifests) take the table's
+	// worst (maximum) entry. Every entry must lie in [0, 1]. τ_btm is
+	// conservatively scaled by (1 − max entry), so the frontier
+	// bounds stay sound exactly as with the flat discount — which is
+	// the single-entry-table special case. Mutually exclusive with
+	// DegradedDiscount.
+	HopDiscounts []float64
 	// Densify, when non-nil on a planned repository (VideoData.Plan
 	// set), recomputes a clip's exact score from every unit of the
 	// source video, replacing the stored lower bound. With it armed the
@@ -180,6 +193,14 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 	if d := opts.DegradedDiscount; d < 0 || d > 1 {
 		return nil, Stats{}, fmt.Errorf("rvaq: DegradedDiscount must be in [0, 1], got %v", d)
 	}
+	for _, d := range opts.HopDiscounts {
+		if d < 0 || d > 1 {
+			return nil, Stats{}, fmt.Errorf("rvaq: hop discounts must be in [0, 1], got %v", d)
+		}
+	}
+	if len(opts.HopDiscounts) > 0 && opts.DegradedDiscount > 0 {
+		return nil, Stats{}, fmt.Errorf("rvaq: DegradedDiscount and HopDiscounts are mutually exclusive")
+	}
 	tr := trace.FromContext(ctx)
 	ctx, qspan := trace.Start(ctx, "rvaq.topk")
 	opts.Explain.TopKConfigure(k)
@@ -227,16 +248,22 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 		seqs[i] = &seqState{iv: iv, knownScore: fns.F.Zero(), knownHi: fns.F.Zero()}
 	}
 
-	// Degraded-clip discount (armed by DegradedDiscount > 0): mark the
-	// candidate sequences touching degraded clips, and scale the bottom
-	// frontier bound conservatively — every unseen clip's effective
-	// score is at least its raw τ_btm bound times the worst-case factor.
-	var degraded map[int32]bool
+	// Degraded-clip discounting (armed by DegradedDiscount > 0 or a
+	// HopDiscounts table — the flat discount is the single-entry
+	// special case): mark the candidate sequences touching degraded
+	// clips, and scale the bottom frontier bound conservatively —
+	// every unseen clip's effective score is at least its raw τ_btm
+	// bound times the worst-case factor (1 − max table entry).
+	hopTable := opts.HopDiscounts
+	if len(hopTable) == 0 && opts.DegradedDiscount > 0 {
+		hopTable = []float64{opts.DegradedDiscount}
+	}
+	var degraded map[int32]int
 	btmFactor := 1.0
-	if opts.DegradedDiscount > 0 {
-		degraded = vd.DegradedClips()
+	if len(hopTable) > 0 {
+		degraded = vd.DegradedClipHops()
 		if len(degraded) > 0 {
-			btmFactor = 1 - opts.DegradedDiscount
+			btmFactor = 1 - maxDiscount(hopTable)
 			for cid := range degraded {
 				if i, ok := findSeq(pq, cid); ok {
 					seqs[i].degraded = true
@@ -282,10 +309,9 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 		}
 	}
 	if len(degraded) > 0 {
-		d := opts.DegradedDiscount
 		it.discount = func(cid int32) float64 {
-			if degraded[cid] {
-				return 1 - d
+			if hop, ok := degraded[cid]; ok {
+				return 1 - hopDiscount(hopTable, hop)
 			}
 			return 1
 		}
@@ -424,6 +450,29 @@ func TopKCtx(ctx context.Context, vd *ingest.VideoData, q annot.Query, k int, op
 			return finish(ctx, it, fns, seqs, topK, k, opts, &stats, start)
 		}
 	}
+}
+
+// hopDiscount picks the table entry for a clip's worst 1-based hop:
+// hops past the table clamp to its last entry, and hop 0 ("unknown",
+// from pre-hop manifests) takes the worst (maximum) entry.
+func hopDiscount(table []float64, hop int) float64 {
+	if hop <= 0 {
+		return maxDiscount(table)
+	}
+	if hop > len(table) {
+		hop = len(table)
+	}
+	return table[hop-1]
+}
+
+func maxDiscount(table []float64) float64 {
+	m := 0.0
+	for _, d := range table {
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // findSeq locates the candidate sequence containing cid.

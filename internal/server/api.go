@@ -100,7 +100,11 @@ type SessionInfo struct {
 	// degradation-chain hop (last entry is the prior sampler).
 	Hedges       int64   `json:"hedges,omitempty"`
 	FallbackHops []int64 `json:"fallback_hops,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// BrownoutLevel is the degradation ladder's active level on a
+	// server running the brownout controller (full, no-hedge,
+	// cheap-profile, prior-only, shed); empty when unarmed.
+	BrownoutLevel string `json:"brownout_level,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.
@@ -147,6 +151,12 @@ type TopKRequest struct {
 	// marked degraded at ingest time and flags matching results; 0
 	// scores them as ingested.
 	DegradedDiscount float64 `json:"degraded_discount,omitempty"`
+	// HopDiscounts is the per-hop generalization of DegradedDiscount:
+	// entry h−1 (in [0, 1]) discounts clips whose worst degraded unit
+	// was served by fallback hop h; hops past the table clamp to the
+	// last entry, units with no recorded hop take the worst entry.
+	// Mutually exclusive with DegradedDiscount.
+	HopDiscounts []float64 `json:"hop_discounts,omitempty"`
 	// Explain asks for the query's EXPLAIN profile inline in the
 	// response (the profile also lands in the /explainz ring whenever
 	// the ring is enabled, whether or not Explain is set).
@@ -229,6 +239,9 @@ type HealthzResponse struct {
 	// Overloaded mirrors the admission controller's verdict (requires
 	// -shed-wait to be armed).
 	Overloaded bool `json:"overloaded,omitempty"`
+	// BrownoutLevel is the degradation ladder's active level (empty
+	// when -brownout is unarmed).
+	BrownoutLevel string `json:"brownout_level,omitempty"`
 	// Snapshots counts retained history samples; History lists them
 	// (newest first) when the request asked with ?history=true.
 	Snapshots int               `json:"snapshots"`

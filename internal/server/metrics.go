@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"vaq/internal/brownout"
 	"vaq/internal/infer"
 	"vaq/internal/quantile"
 	"vaq/internal/resilience"
@@ -46,6 +47,10 @@ type MetricsResponse struct {
 	// ShedRequests counts admissions rejected 503 by load shedding.
 	Resilience   *resilience.Stats `json:"resilience,omitempty"`
 	ShedRequests int64             `json:"shed_requests,omitempty"`
+	// Brownout reports the degradation ladder — active level,
+	// transition counters and thresholds (absent when -brownout is
+	// unarmed).
+	Brownout *brownout.Stats `json:"brownout,omitempty"`
 	// Inference aggregates the shared-inference layer's hit/miss/
 	// coalesce/batch counters across domains (absent without
 	// -shared-inference or before the first session).

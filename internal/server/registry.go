@@ -22,6 +22,7 @@ type Registry struct {
 	workers     *pool.Pool
 	tr          *trace.Tracer // nil records nothing
 	exRing      *explain.Ring // nil: sessions run without collectors
+	levelFn     func() string // brownout level source; nil when unarmed
 
 	mu       sync.Mutex
 	seq      int
@@ -71,6 +72,11 @@ func (r *Registry) SetTracer(tr *trace.Tracer) {
 // profile lands in ring. A nil ring disables collection. Call before
 // the first Create.
 func (r *Registry) SetExplainRing(ring *explain.Ring) { r.exRing = ring }
+
+// SetLevelFunc wires the brownout ladder's level into session status
+// and explain profiles: every subsequent session reads the current
+// level through fn. Call before the first Create.
+func (r *Registry) SetLevelFunc(fn func() string) { r.levelFn = fn }
 
 // errTooManySessions maps to 429.
 var errTooManySessions = fmt.Errorf("server: session limit reached")
@@ -122,6 +128,7 @@ func (r *Registry) CreateWith(req CreateSessionRequest, total int, build func(ct
 	}
 	sess := newSession(id, req, stream, total, cancel)
 	sess.models = models
+	sess.level = r.levelFn
 	if r.tr != nil {
 		root := r.tr.StartSpan("session", 0)
 		root.SetAttr("id", id)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vaq"
+	"vaq/internal/brownout"
 	"vaq/internal/detect"
 	"vaq/internal/explain"
 	"vaq/internal/fault"
@@ -59,6 +60,14 @@ type Config struct {
 	// top-k requests are rejected with 503 + Retry-After instead of
 	// queuing unboundedly. 0 disables shedding.
 	ShedWait time.Duration
+	// Brownout arms the load-regulated degradation ladder (High > 0):
+	// the same p90 queue-wait signal walks the levels
+	// full → no-hedge → cheap-profile → prior-only → shed with
+	// hysteresis (step up at High, down at Low, at most one step per
+	// Dwell), and each level reconfigures every session's resilience
+	// posture in place. The ladder subsumes the binary ShedWait
+	// control; both may be armed together (either can shed).
+	Brownout brownout.Config
 	// HedgeQuantile arms hedged requests on session backends: an
 	// attempt outliving this observed latency quantile races a second
 	// call, first result wins (see resilience.Policy.HedgeQuantile).
@@ -146,6 +155,8 @@ type Server struct {
 	met    *metrics
 	mux    *http.ServeMux
 	shed   *shedWindow
+	bo     *brownout.Controller       // nil unless Brownout armed
+	mode   *resilience.ModeVar        // shared by every session's backends
 	budget *resilience.AdaptiveBudget // nil unless AdaptiveRetries armed
 	hub    *inferHub                  // nil unless SharedInference armed
 	ring   *explain.Ring              // nil when ExplainRing is negative
@@ -167,6 +178,23 @@ func New(cfg Config) *Server {
 	}
 	s.reg.SetTracer(cfg.Tracer)
 	s.reg.SetExplainRing(s.ring)
+	if cfg.Brownout.High > 0 {
+		s.mode = &resilience.ModeVar{}
+		bo, err := brownout.New(cfg.Brownout, brownout.Options{
+			Tracer: cfg.Tracer,
+			// Level changes flip the shared mode var, so every session's
+			// backends — including the shared-inference stacks — adopt
+			// the new posture on their next call.
+			OnChange: func(_, to brownout.Level) { s.mode.Set(modeFor(to)) },
+		})
+		if err != nil {
+			// vaqd validates the flag family at startup; reaching here is
+			// a programming error, not an operational condition.
+			panic(err)
+		}
+		s.bo = bo
+		s.reg.SetLevelFunc(func() string { return bo.Level().String() })
+	}
 	if cfg.SharedInference {
 		s.hub = newInferHub(infer.Config{
 			CacheCapacity: cfg.InferCache,
@@ -182,9 +210,13 @@ func New(cfg Config) *Server {
 		s.reg.Pool().SetObserver(func(w time.Duration) {
 			s.shed.observe(w)
 			s.budget.Observe(w)
+			s.evalBrownout()
 		})
 	} else {
-		s.reg.Pool().SetObserver(s.shed.observe)
+		s.reg.Pool().SetObserver(func(w time.Duration) {
+			s.shed.observe(w)
+			s.evalBrownout()
+		})
 	}
 	route := func(pattern string, h http.HandlerFunc) {
 		wrapped := s.met.instrument(pattern, h)
@@ -253,11 +285,47 @@ func writeCtxErr(w http.ResponseWriter, err error) {
 	writeErr(w, httpStatusClientClosedRequest, "cancelled", err.Error(), nil)
 }
 
-// shedIfOverloaded applies admission control: when the shed window says
-// the worker queue is past its wait threshold, answer 503 with a
-// Retry-After hint and report true so the handler returns without doing
-// any work.
+// modeFor maps a brownout ladder level onto the resilience posture it
+// imposes on the wrapped backends. LevelShed maps to ModePrior: new
+// requests are rejected at the door, but sessions already in flight
+// keep draining at the cheapest answer-bearing posture.
+func modeFor(l brownout.Level) resilience.Mode {
+	switch {
+	case l >= brownout.LevelPrior:
+		return resilience.ModePrior
+	case l == brownout.LevelCheap:
+		return resilience.ModeCheap
+	case l == brownout.LevelNoHedge:
+		return resilience.ModeNoHedge
+	}
+	return resilience.ModeFull
+}
+
+// evalBrownout feeds the ladder one fresh p90 reading. It runs on
+// every pool observation (load rising with traffic) and on every
+// admission check (so a daemon gone quiet — no pool activity — still
+// steps back down as its samples age out).
+func (s *Server) evalBrownout() {
+	if s.bo == nil {
+		return
+	}
+	p90, ok := s.shed.waitP90()
+	s.bo.Observe(p90, ok)
+}
+
+// shedIfOverloaded applies admission control: when the brownout ladder
+// sits at its shed level, or the legacy shed window says the worker
+// queue is past its wait threshold, answer 503 with a Retry-After hint
+// and report true so the handler returns without doing any work.
 func (s *Server) shedIfOverloaded(w http.ResponseWriter) bool {
+	s.evalBrownout()
+	if s.bo.Level() == brownout.LevelShed {
+		s.bo.Shed()
+		w.Header().Set("Retry-After", strconv.Itoa(s.shed.shedRetry(s.cfg.Brownout.High)))
+		writeErr(w, http.StatusServiceUnavailable, "overloaded",
+			"brownout ladder at level shed; retry later", nil)
+		return true
+	}
 	if !s.shed.overloaded() {
 		return false
 	}
@@ -409,7 +477,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			fdet = fault.NewObject(fdet, fs)
 			frec = fault.NewAction(frec, fs)
 		}
-		ropt := resilience.Options{Tracer: s.cfg.Tracer, Budget: s.budget}
+		ropt := resilience.Options{Tracer: s.cfg.Tracer, Budget: s.budget, Mode: s.mode}
 		for _, fb := range chainProfiles {
 			ropt.FallbackObjects = append(ropt.FallbackObjects,
 				detect.AsFallibleObject(detect.NewSimObjectDetector(scene, fb[0], nil)))
@@ -604,6 +672,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_discount", "degraded_discount must be in [0, 1]", nil)
 		return
 	}
+	for _, d := range req.HopDiscounts {
+		if d < 0 || d > 1 {
+			writeErr(w, http.StatusBadRequest, "bad_discount", "hop_discounts entries must be in [0, 1]", nil)
+			return
+		}
+	}
+	if req.DegradedDiscount > 0 && len(req.HopDiscounts) > 0 {
+		writeErr(w, http.StatusBadRequest, "bad_discount",
+			"degraded_discount and hop_discounts are mutually exclusive", nil)
+		return
+	}
 
 	// Offline queries honour the request context and draw worker slots
 	// from the registry's session pool, so online and offline work
@@ -628,7 +707,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		ex.SetQuery(q.String())
 	}
 	qstart := time.Now()
-	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount, Explain: ex}
+	if ex != nil && s.bo != nil {
+		ex.SetBrownout(s.bo.Level().String())
+	}
+	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount, HopDiscounts: req.HopDiscounts, Explain: ex}
 	if req.TimeoutMS > 0 {
 		// The per-request deadline layers inside the handler's
 		// RequestTimeout context, so it can only shorten it.
@@ -746,6 +828,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if p90, ok := s.shed.waitP90(); ok {
 		resp.QueueWaitP90MS = float64(p90) / float64(time.Millisecond)
 	}
+	if s.bo != nil {
+		s.evalBrownout()
+		resp.BrownoutLevel = s.bo.Level().String()
+		if s.bo.Level() == brownout.LevelShed {
+			resp.Overloaded = true
+		}
+	}
 	if resp.Overloaded {
 		resp.Status = "overloaded"
 	}
@@ -764,6 +853,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		TotalSessions:  s.reg.Total(),
 		Resilience:     s.reg.Resilience(),
 		ShedRequests:   s.shed.Sheds(),
+		Brownout:       s.bo.Stats(),
 		Inference:      s.hub.stats(),
 		HedgeLatencies: hedgeLatencies(s.cfg.Tracer),
 	})
@@ -804,4 +894,9 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cfg.Tracer.WriteVarz(w)
+	if s.bo != nil {
+		// The active ladder level as a gauge (the brownout.* counters in
+		// the tracer exposition above only count transitions).
+		fmt.Fprintf(w, "vaq_brownout_level %d\n", int(s.bo.Level()))
+	}
 }

@@ -45,6 +45,10 @@ type Session struct {
 	// runs; finish computes the infer/resilience deltas against the
 	// start snapshots and publishes the profile to exRing. Set before
 	// the session goroutine starts, read-only afterwards.
+	// level reads the server's active brownout ladder level (nil when
+	// the controller is unarmed); stamped on session status and the
+	// finished EXPLAIN profile. Set before the goroutine starts.
+	level      func() string
 	ex         *explain.Collector
 	exRing     *explain.Ring
 	started    time.Time
@@ -191,6 +195,9 @@ func (s *Session) finalizeExplain() {
 	if s.inferStats != nil {
 		s.ex.SetInfer(inferDelta(s.inferStats(), s.inferStart))
 	}
+	if s.level != nil {
+		s.ex.SetBrownout(s.level())
+	}
 	s.exRing.Add(s.ex.Profile())
 }
 
@@ -291,6 +298,9 @@ func (s *Session) Info() SessionInfo {
 		if rst.BreakerState != resilience.StateClosed.String() {
 			info.BreakerState = rst.BreakerState
 		}
+	}
+	if s.level != nil {
+		info.BrownoutLevel = s.level()
 	}
 	if s.failure != nil {
 		info.Error = s.failure.Error()

@@ -14,23 +14,31 @@ import (
 // work and answer 503 + Retry-After instead of queuing unboundedly —
 // shedding at the door is the resilience counterpart of the engines'
 // graceful degradation.
+//
+// The window is a bounded deque (arrival order) plus a parallel
+// sorted multiset of the same waits, maintained incrementally: each
+// observe binary-searches one insert, each eviction one removal, and
+// waitP90 is a single index into the sorted slice. The admission hot
+// path allocates nothing — the previous implementation copied and
+// sort.Slice'd the whole window per check.
 type shedWindow struct {
 	threshold time.Duration // p90 wait that trips shedding; <=0 disables
 	span      time.Duration // how far back samples count
 	minSamp   int           // fewer samples than this never sheds
 	now       func() time.Time
 
-	mu      sync.Mutex
-	samples []shedSample // ring, oldest overwritten
-	next    int
-	filled  bool
+	mu    sync.Mutex
+	when  []time.Time     // arrival ring, oldest at head
+	wait  []time.Duration // parallel waits
+	head  int
+	count int
+	// sorted holds exactly the live window's waits in ascending
+	// order; stale samples are evicted lazily from the deque's old
+	// end on every observe and read, so the two structures never
+	// disagree.
+	sorted []time.Duration
 
 	sheds atomic.Int64
-}
-
-type shedSample struct {
-	when time.Time
-	wait time.Duration
 }
 
 // shedRing bounds the window's memory; at typical request rates it
@@ -43,7 +51,9 @@ func newShedWindow(threshold time.Duration) *shedWindow {
 		span:      10 * time.Second,
 		minSamp:   8,
 		now:       time.Now,
-		samples:   make([]shedSample, shedRing),
+		when:      make([]time.Time, shedRing),
+		wait:      make([]time.Duration, shedRing),
+		sorted:    make([]time.Duration, 0, shedRing),
 	}
 }
 
@@ -54,14 +64,40 @@ func (sw *shedWindow) observe(wait time.Duration) {
 	if sw == nil {
 		return
 	}
+	now := sw.now()
 	sw.mu.Lock()
-	sw.samples[sw.next] = shedSample{when: sw.now(), wait: wait}
-	sw.next++
-	if sw.next == len(sw.samples) {
-		sw.next = 0
-		sw.filled = true
+	sw.evictLocked(now)
+	if sw.count == len(sw.when) {
+		sw.removeOldestLocked()
 	}
+	tail := (sw.head + sw.count) % len(sw.when)
+	sw.when[tail] = now
+	sw.wait[tail] = wait
+	sw.count++
+	i := sort.Search(len(sw.sorted), func(i int) bool { return sw.sorted[i] >= wait })
+	sw.sorted = sw.sorted[:len(sw.sorted)+1]
+	copy(sw.sorted[i+1:], sw.sorted[i:])
+	sw.sorted[i] = wait
 	sw.mu.Unlock()
+}
+
+// evictLocked drops samples older than the freshness span from the
+// deque's old end (and from the sorted multiset). Amortized O(1): each
+// sample is evicted once.
+func (sw *shedWindow) evictLocked(now time.Time) {
+	cutoff := now.Add(-sw.span)
+	for sw.count > 0 && !sw.when[sw.head].After(cutoff) {
+		sw.removeOldestLocked()
+	}
+}
+
+func (sw *shedWindow) removeOldestLocked() {
+	w := sw.wait[sw.head]
+	i := sort.Search(len(sw.sorted), func(i int) bool { return sw.sorted[i] >= w })
+	copy(sw.sorted[i:], sw.sorted[i+1:])
+	sw.sorted = sw.sorted[:len(sw.sorted)-1]
+	sw.head = (sw.head + 1) % len(sw.when)
+	sw.count--
 }
 
 // overloaded reports whether the p90 queue wait over the fresh samples
@@ -75,41 +111,47 @@ func (sw *shedWindow) overloaded() bool {
 	return ok && p90 >= sw.threshold
 }
 
-// waitP90 computes the p90 queue wait over the fresh samples; ok is
+// waitP90 returns the p90 queue wait over the fresh samples; ok is
 // false with fewer than minSamp of them.
 func (sw *shedWindow) waitP90() (time.Duration, bool) {
 	if sw == nil {
 		return 0, false
 	}
-	cutoff := sw.now().Add(-sw.span)
 	sw.mu.Lock()
-	n := sw.next
-	if sw.filled {
-		n = len(sw.samples)
-	}
-	fresh := make([]time.Duration, 0, n)
-	for i := 0; i < n; i++ {
-		if s := sw.samples[i]; s.when.After(cutoff) {
-			fresh = append(fresh, s.wait)
-		}
-	}
-	sw.mu.Unlock()
-	if len(fresh) < sw.minSamp {
+	defer sw.mu.Unlock()
+	sw.evictLocked(sw.now())
+	if sw.count < sw.minSamp {
 		return 0, false
 	}
-	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
-	return fresh[len(fresh)*9/10], true
+	return sw.sorted[sw.count*9/10], true
 }
 
 // shed counts one rejected request and returns the Retry-After hint in
-// seconds (at least 1).
-func (sw *shedWindow) shed() int {
+// seconds, scaled by how far the p90 wait overshoots the threshold
+// (capped at 8×) and clamped to [1, 60] — the hotter the queue, the
+// longer clients are told to stay away.
+func (sw *shedWindow) shed() int { return sw.shedRetry(sw.threshold) }
+
+// shedRetry is shed against an explicit threshold — the brownout
+// ladder sheds against its own High watermark, not the legacy
+// -shed-wait one.
+func (sw *shedWindow) shedRetry(threshold time.Duration) int {
 	sw.sheds.Add(1)
-	retry := int(sw.threshold / time.Second)
+	retry := float64(threshold) / float64(time.Second)
 	if retry < 1 {
 		retry = 1
 	}
-	return retry
+	if p90, ok := sw.waitP90(); ok && threshold > 0 && p90 > threshold {
+		ratio := float64(p90) / float64(threshold)
+		if ratio > 8 {
+			ratio = 8
+		}
+		retry *= ratio
+	}
+	if retry > 60 {
+		retry = 60
+	}
+	return int(retry)
 }
 
 // Sheds returns the total requests rejected by admission control.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vaq/internal/brownout"
 	"vaq/internal/detect"
 	"vaq/internal/infer"
 	"vaq/internal/resilience"
@@ -91,6 +92,12 @@ func TestCounterCatalogueGolden(t *testing.T) {
 		sh.Object(detect.AsFallibleObject(det)),
 		sh.Action(detect.AsFallibleAction(rec)),
 		resilience.DefaultPolicy(), resilience.Options{Tracer: tr})
+
+	// The brownout ladder registers its family at construction too.
+	if _, err := brownout.New(brownout.Config{High: time.Second},
+		brownout.Options{Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
 
 	// Offline top-k registers the rvaq.* family.
 	if _, _, err := rvaq.TopKCtx(ctx, vd, qs.Query, 3, rvaq.DefaultOptions()); err != nil {

@@ -527,6 +527,13 @@ type ExecOptions struct {
 	// multiplied by (1 − DegradedDiscount) and matching results carry
 	// TopKResult.Degraded. 0 disables.
 	DegradedDiscount float64
+	// HopDiscounts replaces the flat DegradedDiscount with a per-hop
+	// table: entry h−1 discounts clips whose worst degraded unit was
+	// served by fallback hop h, so lightly-degraded clips keep more of
+	// their score than prior-only ones. Hops past the table clamp to
+	// the last entry; units with no recorded hop take the worst entry.
+	// Mutually exclusive with DegradedDiscount.
+	HopDiscounts []float64
 	// Explain, when non-nil, collects the query's EXPLAIN profile
 	// (bound trajectory, pruning, cache and access attribution). Global
 	// and multi-video paths share the one collector across shards.
@@ -568,6 +575,7 @@ func (eo ExecOptions) rvaqOptions(videoName string) rvaq.Options {
 	opts := rvaq.DefaultOptions()
 	opts.Partial = eo.Partial
 	opts.DegradedDiscount = eo.DegradedDiscount
+	opts.HopDiscounts = eo.HopDiscounts
 	opts.Densify = eo.Densifiers[videoName]
 	opts.Explain = eo.Explain
 	return opts
