@@ -12,6 +12,12 @@
 // vaqd drains gracefully on SIGINT/SIGTERM: new sessions are rejected,
 // in-flight sessions run to completion until -drain-timeout, then are
 // cancelled. See docs/SERVER.md for the full API.
+//
+// With -coordinator, vaqd instead fronts a fleet of vaqd shard
+// processes (scatter-gather top-k with cross-shard bound broadcast,
+// consistent-hash routing for sessions — see docs/SHARDING.md):
+//
+//	vaqd -coordinator -addr :8080 -shards s0=localhost:8081,s1=localhost:8082
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -32,6 +39,7 @@ import (
 	"vaq/internal/fault"
 	"vaq/internal/resilience"
 	"vaq/internal/server"
+	"vaq/internal/shard"
 	"vaq/internal/trace"
 )
 
@@ -67,8 +75,32 @@ func main() {
 		planRFlag    = flag.Int("plan-rate", 0, "adaptive sampling base rate: evaluate predicates on 1 unit in N, densifying only undecided clips (0 = dense, 1 = planner with the dense rung)")
 		planLFlag    = flag.Int("plan-levels", 0, "cap on the densification ladder length (0 = full ladder down to stride 1)")
 		explainFlag  = flag.Int("explain-ring", 0, "EXPLAIN profiles retained by /explainz (0 = default 64, negative = disable collection)")
+		coordFlag    = flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards instead of serving queries locally")
+		shardsFlag   = flag.String("shards", "", "comma-separated shard backends for -coordinator, each name=host:port (or bare host:port)")
+		sHedgeFlag   = flag.Duration("shard-hedge", 0, "coordinator: hedge idempotent shard reads that have not answered within this delay (0 = off)")
+		bcastFlag    = flag.Duration("bound-broadcast", 0, "coordinator: period of the cross-shard B_lo^K bound broadcast during top-k scatters (0 = off)")
 	)
 	flag.Parse()
+
+	if *coordFlag {
+		runCoordinator(coordinatorFlags{
+			addr:            *addrFlag,
+			shards:          *shardsFlag,
+			requestTimeout:  *timeoutFlag,
+			hedge:           *sHedgeFlag,
+			broadcast:       *bcastFlag,
+			breakerFailures: *brkFailFlag,
+			breakerCooldown: *brkCoolFlag,
+			explainRing:     *explainFlag,
+			traceSpans:      *spansFlag,
+			slowQuery:       *slowFlag,
+			drain:           *drainFlag,
+		})
+		return
+	}
+	if *shardsFlag != "" || *sHedgeFlag != 0 || *bcastFlag != 0 {
+		fatal(fmt.Errorf("-shards, -shard-hedge and -bound-broadcast require -coordinator"))
+	}
 
 	topts := []trace.Option{trace.WithCapacity(*spansFlag)}
 	if *slowFlag > 0 {
@@ -177,17 +209,22 @@ func main() {
 		fmt.Println("vaqd: pprof enabled at /debug/pprof/")
 	}
 	httpSrv := &http.Server{
-		Addr:              *addrFlag,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Listen before Serve so -addr :0 can report the kernel-assigned
+	// port (the sharding acceptance tests parse this line).
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("vaqd: listening on %s (max-sessions %d)\n", *addrFlag, *sessionsFlag)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("vaqd: listening on %s (max-sessions %d)\n", ln.Addr(), *sessionsFlag)
 
 	select {
 	case err := <-errc:
@@ -204,6 +241,83 @@ func main() {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "vaqd: cancelled in-flight sessions:", err)
+	}
+	fmt.Println("vaqd: bye")
+}
+
+// coordinatorFlags carries the subset of flags the coordinator mode
+// consumes.
+type coordinatorFlags struct {
+	addr            string
+	shards          string
+	requestTimeout  time.Duration
+	hedge           time.Duration
+	broadcast       time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+	explainRing     int
+	traceSpans      int
+	slowQuery       time.Duration
+	drain           time.Duration
+}
+
+// runCoordinator serves the scatter-gather tier over a fleet of vaqd
+// shard processes.
+func runCoordinator(f coordinatorFlags) {
+	if f.shards == "" {
+		fatal(fmt.Errorf("-coordinator requires -shards"))
+	}
+	backends, err := shard.ParseBackends(f.shards)
+	if err != nil {
+		fatal(err)
+	}
+	topts := []trace.Option{trace.WithCapacity(f.traceSpans)}
+	if f.slowQuery > 0 {
+		topts = append(topts, trace.WithSlowLog(f.slowQuery, os.Stderr))
+	}
+	co, err := shard.New(shard.Config{
+		Backends:        backends,
+		RequestTimeout:  f.requestTimeout,
+		HedgeDelay:      f.hedge,
+		BreakerFailures: f.breakerFailures,
+		BreakerCooldown: f.breakerCooldown,
+		BroadcastEvery:  f.broadcast,
+		Tracer:          trace.New(topts...),
+		ExplainRing:     f.explainRing,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name
+	}
+	fmt.Printf("vaqd: listening on %s (coordinator over %s)\n", ln.Addr(), strings.Join(names, ", "))
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("vaqd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), f.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "vaqd: http shutdown:", err)
 	}
 	fmt.Println("vaqd: bye")
 }

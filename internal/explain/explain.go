@@ -152,6 +152,38 @@ type TopKProfile struct {
 	TrajectoryDropped int64 `json:"trajectory_dropped,omitempty"`
 }
 
+// ShardProfile is one shard process's contribution to a coordinator
+// query: the cost attribution of the scatter leg the coordinator sent
+// it, taken from the shard's own response (and, when the shard returned
+// its EXPLAIN profile inline, its top-k section). The coordinator's
+// merged TopK section equals the field-wise sum over these entries
+// exactly — the cross-process extension of the engine-counter
+// reconciliation invariant.
+type ShardProfile struct {
+	// Shard is the backend's consistent-hash identity; Addr where the
+	// call went.
+	Shard string `json:"shard"`
+	Addr  string `json:"addr,omitempty"`
+	DurUS int64  `json:"dur_us,omitempty"`
+	// Hedged marks a leg whose winning response came from a hedge
+	// replica; Failed one that returned no results (shard down, shed or
+	// breaker-skipped) — its Error says why, and its cost fields are
+	// zero (failed legs contribute nothing to the merged totals).
+	Hedged bool   `json:"hedged,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Results is how many ranked entries the shard contributed to the
+	// merge (before the global truncation to k).
+	Results        int   `json:"results"`
+	Candidates     int   `json:"candidates"`
+	Iterations     int   `json:"iterations,omitempty"`
+	RandomAccesses int64 `json:"random_accesses"`
+	SortedAccesses int64 `json:"sorted_accesses,omitempty"`
+	SeqsPruned     int64 `json:"seqs_pruned,omitempty"`
+	ClipsPruned    int64 `json:"clips_pruned,omitempty"`
+	Incomplete     bool  `json:"incomplete,omitempty"`
+}
+
 // Profile is one query's assembled EXPLAIN record.
 type Profile struct {
 	ID       string `json:"id,omitempty"`
@@ -174,6 +206,10 @@ type Profile struct {
 	Infer      *InferProfile      `json:"infer,omitempty"`
 	Resilience *ResilienceProfile `json:"resilience,omitempty"`
 	TopK       *TopKProfile       `json:"topk,omitempty"`
+	// Shards attributes a coordinator query's cost per shard process
+	// (kind "coordinator" only); the TopK section holds the merged
+	// totals, which equal the sum over these entries exactly.
+	Shards []ShardProfile `json:"shards,omitempty"`
 }
 
 // EngineInvocations sums the engine-issued layers — the side of the
@@ -492,6 +528,26 @@ func (c *Collector) TopKFinish(candidates, iterations int, randomAccesses, sorte
 	c.mu.Unlock()
 }
 
+// AddShard appends one shard's attribution to a coordinator profile
+// and folds its cost fields into the merged TopK section, so the
+// section stays the exact field-wise sum over the shard entries.
+// Failed legs are recorded but contribute no cost.
+func (c *Collector) AddShard(sp ShardProfile) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.p.Shards = append(c.p.Shards, sp)
+	tk := c.topk()
+	tk.Candidates += sp.Candidates
+	tk.Iterations += sp.Iterations
+	tk.RandomAccesses += sp.RandomAccesses
+	tk.SortedAccesses += sp.SortedAccesses
+	tk.SeqsPruned += sp.SeqsPruned
+	tk.ClipsPruned += sp.ClipsPruned
+	c.mu.Unlock()
+}
+
 // Profile snapshots the collected profile. The returned value shares
 // nothing with the collector and is safe to retain and serialize.
 func (c *Collector) Profile() Profile {
@@ -532,6 +588,7 @@ func (c *Collector) Profile() Profile {
 		tk.Trajectory = append([]TrajPoint(nil), tk.Trajectory...)
 		p.TopK = &tk
 	}
+	p.Shards = append([]ShardProfile(nil), c.p.Shards...)
 	return p
 }
 

@@ -89,6 +89,27 @@ func Render(w io.Writer, p Profile) {
 				n, tk.TrajectoryDropped, first.TauTop, last.TauTop, first.BLoK, last.BLoK)
 		}
 	}
+	for _, sp := range p.Shards {
+		fmt.Fprintf(w, "  shard %-10s", sp.Shard)
+		switch {
+		case sp.Failed:
+			fmt.Fprintf(w, " FAILED (%s)", sp.Error)
+		default:
+			fmt.Fprintf(w, " results %d, candidates %d, iterations %d, accesses %d random / %d sorted",
+				sp.Results, sp.Candidates, sp.Iterations, sp.RandomAccesses, sp.SortedAccesses)
+			if sp.Hedged {
+				fmt.Fprintf(w, ", hedged")
+			}
+			if sp.Incomplete {
+				fmt.Fprintf(w, ", PARTIAL")
+			}
+		}
+		if sp.DurUS > 0 {
+			d := time.Duration(sp.DurUS) * time.Microsecond
+			fmt.Fprintf(w, "  %s", d.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // countList formats a counter map as "key value" pairs, largest first

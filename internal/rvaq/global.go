@@ -69,3 +69,20 @@ func (g *GlobalBound) Publish(shard int, los []float64) {
 func (g *GlobalBound) Bound() float64 {
 	return math.Float64frombits(g.cur.Load())
 }
+
+// Raise folds a remote tier's sound global bound into the exchange
+// (monotone max). It is the cross-process import hook: a shard's local
+// B_lo^K is the k-th largest lower bound over its own candidates, and
+// adding the rest of the fleet's candidates can only raise the true
+// global k-th best score, so any shard's exported Bound() — or any max
+// of such bounds a coordinator broadcasts — is safe to fold in here.
+// Raising never invalidates anything: pruning stays conservative, so a
+// broadcast can change work counts but never results.
+func (g *GlobalBound) Raise(b float64) {
+	for {
+		old := g.cur.Load()
+		if math.Float64frombits(old) >= b || g.cur.CompareAndSwap(old, math.Float64bits(b)) {
+			return
+		}
+	}
+}

@@ -161,20 +161,22 @@ type Server struct {
 	hub    *inferHub                  // nil unless SharedInference armed
 	ring   *explain.Ring              // nil when ExplainRing is negative
 	hist   *healthHistory
-	qseq   atomic.Int64 // top-k query id mint (q1, q2, ...)
+	bounds *boundRegistry // cross-process B_lo^K exchanges (shard tier)
+	qseq   atomic.Int64   // top-k query id mint (q1, q2, ...)
 }
 
 // New builds a server and its routes.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		reg:  NewRegistry(cfg.MaxSessions, cfg.Workers),
-		met:  newMetrics(),
-		mux:  http.NewServeMux(),
-		shed: newShedWindow(cfg.ShedWait),
-		ring: explain.NewRing(cfg.ExplainRing),
-		hist: newHealthHistory(),
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.MaxSessions, cfg.Workers),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+		shed:   newShedWindow(cfg.ShedWait),
+		ring:   explain.NewRing(cfg.ExplainRing),
+		hist:   newHealthHistory(),
+		bounds: newBoundRegistry(),
 	}
 	s.reg.SetTracer(cfg.Tracer)
 	s.reg.SetExplainRing(s.ring)
@@ -233,6 +235,7 @@ func New(cfg Config) *Server {
 	route("GET /v1/sessions/{id}/results", s.timed(s.handleSessionResults))
 	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("POST /v1/topk", s.timed(s.handleTopK))
+	route("POST /v1/shard/bound", s.handleShardBound)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metricsz", s.handleMetricsz)
 	route("GET /tracez", s.handleTracez)
@@ -711,6 +714,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		ex.SetBrownout(s.bo.Level().String())
 	}
 	eo := vaq.ExecOptions{Ctx: ctx, Pool: s.reg.Pool(), Partial: req.Partial, DegradedDiscount: req.DegradedDiscount, HopDiscounts: req.HopDiscounts, Explain: ex}
+	if req.BoundQuery != "" {
+		// The query joins the cross-process bound exchange a coordinator
+		// scattered it under: remote shards' progress, broadcast via
+		// POST /v1/shard/bound, tightens this run's pruning floor.
+		eo.Bound = s.bounds.acquire(req.BoundQuery, k)
+		defer s.bounds.release(req.BoundQuery)
+		qspan.SetAttr("bound_query", req.BoundQuery)
+	}
 	if req.TimeoutMS > 0 {
 		// The per-request deadline layers inside the handler's
 		// RequestTimeout context, so it can only shorten it.

@@ -1,0 +1,263 @@
+package shard_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vaq"
+	"vaq/internal/api"
+	"vaq/internal/shard"
+)
+
+// The acceptance suite spawns real vaqd processes — 3 shards, a
+// coordinator, and a single-process union reference — exactly as an
+// operator would, and proves the sharded deployment is
+// indistinguishable from the union run (byte-identical rankings),
+// stays deterministic with the bound broadcast on or off, and degrades
+// to flagged partial results when a shard process is killed.
+
+var (
+	vaqdOnce sync.Once
+	vaqdBin  string
+	vaqdErr  error
+)
+
+// buildVaqd compiles cmd/vaqd once per test run.
+func buildVaqd(t *testing.T) string {
+	t.Helper()
+	vaqdOnce.Do(func() {
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			vaqdErr = err
+			return
+		}
+		// Not t.TempDir(): the binary outlives the first test that
+		// builds it (the per-test dir would be removed at its end).
+		dir, err := os.MkdirTemp("", "vaqd-proc-test-")
+		if err != nil {
+			vaqdErr = err
+			return
+		}
+		vaqdBin = filepath.Join(dir, "vaqd")
+		cmd := exec.Command("go", "build", "-o", vaqdBin, "./cmd/vaqd")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			vaqdErr = fmt.Errorf("go build ./cmd/vaqd: %v\n%s", err, out)
+		}
+	})
+	if vaqdErr != nil {
+		t.Fatal(vaqdErr)
+	}
+	return vaqdBin
+}
+
+// startProc launches a vaqd with -addr 127.0.0.1:0, parses the actual
+// address from the "listening on" line, and registers a kill cleanup.
+func startProc(t *testing.T, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	bin := buildVaqd(t)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, cmd
+	case <-time.After(30 * time.Second):
+		t.Fatalf("vaqd %v: no listening line within 30s", args)
+		return "", nil
+	}
+}
+
+// buildShardRepos persists the shared corpus into on-disk repositories:
+// one per shard (partitioned by the coordinator's own ring) plus the
+// union.
+func buildShardRepos(t *testing.T, shardNames []string) (map[string]string, string) {
+	t.Helper()
+	vids, _ := corpus(t)
+	all := make([]string, 0, len(vids))
+	for n := range vids {
+		all = append(all, n)
+	}
+	sort.Strings(all)
+	ring, err := shard.NewRing(shardNames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := ring.Partition(all)
+
+	base := t.TempDir()
+	write := func(dir string, names []string) string {
+		repo, err := vaq.OpenRepository(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if err := repo.Add(n, vids[n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	dirs := map[string]string{}
+	for _, name := range shardNames {
+		dirs[name] = write(filepath.Join(base, name), parts[name])
+	}
+	union := write(filepath.Join(base, "union"), all)
+	return dirs, union
+}
+
+// TestAcceptance3Shard is the end-to-end scenario: 3 vaqd shard
+// processes + a coordinator process vs one union vaqd.
+func TestAcceptance3Shard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	shardNames := []string{"s0", "s1", "s2"}
+	dirs, unionDir := buildShardRepos(t, shardNames)
+
+	addrs := map[string]string{}
+	procs := map[string]*exec.Cmd{}
+	for _, name := range shardNames {
+		addr, cmd := startProc(t, "-addr", "127.0.0.1:0", "-repo", dirs[name])
+		addrs[name], procs[name] = addr, cmd
+	}
+	unionAddr, _ := startProc(t, "-addr", "127.0.0.1:0", "-repo", unionDir)
+
+	specs := make([]string, len(shardNames))
+	for i, n := range shardNames {
+		specs[i] = n + "=" + addrs[n]
+	}
+	coordAddr, _ := startProc(t,
+		"-coordinator", "-addr", "127.0.0.1:0",
+		"-shards", strings.Join(specs, ","),
+		"-bound-broadcast", "5ms")
+	// A second coordinator without the broadcast: the metamorphic pair.
+	quietAddr, _ := startProc(t,
+		"-coordinator", "-addr", "127.0.0.1:0",
+		"-shards", strings.Join(specs, ","))
+
+	_, q := corpus(t)
+
+	// Byte-identical rankings: coordinator (broadcast on and off) vs
+	// the union process, across k and repeated runs.
+	for _, k := range []int{1, 5} {
+		var want api.TopKResponse
+		if code := doJSON(t, http.MethodPost, "http://"+unionAddr+"/v1/topk", topKReq(q, k), &want); code != http.StatusOK {
+			t.Fatalf("union k=%d: status %d", k, code)
+		}
+		if len(want.Results) == 0 {
+			t.Fatalf("union k=%d: no results", k)
+		}
+		ref := resultsJSON(t, want.Results)
+		for run := 0; run < 2; run++ {
+			for label, addr := range map[string]string{"broadcast": coordAddr, "quiet": quietAddr} {
+				var got api.TopKResponse
+				if code := doJSON(t, http.MethodPost, "http://"+addr+"/v1/topk", topKReq(q, k), &got); code != http.StatusOK {
+					t.Fatalf("%s k=%d run %d: status %d", label, k, run, code)
+				}
+				if g := resultsJSON(t, got.Results); g != ref {
+					t.Fatalf("%s k=%d run %d diverged from union\n got %s\nwant %s", label, k, run, g, ref)
+				}
+				if got.Incomplete {
+					t.Fatalf("%s k=%d run %d: incomplete with healthy shards", label, k, run)
+				}
+			}
+		}
+	}
+
+	// Coordinator health: every shard probes ok.
+	var hz api.CoordHealthzResponse
+	if code := doJSON(t, http.MethodGet, "http://"+coordAddr+"/healthz", nil, &hz); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if hz.Status != "ok" || len(hz.Shards) != 3 {
+		t.Fatalf("healthz %+v, want ok over 3 shards", hz)
+	}
+
+	// Sessions route through the coordinator to a real shard process.
+	var created api.SessionInfo
+	if code := doJSON(t, http.MethodPost, "http://"+coordAddr+"/v1/sessions",
+		api.CreateSessionRequest{Workload: "q2", Scale: 0.02}, &created); code != http.StatusCreated {
+		t.Fatalf("create session: status %d (%+v)", code, created)
+	}
+	var deleted api.SessionInfo
+	if code := doJSON(t, http.MethodDelete, "http://"+coordAddr+"/v1/sessions/"+created.ID, nil, &deleted); code != http.StatusOK {
+		t.Fatalf("delete session: status %d", code)
+	}
+
+	// Kill one shard process. Strict queries fail loudly; partial=true
+	// yields the survivors' merged ranking, flagged and deterministic.
+	if err := procs["s1"].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = procs["s1"].Process.Wait()
+
+	var errResp api.ErrorResponse
+	if code := doJSON(t, http.MethodPost, "http://"+coordAddr+"/v1/topk", topKReq(q, 5), &errResp); code != http.StatusBadGateway {
+		t.Fatalf("strict scatter after kill: status %d, want 502", code)
+	}
+	preq := topKReq(q, 5)
+	preq.Partial = true
+	var first api.TopKResponse
+	if code := doJSON(t, http.MethodPost, "http://"+coordAddr+"/v1/topk", preq, &first); code != http.StatusOK {
+		t.Fatalf("partial scatter after kill: status %d", code)
+	}
+	if !first.Incomplete || len(first.Results) == 0 {
+		t.Fatalf("partial scatter after kill: incomplete=%v results=%d", first.Incomplete, len(first.Results))
+	}
+	var second api.TopKResponse
+	if code := doJSON(t, http.MethodPost, "http://"+coordAddr+"/v1/topk", preq, &second); code != http.StatusOK {
+		t.Fatalf("partial scatter repeat: status %d", code)
+	}
+	if a, b := resultsJSON(t, first.Results), resultsJSON(t, second.Results); a != b {
+		t.Fatalf("survivor ranking not deterministic:\n%s\n%s", a, b)
+	}
+
+	// The coordinator reports the outage.
+	if code := doJSON(t, http.MethodGet, "http://"+coordAddr+"/healthz", nil, &hz); code != http.StatusOK {
+		t.Fatalf("healthz after kill: status %d", code)
+	}
+	if hz.Status != "degraded" {
+		t.Fatalf("healthz after kill %+v, want degraded", hz)
+	}
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("vid-%05d", i)
+	}
+	return ids
+}
+
+// TestRingBalance: with the default vnode count every shard owns
+// roughly 1/N of a large id population — no shard under half or over
+// double its fair share.
+func TestRingBalance(t *testing.T) {
+	const ids = 20000
+	for _, n := range []int{2, 3, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("s%d", i)
+		}
+		r, err := NewRing(names, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, id := range ringIDs(ids) {
+			counts[r.Owner(id)]++
+		}
+		fair := float64(ids) / float64(n)
+		for _, name := range names {
+			got := float64(counts[name])
+			if got < fair/2 || got > fair*2 {
+				t.Errorf("N=%d: shard %s owns %.0f ids, fair share %.0f (counts %v)", n, name, got, fair, counts)
+			}
+		}
+	}
+}
+
+// TestRingRemap: adding one shard to an N-shard ring moves about 1/(N+1)
+// of the ids, and every moved id moves TO the new shard — consistent
+// hashing only claims arcs, it never shuffles ids between old shards.
+func TestRingRemap(t *testing.T) {
+	const n, ids = 8, 20000
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	before, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(append([]string(nil), names...), "s-new"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, id := range ringIDs(ids) {
+		was, is := before.Owner(id), after.Owner(id)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "s-new" {
+			t.Fatalf("id %s moved %s -> %s, not to the new shard", id, was, is)
+		}
+	}
+	frac := float64(moved) / float64(ids)
+	want := 1.0 / float64(n+1)
+	if frac < want/2 || frac > want*2 {
+		t.Fatalf("adding 1 shard to %d moved %.3f of ids, want ~%.3f", n, frac, want)
+	}
+}
+
+// TestRingPinned pins the 3-shard mapping of a fixed id table. The
+// partition is part of the wire contract — a coordinator and an
+// out-of-band partitioner built at different times must agree — so any
+// change to the hash or the point layout must show up here as a loud,
+// deliberate break.
+func TestRingPinned(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"v00": "s2", "v01": "s0", "v02": "s2", "v03": "s1", "v04": "s0",
+		"v05": "s1", "v06": "s0", "v07": "s0", "v08": "s2",
+		"iron_man": "s0", "q2": "s1", "q4": "s0",
+		"traffic-cam-17": "s1", "lobby": "s2",
+		"vid-0000": "s0", "vid-9999": "s0",
+	}
+	for id, owner := range want {
+		if got := r.Owner(id); got != owner {
+			t.Errorf("Owner(%q) = %q, want %q", id, got, owner)
+		}
+	}
+}
+
+// TestRingDeterministic: two rings over the same shard set agree on
+// every id regardless of construction order of the caller's slice
+// contents staying fixed.
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing([]string{"s0", "s1", "s2"}, 64)
+	b, _ := NewRing([]string{"s0", "s1", "s2"}, 64)
+	for _, id := range ringIDs(500) {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("rings disagree on %s: %s vs %s", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty shard set: want error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}
+
+func TestRingPartition(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ringIDs(100)
+	parts := r.Partition(ids)
+	total := 0
+	for name, vs := range parts {
+		if name != "s0" && name != "s1" {
+			t.Fatalf("partition invented shard %q", name)
+		}
+		for _, v := range vs {
+			if r.Owner(v) != name {
+				t.Fatalf("partition put %s on %s, owner is %s", v, name, r.Owner(v))
+			}
+		}
+		total += len(vs)
+	}
+	if total != len(ids) {
+		t.Fatalf("partition covers %d of %d ids", total, len(ids))
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	bs, err := ParseBackends("s0=localhost:8081, s1=localhost:8082,localhost:8083")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Backend{
+		{Name: "s0", Addr: "localhost:8081"},
+		{Name: "s1", Addr: "localhost:8082"},
+		{Name: "localhost:8083", Addr: "localhost:8083"},
+	}
+	if len(bs) != len(want) {
+		t.Fatalf("got %v", bs)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Errorf("backend %d = %+v, want %+v", i, bs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "=addr", "name="} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Errorf("ParseBackends(%q): want error", bad)
+		}
+	}
+}

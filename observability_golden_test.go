@@ -13,6 +13,7 @@ import (
 	"vaq/internal/infer"
 	"vaq/internal/resilience"
 	"vaq/internal/rvaq"
+	"vaq/internal/shard"
 	"vaq/internal/trace"
 )
 
@@ -96,6 +97,15 @@ func TestCounterCatalogueGolden(t *testing.T) {
 	// The brownout ladder registers its family at construction too.
 	if _, err := brownout.New(brownout.Config{High: time.Second},
 		brownout.Options{Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scatter-gather coordinator registers the shard.* family at
+	// construction; the backend is never dialled.
+	if _, err := shard.New(shard.Config{
+		Backends: []shard.Backend{{Name: "s0", Addr: "127.0.0.1:1"}},
+		Tracer:   tr,
+	}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -538,6 +538,17 @@ type ExecOptions struct {
 	// (bound trajectory, pruning, cache and access attribution). Global
 	// and multi-video paths share the one collector across shards.
 	Explain *ExplainCollector
+	// Bound, when non-nil, joins the query to an external B_lo^K bound
+	// exchange — the hook the sharded serving tier uses to let separate
+	// vaqd processes prune each other (docs/SHARDING.md): the run
+	// publishes its top-k lower bounds into the exchange and prunes
+	// with its Bound(), which a coordinator may have raised from remote
+	// shards' progress via BoundExchange.Raise. Bounds only travel
+	// through the exchange conservatively, so results are identical
+	// with or without it. The parallel global path uses the exchange
+	// directly as its cross-video bound (instead of a private one); the
+	// merged and single-video paths join it as one shard.
+	Bound *BoundExchange
 }
 
 func (eo ExecOptions) ctx() context.Context {
@@ -555,6 +566,18 @@ func (eo ExecOptions) queryCtx() (context.Context, context.CancelFunc) {
 	}
 	return eo.ctx(), func() {}
 }
+
+// BoundExchange is a cross-shard B_lo^K bound exchange
+// (rvaq.GlobalBound): executions joined to one exchange publish the
+// lower bounds of their current top-k and prune with the k-th largest
+// bound across every participant. The serving tier generalizes it over
+// the wire — each shard process owns one exchange per in-flight query
+// and a coordinator folds remote shards' exported bounds in through
+// Raise. All methods are safe for concurrent use.
+type BoundExchange = rvaq.GlobalBound
+
+// NewBoundExchange builds an exchange for a top-k query.
+func NewBoundExchange(k int) *BoundExchange { return rvaq.NewGlobalBound(k) }
 
 // Densify recomputes one clip's exact score from the source video — the
 // completion step of a top-k over a planned repository. Build one with
@@ -578,6 +601,9 @@ func (eo ExecOptions) rvaqOptions(videoName string) rvaq.Options {
 	opts.HopDiscounts = eo.HopDiscounts
 	opts.Densify = eo.Densifiers[videoName]
 	opts.Explain = eo.Explain
+	// An external exchange joins this execution as shard 0; the
+	// parallel global path overrides both fields per video.
+	opts.Bound = eo.Bound
 	return opts
 }
 
@@ -685,6 +711,13 @@ func (r *Repository) TopKGlobal(q Query, k int) ([]VideoTopKResult, TopKStats, e
 // ranking is identical to the sequential run's.
 func (r *Repository) TopKGlobalOpts(q Query, k int, eo ExecOptions) ([]VideoTopKResult, TopKStats, error) {
 	names := r.repo.Names()
+	if len(names) == 0 {
+		// An empty repository has no labels materialized for any query.
+		// Shard tiers rely on this mapping: a shard that owns no videos
+		// answers like a video span with the queried labels absent, so
+		// the coordinator merges it as a no-contribution, not a failure.
+		return nil, TopKStats{}, fmt.Errorf("vaq: repository has no videos: %w", ingest.ErrNotIngested)
+	}
 	if eo.workers() <= 1 || len(names) <= 1 {
 		return r.topKGlobalMerged(names, q, k, eo)
 	}
@@ -743,7 +776,13 @@ func (r *Repository) topKGlobalSharded(names []string, q Query, k int, eo ExecOp
 	gspan.SetInt("videos", int64(len(names)))
 	gspan.SetInt("k", int64(k))
 	defer gspan.End()
-	gb := rvaq.NewGlobalBound(k)
+	// An external exchange (the shard tier's per-query one) subsumes
+	// the private cross-video bound: local shards publish into it and
+	// remote bounds raised into it tighten every local iterator.
+	gb := eo.Bound
+	if gb == nil {
+		gb = rvaq.NewGlobalBound(k)
+	}
 	type shardOut struct {
 		res   []TopKResult
 		stats TopKStats
